@@ -1,0 +1,23 @@
+"""Fig. 12 — runtime of the five evaluation methods on U1-U10.
+
+Paper shape to reproduce: GENTOP fastest of the on-top-of-engine trio;
+NAIVE competitive only when the selected node set is small (U2) and
+degrading when it is large (U1, U4); TD-BU paying extra for complex
+qualifiers (U7-U10); the copy-and-update baseline carrying the full
+snapshot cost on every query.
+"""
+
+import pytest
+
+from repro.bench.harness import METHOD_ORDER, METHODS
+from repro.xmark.queries import QUERY_IDS, insert_transform
+
+
+@pytest.mark.parametrize("method", METHOD_ORDER)
+@pytest.mark.parametrize("uid", QUERY_IDS)
+def test_fig12(benchmark, small_tree, uid, method):
+    query = insert_transform(uid)
+    benchmark.group = f"fig12-{uid}"
+    benchmark.pedantic(
+        METHODS[method], args=(small_tree, query), rounds=3, iterations=1
+    )

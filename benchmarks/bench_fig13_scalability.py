@@ -1,0 +1,25 @@
+"""Fig. 13(a-d) — scalability with document size for U2, U4, U7, U10.
+
+Paper shape to reproduce: NAIVE super-linear where the affected portion
+grows with the file (U4/U7/U10) but linear when |$xp| is fixed (U2);
+GENTOP, TD-BU and twoPassSAX linear; the snapshot baseline linear with
+a larger constant.
+"""
+
+import pytest
+
+from repro.bench.harness import METHOD_ORDER, METHODS, dataset
+from repro.xmark.queries import insert_transform
+
+FACTORS = [0.002, 0.008, 0.02]
+QUERIES = ["U2", "U4", "U7", "U10"]
+
+
+@pytest.mark.parametrize("method", METHOD_ORDER)
+@pytest.mark.parametrize("factor", FACTORS)
+@pytest.mark.parametrize("uid", QUERIES)
+def test_fig13(benchmark, uid, factor, method):
+    tree = dataset(factor)
+    query = insert_transform(uid)
+    benchmark.group = f"fig13-{uid}-factor{factor}"
+    benchmark.pedantic(METHODS[method], args=(tree, query), rounds=2, iterations=1)

@@ -1,0 +1,11 @@
+"""Shared fixtures for the figure benchmarks."""
+
+import pytest
+
+from repro.bench.harness import dataset
+
+
+@pytest.fixture(scope="session")
+def small_tree():
+    """The Fig. 12 dataset (one factor, all queries)."""
+    return dataset(0.005)

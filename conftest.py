@@ -1,0 +1,13 @@
+"""Pytest bootstrap: make ``src/`` importable even without installation.
+
+The package is normally installed with ``pip install -e .`` (or
+``python setup.py develop`` on minimal toolchains without ``wheel``);
+this fallback keeps the test and benchmark suites runnable either way.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,8 @@
+"""Legacy setup shim: lets ``pip install -e .`` work without wheel/PEP 517.
+
+All metadata lives in pyproject.toml; setuptools reads it from there.
+"""
+
+from setuptools import setup
+
+setup()

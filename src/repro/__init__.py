@@ -1,0 +1,116 @@
+"""repro — a reproduction of *Querying XML with Update Syntax*
+(Fan, Cong, Bohannon; SIGMOD 2007).
+
+Transform queries evaluate an XML update *hypothetically*: they return
+the tree the update would produce, without touching the stored
+document::
+
+    from repro import parse, parse_transform_query, transform_topdown, serialize
+
+    doc = parse("<db><part><price>12</price></part></db>")
+    qt = parse_transform_query(
+        'transform copy $a := doc("db") modify do delete $a//price return $a'
+    )
+    view = transform_topdown(doc, qt)
+    assert "price" not in serialize(view)
+    assert "price" in serialize(doc)        # the source is untouched
+
+Five evaluation strategies (all semantically identical), the
+automaton machinery they are built on, and the Compose Method for
+fusing user queries with transform queries are exported here; each
+subpackage's docstring maps back to the paper's sections.
+"""
+
+__version__ = "1.0.0"
+
+# XML substrate
+from repro.xmltree import (
+    Element,
+    Text,
+    deep_copy,
+    deep_equal,
+    element,
+    parse,
+    parse_file,
+    serialize,
+    text,
+    write_file,
+)
+
+# XPath fragment X
+from repro.xpath import evaluate, eval_qualifier, parse_xpath
+
+# Automata
+from repro.automata import build_filtering_nfa, build_selecting_nfa
+
+# Updates
+from repro.updates import apply_update, parse_update
+
+# Transform queries and evaluation algorithms
+from repro.transform import (
+    TransformQuery,
+    parse_transform_query,
+    transform_copy_update,
+    transform_naive,
+    transform_sax,
+    transform_sax_events,
+    transform_sax_file,
+    transform_topdown,
+    transform_twopass,
+)
+
+# XQuery subset and composition
+from repro.xquery import evaluate_query, parse_user_query
+from repro.compose import compose, evaluate_composed, naive_compose
+
+# Streaming extension (the paper's future-work item 3)
+from repro.streaming import (
+    stream_compose,
+    stream_compose_file,
+    stream_select,
+    stream_select_file,
+)
+
+# Workload generator
+from repro.xmark import generate as generate_xmark
+from repro.xmark import write_xmark_file
+
+__all__ = [
+    "Element",
+    "Text",
+    "TransformQuery",
+    "apply_update",
+    "build_filtering_nfa",
+    "build_selecting_nfa",
+    "compose",
+    "deep_copy",
+    "deep_equal",
+    "element",
+    "eval_qualifier",
+    "evaluate",
+    "evaluate_composed",
+    "evaluate_query",
+    "generate_xmark",
+    "naive_compose",
+    "parse",
+    "parse_file",
+    "parse_transform_query",
+    "parse_update",
+    "parse_user_query",
+    "parse_xpath",
+    "serialize",
+    "stream_compose",
+    "stream_compose_file",
+    "stream_select",
+    "stream_select_file",
+    "text",
+    "transform_copy_update",
+    "transform_naive",
+    "transform_sax",
+    "transform_sax_events",
+    "transform_sax_file",
+    "transform_topdown",
+    "transform_twopass",
+    "write_file",
+    "write_xmark_file",
+]

@@ -1,0 +1,101 @@
+"""The selecting NFA ``Mp`` of an ``X`` expression (Section 3.4).
+
+Built from the step form ``β1[q1]/…/βk[qk]``: a start state
+``(s0, [true])`` plus one state ``(si, [qi])`` per step, the last being
+final.  The construction runs in O(|p|) and the automaton has O(|p|)
+states — the features the paper highlights over tree automata and AFA.
+
+Example (Fig. 5): ``//part[q1]//part[q2]`` yields::
+
+    (s0,[true]) --ε--> (s1,[true])⟲* --part--> (s2,[q1])
+                --ε--> (s3,[true])⟲* --part--> (s4,[q2])  [final]
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.xmltree.node import Element
+from repro.xpath.ast import Path, Qual, TrueQual
+from repro.xpath.evaluator import eval_qualifier
+from repro.xpath.normalize import normalize_steps
+from repro.automata.core import TEST_START, Automaton
+
+
+class SelectingNFA(Automaton):
+    """``Mp``: decides, node by node, membership in ``r[[p]]``."""
+
+    def __init__(self, path: Path):
+        super().__init__()
+        self.path = path
+        context_qual, steps = normalize_steps(path)
+        self.context_qual: Qual = context_qual
+        self.norm_steps = steps
+        self.add_state(TEST_START, None, context_qual)
+        last = self.append_chain(self.start, steps)
+        if last is self.start:
+            raise ValueError(
+                "the empty path selects the context root itself; transform "
+                "updates apply below the root, so p must have at least one step"
+            )
+        last.is_final = True
+        self.final_id = last.sid
+
+    # ------------------------------------------------------------------
+
+    def initial_states_for(self, root: Element) -> frozenset:
+        """Initial state set at *root* (which consumes no symbol).
+
+        An empty set results when a context qualifier (``.[q]/…``)
+        fails at the root — nothing can be selected.
+        """
+        if not isinstance(self.context_qual, TrueQual):
+            if not eval_qualifier(root, self.context_qual):
+                return frozenset()
+        return self.initial_states()
+
+    def selects(self, state_ids: frozenset) -> bool:
+        """Is the node holding *state_ids* selected by ``p``?
+
+        Valid when *state_ids* was computed with qualifier filtering
+        (``next_states(..., check=…)``): then the final state's
+        qualifier has already been checked on entry.
+        """
+        return self.final_id in state_ids
+
+    def make_checker(self, node: Element) -> Callable[[Qual], bool]:
+        """The "native engine" ``checkp``: evaluate qualifiers at *node*
+        with the reference evaluator (the role Qizx plays in the paper)."""
+        return lambda qual: eval_qualifier(node, qual)
+
+    # ------------------------------------------------------------------
+
+    def run_select(self, root: Element) -> list:
+        """Select ``r[[p]]`` by running the automaton over the whole tree.
+
+        Mostly a testing/verification entry point — the transform
+        algorithms interleave this run with output construction instead
+        — but also a fine standalone XPath evaluator.
+        Returns nodes in document order.
+        """
+        selected: list = []
+        initial = self.initial_states_for(root)
+        if not initial:
+            return selected
+        stack: list[tuple] = [(child, initial) for child in reversed(list(root.child_elements()))]
+        while stack:
+            node, parent_states = stack.pop()
+            states = self.next_states(parent_states, node.label, self.make_checker(node))
+            if not states:
+                continue
+            if self.selects(states):
+                selected.append(node)
+            stack.extend(
+                (child, states) for child in reversed(list(node.child_elements()))
+            )
+        return selected
+
+
+def build_selecting_nfa(path: Path) -> SelectingNFA:
+    """Construct the selecting NFA for an ``X`` path."""
+    return SelectingNFA(path)

@@ -1,0 +1,22 @@
+"""Benchmark harness: regenerates every figure of the paper's
+evaluation (Section 7).
+
+* :mod:`repro.bench.harness` — timing utilities, dataset cache, and the
+  method registry mapping the paper's names (GalaXUpdate, NAIVE, TD-BU,
+  GENTOP, twoPassSAX) to our implementations.
+* :mod:`repro.bench.figures` — one driver per figure (12, 13, 14, 15)
+  printing paper-style series; also runnable as
+  ``python -m repro.bench.figures <fig12|fig13|fig14|fig15|all>``.
+
+The pytest-benchmark suites under ``benchmarks/`` wrap the same
+workloads for per-run statistics.
+"""
+
+from repro.bench.harness import (
+    METHODS,
+    dataset,
+    dataset_stats,
+    time_call,
+)
+
+__all__ = ["METHODS", "dataset", "dataset_stats", "time_call"]

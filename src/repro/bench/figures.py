@@ -1,0 +1,215 @@
+"""Experiment drivers: one function per figure of Section 7.
+
+Each driver returns structured results (and prints a paper-style
+table), so EXPERIMENTS.md can record paper-vs-measured shapes.  Run
+from the command line::
+
+    python -m repro.bench.figures fig12
+    python -m repro.bench.figures fig13 fig15
+    python -m repro.bench.figures all
+
+Scale note: the paper's testbed used XMark factors 0.02-0.34 (2.2-38MB
+files from xmlgen's prose-heavy output) and factors 2-10 for the
+streaming experiment.  Our generator's entity text is leaner and pure
+Python is slower than Qizx's Java, so default factors are chosen to
+keep the full suite in CPU-minutes while preserving every comparison
+the figures make; pass larger factors to push further.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+import time
+import tracemalloc
+from pathlib import Path
+
+from repro.bench.harness import (
+    METHOD_ORDER,
+    METHODS,
+    clear_datasets,
+    dataset,
+    dataset_stats,
+    format_table,
+    time_call,
+)
+from repro.compose import compose, evaluate_composed, naive_compose
+from repro.transform.sax_twopass import transform_sax_file
+from repro.xmark.generator import write_xmark_file
+from repro.xmark.queries import (
+    QUERY_IDS,
+    composition_pairs,
+    insert_transform,
+)
+
+#: Default factors: Fig. 12 uses the smallest Fig. 13 factor, as in the
+#: paper (its 2.22MB file is the factor-0.02 dataset).
+FIG12_FACTOR = 0.01
+FIG13_FACTORS = [0.002, 0.005, 0.01, 0.02, 0.04]
+FIG13_QUERIES = ["U2", "U4", "U7", "U10"]
+FIG14_FACTORS = [0.05, 0.1, 0.2, 0.4, 0.8]
+FIG14_QUERIES = ["U2", "U4", "U7", "U10"]
+FIG15_FACTORS = [0.002, 0.005, 0.01, 0.02, 0.04]
+
+
+def fig12(factor: float = FIG12_FACTOR, repeat: int = 3) -> dict:
+    """Fig. 12: execution time of the five methods on U1-U10."""
+    tree = dataset(factor)
+    stats = dataset_stats(factor)
+    results: dict = {"factor": factor, "elements": stats["elements"], "times": {}}
+    for uid in QUERY_IDS:
+        query = insert_transform(uid)
+        results["times"][uid] = {}
+        for method in METHOD_ORDER:
+            seconds = time_call(METHODS[method], tree, query, repeat=repeat)
+            results["times"][uid][method] = seconds
+    rows = [
+        [uid] + [results["times"][uid][m] for m in METHOD_ORDER]
+        for uid in QUERY_IDS
+    ]
+    print(format_table(
+        f"Fig. 12 — insert transform queries, factor {factor} "
+        f"({stats['elements']} elements); seconds",
+        ["query"] + METHOD_ORDER,
+        rows,
+    ))
+    return results
+
+
+def fig13(
+    factors: list = FIG13_FACTORS,
+    queries: list = FIG13_QUERIES,
+    repeat: int = 3,
+) -> dict:
+    """Fig. 13(a-d): scalability with file size for U2, U4, U7, U10."""
+    results: dict = {"factors": list(factors), "times": {}}
+    for uid in queries:
+        query = insert_transform(uid)
+        results["times"][uid] = {method: [] for method in METHOD_ORDER}
+        for factor in factors:
+            tree = dataset(factor)
+            for method in METHOD_ORDER:
+                seconds = time_call(METHODS[method], tree, query, repeat=repeat)
+                results["times"][uid][method].append(seconds)
+    for uid in queries:
+        rows = []
+        for index, factor in enumerate(factors):
+            stats = dataset_stats(factor)
+            rows.append(
+                [f"{factor}", f"{stats['elements']}"]
+                + [results["times"][uid][m][index] for m in METHOD_ORDER]
+            )
+        print(format_table(
+            f"Fig. 13 — scalability, query {uid}; seconds",
+            ["factor", "elements"] + METHOD_ORDER,
+            rows,
+        ))
+        print()
+    return results
+
+
+def fig14(
+    factors: list = FIG14_FACTORS,
+    queries: list = FIG14_QUERIES,
+    workdir: str = None,
+) -> dict:
+    """Fig. 14: twoPassSAX on large files — linear time, flat memory.
+
+    Documents are stream-generated to disk and transformed file-to-file,
+    so neither side of the pipeline ever holds the document in memory;
+    tracemalloc records the peak Python heap during the transform.
+    """
+    results: dict = {"factors": list(factors), "sizes": {}, "times": {}, "memory": {}}
+    base = Path(workdir) if workdir else Path(tempfile.mkdtemp(prefix="xmark-fig14-"))
+    base.mkdir(parents=True, exist_ok=True)
+    rows = []
+    for factor in factors:
+        in_path = base / f"xmark-{factor}.xml"
+        if not in_path.exists():
+            write_xmark_file(str(in_path), factor)
+        size_mb = in_path.stat().st_size / (1024 * 1024)
+        results["sizes"][factor] = size_mb
+        results["times"][factor] = {}
+        for uid in queries:
+            query = insert_transform(uid)
+            out_path = base / f"out-{uid}-{factor}.xml"
+            start = time.perf_counter()
+            transform_sax_file(str(in_path), query, str(out_path))
+            elapsed = time.perf_counter() - start
+            out_path.unlink(missing_ok=True)
+            results["times"][factor][uid] = elapsed
+        # Memory is sampled in a separate run (tracemalloc roughly
+        # triples runtime, which would distort the timing series).
+        out_path = base / f"out-mem-{factor}.xml"
+        tracemalloc.start()
+        transform_sax_file(str(in_path), insert_transform(queries[-1]), str(out_path))
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        out_path.unlink(missing_ok=True)
+        results["memory"][factor] = peak / (1024 * 1024)
+        rows.append(
+            [f"{factor}", f"{size_mb:.2f}MB"]
+            + [results["times"][factor][u] for u in queries]
+            + [f"{results['memory'][factor]:.2f}MB"]
+        )
+    print(format_table(
+        "Fig. 14 — twoPassSAX on large files; seconds per query, peak heap",
+        ["factor", "size"] + list(queries) + ["peak mem"],
+        rows,
+    ))
+    return results
+
+
+def fig15(factors: list = FIG15_FACTORS, repeat: int = 3) -> dict:
+    """Fig. 15(a-d): Naive Composition vs the Compose Method."""
+    results: dict = {"factors": list(factors), "times": {}}
+    for transform_id, user_id, transform_query, user_query in composition_pairs():
+        pair_key = f"({transform_id},{user_id})"
+        composed = compose(user_query, transform_query)
+        naive_times, compose_times = [], []
+        for factor in factors:
+            tree = dataset(factor)
+            naive_times.append(time_call(
+                naive_compose, tree, user_query, transform_query, repeat=repeat
+            ))
+            compose_times.append(time_call(
+                evaluate_composed, tree, composed, repeat=repeat
+            ))
+        results["times"][pair_key] = {
+            "Naive Composition": naive_times,
+            "Compose": compose_times,
+        }
+        rows = [
+            [f"{factor}", naive_times[i], compose_times[i],
+             f"{naive_times[i] / compose_times[i]:.1f}x"]
+            for i, factor in enumerate(factors)
+        ]
+        print(format_table(
+            f"Fig. 15 — composition pair {pair_key}; seconds",
+            ["factor", "Naive Composition", "Compose", "speedup"],
+            rows,
+        ))
+        print()
+    return results
+
+
+DRIVERS = {"fig12": fig12, "fig13": fig13, "fig14": fig14, "fig15": fig15}
+
+
+def main(argv: list) -> int:
+    wanted = argv or ["all"]
+    if "all" in wanted:
+        wanted = ["fig12", "fig13", "fig14", "fig15"]
+    for name in wanted:
+        driver = DRIVERS.get(name)
+        if driver is None:
+            print(f"unknown figure {name!r}; choose from {sorted(DRIVERS)} or 'all'")
+            return 2
+        driver()
+        print()
+        clear_datasets()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

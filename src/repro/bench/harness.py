@@ -1,0 +1,87 @@
+"""Shared benchmarking machinery for the Section-7 experiments."""
+
+from __future__ import annotations
+
+import gc
+import time
+from typing import Callable, Optional
+
+from repro.transform import (
+    transform_copy_update,
+    transform_naive,
+    transform_sax,
+    transform_topdown,
+    transform_twopass,
+)
+from repro.xmark.generator import generate, document_stats
+from repro.xmltree.node import Element
+
+#: The five evaluation methods, keyed by the paper's names (Fig. 12).
+METHODS: dict[str, Callable] = {
+    "GalaXUpdate": transform_copy_update,  # snapshot copy + in-place update
+    "NAIVE": transform_naive,              # Fig. 2 rewriting, linear membership scan
+    "TD-BU": transform_twopass,            # bottomUp + topDown (Section 5)
+    "GENTOP": transform_topdown,           # topDown with native qualifiers (Section 3)
+    "twoPassSAX": transform_sax,           # Section 6, over synthesized events
+}
+
+#: Method order used in tables, matching the figure legends.
+METHOD_ORDER = ["GalaXUpdate", "NAIVE", "TD-BU", "GENTOP", "twoPassSAX"]
+
+_dataset_cache: dict[tuple, Element] = {}
+_stats_cache: dict[tuple, dict] = {}
+
+
+def dataset(factor: float, seed: int = 42) -> Element:
+    """A cached XMark-shaped document at the given factor."""
+    key = (factor, seed)
+    if key not in _dataset_cache:
+        _dataset_cache[key] = generate(factor, seed)
+    return _dataset_cache[key]
+
+
+def dataset_stats(factor: float, seed: int = 42) -> dict:
+    key = (factor, seed)
+    if key not in _stats_cache:
+        _stats_cache[key] = document_stats(dataset(factor, seed))
+    return _stats_cache[key]
+
+
+def clear_datasets() -> None:
+    """Free cached documents (the Fig. 14 runs use large files)."""
+    _dataset_cache.clear()
+    _stats_cache.clear()
+
+
+def time_call(fn: Callable, *args, repeat: int = 3, **kwargs) -> float:
+    """Best-of-*repeat* wall-clock seconds for ``fn(*args, **kwargs)``.
+
+    Best-of matches how short benchmark runs are usually reported: it
+    suppresses scheduler noise without averaging in warm-up effects.
+    """
+    best: Optional[float] = None
+    for _ in range(repeat):
+        gc.collect()
+        start = time.perf_counter()
+        fn(*args, **kwargs)
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best
+
+
+def format_table(title: str, headers: list, rows: list) -> str:
+    """Render an aligned text table (the harness's figure output)."""
+    widths = [len(h) for h in headers]
+    text_rows = []
+    for row in rows:
+        cells = [cell if isinstance(cell, str) else f"{cell:.4f}" for cell in row]
+        text_rows.append(cells)
+        for index, cell in enumerate(cells):
+            widths[index] = max(widths[index], len(cell))
+    lines = [title]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for cells in text_rows:
+        lines.append("  ".join(c.ljust(widths[i]) for i, c in enumerate(cells)))
+    return "\n".join(lines)

@@ -1,0 +1,152 @@
+"""Command-line interface: transform documents, compose queries,
+generate workload data, and inspect automata.
+
+::
+
+    python -m repro transform -q 'transform copy $a := doc("f") modify \\
+        do delete $a//price return $a' -i in.xml -o out.xml --method sax
+    python -m repro compose -t '<transform query>' -u 'for $x in … return $x' -i in.xml
+    python -m repro generate --factor 0.1 -o xmark.xml
+    python -m repro explain -p '//part[pname = "kb"]//part'
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.automata import build_filtering_nfa, build_selecting_nfa
+from repro.compose import compose as compose_queries
+from repro.compose import evaluate_composed
+from repro.transform import (
+    parse_transform_query,
+    transform_copy_update,
+    transform_naive,
+    transform_sax_file,
+    transform_topdown,
+    transform_twopass,
+)
+from repro.xmark.generator import write_xmark_file
+from repro.xmltree import Element, parse_file, serialize, write_file
+from repro.xpath import parse_xpath
+from repro.xquery import parse_user_query
+
+TREE_METHODS = {
+    "topdown": transform_topdown,
+    "twopass": transform_twopass,
+    "naive": transform_naive,
+    "copy": transform_copy_update,
+}
+
+
+def _cmd_transform(args: argparse.Namespace) -> int:
+    query = parse_transform_query(args.query)
+    if args.method == "sax":
+        result = transform_sax_file(args.input, query, args.output)
+        if result is not None:
+            sys.stdout.write(result + "\n")
+        return 0
+    tree = parse_file(args.input)
+    transformed = TREE_METHODS[args.method](tree, query)
+    if args.output:
+        write_file(transformed, args.output, indent="  " if args.pretty else None)
+    else:
+        sys.stdout.write(serialize(transformed, indent="  " if args.pretty else None))
+        sys.stdout.write("\n")
+    return 0
+
+
+def _cmd_compose(args: argparse.Namespace) -> int:
+    transform_query = parse_transform_query(args.transform)
+    user_query = parse_user_query(args.user_query)
+    composed = compose_queries(user_query, transform_query)
+    if args.show_plan or not args.input:
+        print(f"composed query: {composed}")
+    if not args.input:
+        return 0
+    tree = parse_file(args.input)
+    for item in evaluate_composed(tree, composed):
+        if isinstance(item, Element):
+            print(serialize(item))
+        else:
+            print(item)
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    size = write_xmark_file(args.output, args.factor, seed=args.seed)
+    print(f"wrote {args.output}: {size / 1048576:.2f} MB (factor {args.factor}, seed {args.seed})")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    path = parse_xpath(args.path)
+    print("selecting NFA (Section 3.4):")
+    print(build_selecting_nfa(path).describe())
+    filtering = build_filtering_nfa(path)
+    print("\nfiltering NFA (Section 5):")
+    print(filtering.describe())
+    if len(filtering.space):
+        print(f"\nnormalized qualifier expressions (LQ, {len(filtering.space)} entries):")
+        for expr in filtering.space.expressions:
+            print(f"  q{expr.nq_id}: {type(expr).__name__}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Transform queries for XML (SIGMOD 2007 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_transform = sub.add_parser("transform", help="evaluate a transform query on a document")
+    p_transform.add_argument("-q", "--query", required=True, help="the transform query text")
+    p_transform.add_argument("-i", "--input", required=True, help="input XML file")
+    p_transform.add_argument("-o", "--output", help="output file (stdout if omitted)")
+    p_transform.add_argument(
+        "--method",
+        choices=sorted(TREE_METHODS) + ["sax"],
+        default="topdown",
+        help="evaluation algorithm (sax streams file-to-file)",
+    )
+    p_transform.add_argument("--pretty", action="store_true", help="indent the output")
+    p_transform.set_defaults(func=_cmd_transform)
+
+    p_compose = sub.add_parser("compose", help="compose a user query with a transform query")
+    p_compose.add_argument("-t", "--transform", required=True, help="the transform query text")
+    p_compose.add_argument("-u", "--user-query", required=True, help="the FLWR user query text")
+    p_compose.add_argument("-i", "--input", help="evaluate the composition on this XML file")
+    p_compose.add_argument("--show-plan", action="store_true", help="print the composed query")
+    p_compose.set_defaults(func=_cmd_compose)
+
+    p_generate = sub.add_parser("generate", help="generate an XMark-shaped document")
+    p_generate.add_argument("--factor", type=float, default=0.01, help="XMark scaling factor")
+    p_generate.add_argument("--seed", type=int, default=42)
+    p_generate.add_argument("-o", "--output", required=True, help="output file")
+    p_generate.set_defaults(func=_cmd_generate)
+
+    p_explain = sub.add_parser("explain", help="show the automata built for an X expression")
+    p_explain.add_argument("-p", "--path", required=True, help="the X expression")
+    p_explain.set_defaults(func=_cmd_explain)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # stdout was closed early (e.g. piped into `head`); exit quietly.
+        import os
+
+        try:
+            sys.stdout.close()
+        except BrokenPipeError:
+            pass
+        os._exit(0)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,18 @@
+"""Composition of user queries with transform queries (Section 4).
+
+Given a transform query ``Qt`` and a user query ``Q``, both methods
+produce the answer of ``Q(Qt(T))``; the Compose Method does it without
+materializing ``Qt(T)``:
+
+* :func:`naive_compose` — the Naive Composition Method: evaluate the
+  transform fully, then run the user query on the result.
+* :func:`compose` / :func:`evaluate_composed` — the Compose Method:
+  rewrite ``Q`` against the selecting NFA of ``Qt`` into a single
+  composed query that runs directly on the original document, touching
+  only the parts the user query needs.
+"""
+
+from repro.compose.naive import naive_compose
+from repro.compose.compose import compose, evaluate_composed
+
+__all__ = ["compose", "evaluate_composed", "naive_compose"]

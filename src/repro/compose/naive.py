@@ -1,0 +1,31 @@
+"""The Naive Composition Method (Section 4).
+
+The straightforward rewriting::
+
+    let $d := Qt(T)  let $d' := Q($d)  return $d'
+
+— evaluate the transform query in full (we use GENTOP, the fastest of
+the on-top-of-engine evaluators, matching the experimental setup of
+Section 7.2), then evaluate the user query over the result.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.transform.query import TransformQuery
+from repro.transform.topdown import transform_topdown
+from repro.xmltree.node import Element
+from repro.xquery.ast import UserQuery
+from repro.xquery.evaluator import evaluate_query
+
+
+def naive_compose(
+    root: Element,
+    user_query: UserQuery,
+    transform_query: TransformQuery,
+    transform: Callable = transform_topdown,
+) -> list:
+    """Evaluate ``Q(Qt(T))`` by sequential evaluation."""
+    transformed = transform(root, transform_query)
+    return evaluate_query(transformed, user_query)

@@ -1,0 +1,173 @@
+"""Static analysis of path expressions against the selecting NFA.
+
+The Compose Method treats the paths inside a user query as *words* and
+executes the selecting NFA on them (Section 4).  For a path made of
+concrete labels this run is exact: every document node reached by the
+path has exactly this label word below the composition point, so the
+NFA's state set along the walk tells us — at compile time — whether the
+embedded update can touch the path's result:
+
+* ``UNCHANGED`` — no final state is ever entered along the word (and,
+  for inserts, inserted content cannot extend a match): the transformed
+  document gives the same node set and the same comparison values, so
+  the expression needs no rewriting at all.
+* ``EMPTY`` — a final state is entered *unconditionally* at some step
+  for a delete (or a rename away from the word's letters, or a replace
+  whose replacement cannot re-match): every node the path would reach
+  passes through a position that the update eliminates, so the
+  expression is statically empty.  This is Example 4.3/Q2's reasoning.
+* ``UNKNOWN`` — anything in between: the composer falls back to a
+  localized ``topDown`` call.
+
+Two helpers implement this: :func:`walk_word` (the exact run on
+concrete-label words) and :func:`may_reach_final` (a may-analysis for
+words containing wildcards/descendant steps, only ever used to prove
+``UNCHANGED``).
+
+Why only element steps matter: updates insert/delete/replace/rename
+*elements*; no update changes attributes or immediate text, so an
+expression's comparison values can only change via its node set.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.automata.core import TEST_DOS
+from repro.automata.selecting import SelectingNFA
+from repro.updates.ops import Delete, Insert, Rename, Replace, Update
+from repro.xmltree.node import Element
+from repro.xpath.ast import Path, Step
+from repro.xpath.evaluator import evaluate
+
+UNCHANGED = "unchanged"
+EMPTY = "empty"
+UNKNOWN = "unknown"
+
+
+def word_letters(path: Path) -> Optional[list]:
+    """The label word of *path*, or None if it is not a plain chain of
+    unqualified, concrete-label element steps (a trailing attribute
+    step is dropped: attributes are never touched by updates)."""
+    steps = list(path.steps)
+    if steps and steps[-1].kind == "attr":
+        steps = steps[:-1]
+    letters: list = []
+    for step in steps:
+        if step.kind != "label" or step.quals:
+            return None
+        letters.append(step.name)
+    return letters
+
+
+def _advance_certain(nfa: SelectingNFA, current: dict, letter: str) -> dict:
+    """One exact transition on a certainty-tracking state set.
+
+    ``current`` maps state id → certainty: True means the state is
+    reached on *every* qualifier outcome, False means only when some
+    qualifier holds.  Entering a qualifier-bearing state demotes
+    certainty; ε-closure preserves it.
+    """
+    states = nfa.states
+    nxt: dict = {}
+
+    def merge(sid: int, cert: bool) -> None:
+        nxt[sid] = nxt.get(sid, False) or cert
+
+    for sid, cert in current.items():
+        state = states[sid]
+        if state.test == TEST_DOS:
+            merge(sid, cert)  # self-loop; dos states carry no qualifier
+        for target_id in state.out_consume:
+            target = states[target_id]
+            if target.enter_matches(letter):
+                merge(target_id, cert and not target.has_qualifier)
+    for sid in sorted(nxt):
+        for target_id in states[sid].out_eps:
+            merge(target_id, nxt[sid])
+    return nxt
+
+
+def _content_matches(content: Element, letters: list) -> bool:
+    """Can the update's constant element extend a match for the
+    remaining letters?  (The inserted/replacement element becomes a
+    child of the matched node, so the first remaining letter applies
+    to it directly.)"""
+    if not letters:
+        return False
+    wrapper = Element("__wrapper__", {}, [content])
+    steps = Path(tuple(Step("label", name) for name in letters))
+    return bool(evaluate(wrapper, steps))
+
+
+def walk_word(
+    nfa: SelectingNFA, state_ids: frozenset, letters: list, update: Update
+) -> str:
+    """Classify a concrete-label path under the update (see module doc).
+
+    *state_ids* are the (definite) automaton states at the path's
+    context node; *letters* the word.
+    """
+    final_id = nfa.final_id
+    current = {sid: True for sid in state_ids}
+    hits: list = []  # (position, certainty)
+    for position, letter in enumerate(letters):
+        current = _advance_certain(nfa, current, letter)
+        if final_id in current:
+            hits.append((position, current[final_id]))
+        if not current:
+            break
+    last = len(letters) - 1
+
+    if isinstance(update, Insert):
+        for position, _certainty in hits:
+            if position == last:
+                continue  # appending a child changes neither set nor text
+            if _content_matches(update.content, letters[position + 1 :]):
+                return UNKNOWN
+        return UNCHANGED
+    if isinstance(update, Delete):
+        if any(cert for _, cert in hits):
+            return EMPTY
+        return UNKNOWN if hits else UNCHANGED
+    if isinstance(update, Rename):
+        if update.new_label in letters:
+            return UNKNOWN  # renamed-into: new matches may appear
+        if any(cert for _, cert in hits):
+            return EMPTY  # renamed away from every path instance
+        return UNKNOWN if hits else UNCHANGED
+    if isinstance(update, Replace):
+        certain = [p for p, cert in hits if cert]
+        uncertain = [p for p, cert in hits if not cert]
+        if uncertain:
+            return UNKNOWN
+        if not certain:
+            # Replaced-into: e could re-match a letter only where a
+            # match occurs, and no match occurs along this word.
+            return UNCHANGED
+        position = min(certain)
+        if _content_matches(update.content, letters[position:]):
+            return UNKNOWN  # the replacement itself re-matches the word
+        return EMPTY
+    return UNKNOWN  # pragma: no cover - update kinds are closed
+
+
+def final_reachable(nfa: SelectingNFA, state_ids: frozenset) -> bool:
+    """May-analysis: is the final state reachable *at all* from
+    *state_ids* (over any labels, ignoring qualifiers)?
+
+    When it is not, no node at or below the current position can be
+    selected by the update, so every expression there is UNCHANGED —
+    this is the coarse check that lets the composer disarm the
+    automaton (and the paper's "βi is disjoint from Mp" case).
+    """
+    reachable = set(state_ids)
+    frontier = list(state_ids)
+    while frontier:
+        sid = frontier.pop()
+        state = nfa.states[sid]
+        for target_id in state.out_consume + state.out_eps:
+            if target_id not in reachable:
+                reachable.add(target_id)
+                frontier.append(target_id)
+    return nfa.final_id in reachable

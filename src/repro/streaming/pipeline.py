@@ -1,0 +1,80 @@
+"""Fully streaming ``Q(Qt(T))`` — composition over the two-pass SAX
+algorithm (the paper's future-work item).
+
+The pipeline chains three bounded-memory stages:
+
+1. pass 1 of ``twoPassSAX`` computes the transform's ``Ld`` list;
+2. pass 2 is *re-run as a factory*: it deterministically re-produces
+   the transformed document's event stream on demand (the transformed
+   document itself never exists in memory or on disk);
+3. :func:`~repro.streaming.select.stream_select` runs the user path on
+   that stream (its own two passes re-invoke stage 2), and the user
+   query's ``where``/``return`` clauses are evaluated per matched
+   subtree — each small, so peak memory stays bounded by document
+   depth plus the largest single match.
+
+The source is consumed three times in total (once for the transform's
+``Ld``, twice for the selector's passes); each consumption is a fresh
+streaming scan.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Optional
+
+from repro.automata.filtering import build_filtering_nfa
+from repro.automata.selecting import build_selecting_nfa
+from repro.transform.query import TransformQuery
+from repro.transform.sax_twopass import pass1_collect_ld, pass2_transform
+from repro.xmltree.node import Element
+from repro.xmltree.sax import SAXEvent, iter_sax_file
+from repro.xquery.ast import BoolAnd, EmptySeq, UserQuery
+from repro.xquery.evaluator import Environment, eval_bool, eval_expr
+
+EventSource = Callable[[], Iterable[SAXEvent]]
+
+
+def stream_compose(
+    source: EventSource,
+    user_query: UserQuery,
+    transform_query: TransformQuery,
+) -> Iterator:
+    """Stream the answer of ``Q(Qt(T))`` item by item."""
+    from repro.streaming.select import stream_select
+
+    transform_selecting = build_selecting_nfa(transform_query.path)
+    transform_filtering = build_filtering_nfa(transform_query.path)
+    transform_ld = pass1_collect_ld(source(), transform_filtering)
+
+    def transformed_events() -> Iterable[SAXEvent]:
+        return pass2_transform(
+            source(), transform_selecting, transform_query, transform_ld
+        )
+
+    for match in stream_select(transformed_events, user_query.path):
+        yield from _finish(match, user_query)
+
+
+def _finish(match: Element, user_query: UserQuery) -> Iterator:
+    """Apply the where clause and return template to one bound node."""
+    env = Environment({user_query.var: [match]})
+    conditions = user_query.conditions
+    if conditions:
+        merged = conditions[0]
+        for extra in conditions[1:]:
+            merged = BoolAnd(merged, extra)
+        if not eval_bool(merged, env, match):
+            return
+    yield from eval_expr(user_query.template, env, match)
+
+
+def stream_compose_file(
+    path_on_disk: str,
+    user_query: UserQuery,
+    transform_query: TransformQuery,
+) -> Iterator:
+    """``Q(Qt(file))``, streaming, without materializing either tree."""
+    def source() -> Iterable[SAXEvent]:
+        return iter_sax_file(path_on_disk)
+
+    return stream_compose(source, user_query, transform_query)

@@ -1,0 +1,118 @@
+"""Streaming evaluation of ``X`` path expressions over SAX events.
+
+``stream_select(source, p)`` yields the subtrees of the nodes in
+``r[[p]]``, in document order, reading the document twice (the
+Section-6 two-pass discipline: pass 1 records qualifier truths in the
+cursor-indexed ``Ld`` list, pass 2 runs the selecting NFA and already
+knows, at each ``startElement``, whether the node is selected).
+
+Memory is bounded by document depth plus the size of the *currently
+open* matches: only subtrees that are being captured are materialized.
+A selected node nested inside another selected node yields its own
+tree; emission is deferred just enough to preserve document order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Optional
+
+from repro.automata.filtering import FilteringNFA, build_filtering_nfa
+from repro.automata.selecting import SelectingNFA, build_selecting_nfa
+from repro.transform.sax_twopass import (
+    _advance_tracked,
+    _close_epsilon,
+    pass1_collect_ld,
+)
+from repro.xmltree.node import Element, Text
+from repro.xmltree.sax import EndElement, SAXEvent, StartElement, TextEvent, iter_sax_file
+from repro.xpath.ast import Path
+
+EventSource = Callable[[], Iterable[SAXEvent]]
+
+
+class _Capture:
+    """One in-flight match being materialized as a tree."""
+
+    __slots__ = ("root", "stack", "done")
+
+    def __init__(self, label: str, attrs: dict):
+        self.root = Element(label, dict(attrs), [])
+        self.stack = [self.root]
+        self.done = False
+
+    def start(self, label: str, attrs: dict) -> None:
+        node = Element(label, dict(attrs), [])
+        self.stack[-1].children.append(node)
+        self.stack.append(node)
+
+    def text(self, value: str) -> None:
+        self.stack[-1].children.append(Text(value))
+
+    def end(self) -> None:
+        self.stack.pop()
+        if not self.stack:
+            self.done = True
+
+
+def stream_select(
+    source: EventSource,
+    path: Path,
+    selecting: Optional[SelectingNFA] = None,
+    filtering: Optional[FilteringNFA] = None,
+) -> Iterator[Element]:
+    """Yield ``r[[p]]`` subtrees from a two-pass streaming run."""
+    if selecting is None:
+        selecting = build_selecting_nfa(path)
+    if filtering is None:
+        filtering = build_filtering_nfa(path)
+    ld = pass1_collect_ld(source(), filtering)
+
+    cursor = 0
+    stack: list[dict] = []          # tracked alive_by_state per open element
+    captures: list[_Capture] = []   # in start order (document order)
+    for event in source():
+        if isinstance(event, StartElement):
+            if not stack:
+                initial = {sid: True for sid in selecting.initial_states()}
+                for sid in sorted(initial):
+                    if selecting.states[sid].has_qualifier:
+                        initial[sid] = bool(ld[cursor])
+                        cursor += 1
+                stack.append(initial)
+                # The root itself is never selected in this fragment.
+                continue
+            tracked, to_check = _advance_tracked(selecting, stack[-1], event.name)
+            for sid in to_check:
+                value = ld[cursor]
+                cursor += 1
+                if not value:
+                    tracked[sid] = False
+            _close_epsilon(selecting, tracked)
+            stack.append(tracked)
+            for capture in captures:
+                if not capture.done:
+                    capture.start(event.name, event.attrs)
+            if tracked.get(selecting.final_id, False):
+                captures.append(_Capture(event.name, event.attrs))
+        elif isinstance(event, EndElement):
+            if len(stack) > 1:  # the root entry has no capture scope
+                for capture in captures:
+                    if not capture.done:
+                        capture.end()
+            stack.pop()
+            # Emit completed matches from the front to keep document order.
+            while captures and captures[0].done:
+                yield captures.pop(0).root
+        elif isinstance(event, TextEvent):
+            for capture in captures:
+                if not capture.done:
+                    capture.text(event.value)
+    # All captures close with their end tags; nothing can remain open.
+
+
+def stream_select_file(path_on_disk: str, path: Path) -> Iterator[Element]:
+    """Streaming selection straight from a file."""
+    def source() -> Iterable[SAXEvent]:
+        return iter_sax_file(path_on_disk)
+
+    return stream_select(source, path)

@@ -1,0 +1,58 @@
+"""Transform queries and their evaluation algorithms.
+
+A transform query (Section 2)::
+
+    transform copy $a := doc("T0") modify do u($a) return $a
+
+returns the tree that update ``u`` *would* produce on ``T0``, without
+touching ``T0``.  Five evaluation strategies, matching the paper's
+experimental line-up (Figures 12-14):
+
+==============  =====================================  ==========
+paper name      function                               section
+==============  =====================================  ==========
+GalaXUpdate     :func:`transform_copy_update`          (baseline)
+NAIVE           :func:`transform_naive`                3.1
+GENTOP          :func:`transform_topdown`              3.3
+TD-BU           :func:`transform_twopass`              5
+twoPassSAX      :func:`transform_sax` (+ file/event    6
+                variants in ``sax_twopass``)
+==============  =====================================  ==========
+
+All five return identical trees; the test suite enforces this on the
+paper's examples, the XMark workload and random inputs.
+"""
+
+from repro.transform.query import TransformQuery, parse_transform_query
+from repro.transform.chain import (
+    TransformChain,
+    parse_transform_chain,
+    transform_chain,
+)
+from repro.transform.copy_update import transform_copy_update
+from repro.transform.naive import transform_naive
+from repro.transform.topdown import transform_topdown
+from repro.transform.twopass import transform_twopass
+from repro.transform.sax_twopass import (
+    transform_sax,
+    transform_sax_events,
+    transform_sax_file,
+)
+from repro.transform.rewrite import rewrite_to_xquery, transform_naive_xquery
+
+__all__ = [
+    "TransformChain",
+    "TransformQuery",
+    "parse_transform_chain",
+    "parse_transform_query",
+    "transform_chain",
+    "rewrite_to_xquery",
+    "transform_naive_xquery",
+    "transform_copy_update",
+    "transform_naive",
+    "transform_sax",
+    "transform_sax_events",
+    "transform_sax_file",
+    "transform_topdown",
+    "transform_twopass",
+]

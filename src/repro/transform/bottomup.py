@@ -1,0 +1,103 @@
+"""Algorithm ``bottomUp`` (Section 5, Fig. 9): one bottom-up pass that
+evaluates every qualifier of the embedded XPath expression and
+annotates the nodes with their truth values.
+
+Driven by the *filtering* NFA: a node whose (unfiltered) state set is
+empty can contribute neither to the selecting path nor to any needed
+qualifier, so its subtree is pruned — the same pruning lever as
+``topDown``, but sound for qualifier evaluation because the filtering
+NFA also tracks qualifier paths (Fig. 8).
+
+Faithfulness note: Fig. 9 threads ``rsat``/``rdsat`` vectors through
+right-sibling recursion because the paper codes the algorithm in
+side-effect-free XQuery; ``rsat_firstchild = csat_parent`` and
+``rdsat_firstchild = dsat_parent`` are exactly the child/descendant
+aggregates.  In Python we accumulate ``csat``/``dsat`` per stack frame
+directly — the same dataflow, one visit per node, without the encoding.
+The SAX variant (Section 6) does the same on its parser stack.
+"""
+
+from __future__ import annotations
+
+from repro.automata.filtering import FilteringNFA, build_filtering_nfa
+from repro.transform.qualdp import qual_dp_at
+from repro.xmltree.node import Element
+
+
+class Annotations:
+    """The ``sat`` vectors computed by ``bottomUp``, keyed by node.
+
+    Only nodes the filtering NFA kept alive are present; the transform
+    algorithms never ask about pruned nodes (their selecting states are
+    a subset of the filtering states).
+    """
+
+    def __init__(self, nfa: FilteringNFA):
+        self.nfa = nfa
+        self.sat_by_node: dict[int, list[bool]] = {}
+        #: qualifier AST -> nq_id, for O(1) checkp lookups.
+        self.nq_id_by_qual = {
+            state.qual: state.nq_id
+            for state in nfa.states
+            if state.nq_id is not None
+        }
+
+    def checkp(self, qual, node: Element) -> bool:
+        """O(1) ``checkp``: read the annotation (Fig. 10's promise)."""
+        return self.sat_by_node[id(node)][self.nq_id_by_qual[qual]]
+
+    def sat(self, node: Element, nq_id: int) -> bool:
+        return self.sat_by_node[id(node)][nq_id]
+
+    def __len__(self) -> int:
+        return len(self.sat_by_node)
+
+
+def bottom_up_annotate(root: Element, nfa: FilteringNFA = None, path=None) -> Annotations:
+    """Run ``bottomUp`` over the tree; returns the annotations.
+
+    Iterative post-order traversal (explicit frames), so document depth
+    is not limited by the interpreter's recursion limit.
+    """
+    if nfa is None:
+        nfa = build_filtering_nfa(path)
+    annotations = Annotations(nfa)
+    space = nfa.space
+    size = len(space)
+    if size == 0:
+        return annotations  # no qualifiers anywhere: nothing to compute
+
+    # Frame: [node, state-set, csat, dsat, child-cursor].
+    frames: list[list] = [[root, nfa.initial_states(), [False] * size, [False] * size, 0]]
+    while frames:
+        frame = frames[-1]
+        node, states, csat, dsat, _ = frame
+        children = node.children
+        # Advance to the next element child.
+        cursor = frame[4]
+        while cursor < len(children) and not children[cursor].is_element:
+            cursor += 1
+        frame[4] = cursor + 1
+        if cursor < len(children):
+            child = children[cursor]
+            child_states = nfa.next_states(states, child.label, check=None)
+            if child_states:
+                frames.append([child, child_states, [False] * size, [False] * size, 0])
+            # Pruned subtrees contribute all-false — sound because every
+            # qualifier expression that could hold below them is gated by
+            # a branch transition that just failed to fire (Fig. 9 line 6).
+            continue
+        # All children processed: fold this node (Fig. 9 line 12).
+        sat = qual_dp_at(space, node, csat, dsat)
+        annotations.sat_by_node[id(node)] = sat
+        frames.pop()
+        if frames:
+            parent_csat = frames[-1][2]
+            parent_dsat = frames[-1][3]
+            for i in range(size):
+                if sat[i]:
+                    parent_csat[i] = True
+                    parent_dsat[i] = True
+                elif dsat[i]:
+                    parent_dsat[i] = True
+    return annotations

@@ -1,0 +1,176 @@
+"""Chained transform queries — a first step toward the paper's future
+work on "more involved updates" (Section 9).
+
+The W3C draft allows several updates inside one ``modify`` clause.  A
+:class:`TransformChain` applies a *sequence* of updates, each against
+the result of the previous one (the snapshot semantics of consecutive
+transform queries)::
+
+    transform copy $a := doc("T") modify do (
+        delete $a//price,
+        rename $a//sname as vendor
+    ) return $a
+
+Evaluation composes the single-update algorithms; any of the five
+strategies can be used per stage.  Note the semantics is *sequential*
+(update i+1 sees update i's result), which is exactly what nesting
+transform queries would give — not the W3C snapshot-parallel semantics
+of a multi-expression pending update list; DESIGN.md discusses the
+difference.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.transform.query import TransformQuery, parse_transform_query
+from repro.transform.topdown import transform_topdown
+from repro.updates.ops import Update, parse_update
+from repro.xmltree.node import Element
+from repro.xpath.lexer import XPathSyntaxError
+
+
+class TransformChain:
+    """A transform query with a sequence of embedded updates."""
+
+    def __init__(self, updates: list, doc: Optional[str] = None, var: str = "a"):
+        if not updates:
+            raise ValueError("a transform chain needs at least one update")
+        self.updates: list[Update] = list(updates)
+        self.doc = doc
+        self.var = var
+
+    def stages(self) -> list[TransformQuery]:
+        """The chain as single-update transform queries."""
+        return [TransformQuery(u, doc=self.doc, var=self.var) for u in self.updates]
+
+    def __str__(self) -> str:
+        doc = self.doc if self.doc is not None else "T0"
+        body = ", ".join(str(u) for u in self.updates)
+        return (
+            f'transform copy ${self.var} := doc("{doc}") '
+            f"modify do ({body}) return ${self.var}"
+        )
+
+    def __len__(self) -> int:
+        return len(self.updates)
+
+
+def transform_chain(
+    root: Element,
+    chain: TransformChain,
+    transform: Callable = transform_topdown,
+) -> Element:
+    """Evaluate a chained transform: each stage on the previous result.
+
+    Intermediate results share untouched subtrees (every stage is a
+    pure transform), so the chain is still copy-free where updates do
+    not reach.
+    """
+    current = root
+    for stage in chain.stages():
+        current = transform(current, stage)
+    return current
+
+
+def parse_transform_chain(source: str) -> TransformChain:
+    """Parse the parenthesized multi-update transform syntax.
+
+    Single-update syntax parses to a one-stage chain, so this accepts a
+    superset of :func:`~repro.transform.query.parse_transform_query`'s
+    language.
+    """
+    from repro.transform.query import _parse_header
+    from repro.updates.ops import find_keyword
+
+    text = source.strip()
+    try:
+        modify_at = find_keyword(text, "modify")
+    except XPathSyntaxError:
+        raise XPathSyntaxError("expected 'modify' in transform query", 0) from None
+    var, doc = _parse_header(text[:modify_at])
+    rest = text[modify_at + len("modify") :].strip()
+    if rest.startswith("do"):
+        rest = rest[2:].strip()
+    if not rest.startswith("("):
+        single = parse_transform_query(source)
+        return TransformChain([single.update], doc=single.doc, var=single.var)
+    close_at = _matching_paren(rest, 0)
+    updates = _parse_update_list(rest[1:close_at])
+    tail = rest[close_at + 1 :].split()
+    if tail != ["return", f"${var}"]:
+        raise XPathSyntaxError(f"expected 'return ${var}' after the update list", close_at)
+    return TransformChain(updates, doc=doc, var=var)
+
+
+def _matching_paren(text: str, open_at: int) -> int:
+    depth = 0
+    in_string = None
+    for index in range(open_at, len(text)):
+        ch = text[index]
+        if in_string:
+            if ch == in_string:
+                in_string = None
+            continue
+        if ch in "\"'":
+            in_string = ch
+        elif ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+            if depth == 0:
+                return index
+    raise XPathSyntaxError("unbalanced parentheses in transform query", open_at)
+
+
+def _split_top_level(body: str) -> list:
+    """Split on commas outside brackets, parens and strings.
+
+    Comparison operators make ``<``/``>`` untrackable as brackets, so a
+    comma inside an XML literal's text can still split here; the caller
+    re-joins segments until each parses (see :func:`_parse_update_list`).
+    """
+    parts: list = []
+    depth = 0
+    in_string = None
+    current: list = []
+    for ch in body:
+        if in_string:
+            current.append(ch)
+            if ch == in_string:
+                in_string = None
+            continue
+        if ch in "\"'":
+            in_string = ch
+        elif ch in "([":
+            depth += 1
+        elif ch in ")]":
+            depth -= 1
+        elif ch == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+            continue
+        current.append(ch)
+    if "".join(current).strip():
+        parts.append("".join(current))
+    return parts
+
+
+def _parse_update_list(body: str) -> list:
+    """Parse a comma-separated update list, re-joining segments whose
+    commas turned out to be XML text content rather than separators."""
+    updates: list = []
+    pending = ""
+    for segment in _split_top_level(body):
+        pending = segment if not pending else f"{pending},{segment}"
+        try:
+            updates.append(parse_update(pending.strip()))
+        except XPathSyntaxError:
+            continue  # the comma was inside content; take more input
+        pending = ""
+    if pending.strip():
+        # Surface the real error for the unparseable remainder.
+        updates.append(parse_update(pending.strip()))
+    if not updates:
+        raise XPathSyntaxError("empty update list in transform query", 0)
+    return updates

@@ -1,0 +1,24 @@
+"""Copy-and-update evaluation: the ``GalaXUpdate`` baseline.
+
+The conceptual semantics of a transform query, executed literally:
+snapshot the whole document, run the embedded update destructively on
+the snapshot, return the snapshot.  Always Θ(|T|) time *and* memory —
+the paper observes this is exactly how Galax implements transform
+queries ("taking a snapshot of XML files"), and why it runs out of
+memory on larger XMark factors (Fig. 13).
+"""
+
+from __future__ import annotations
+
+from repro.transform.query import TransformQuery
+from repro.updates.apply import apply_update
+from repro.xmltree.node import Element, deep_copy
+
+
+def transform_copy_update(root: Element, query: TransformQuery) -> Element:
+    """Evaluate ``query`` on the tree at *root* by copy-and-update.
+
+    *root* is left untouched; the returned tree is fully independent.
+    """
+    snapshot = deep_copy(root)
+    return apply_update(snapshot, query.update)

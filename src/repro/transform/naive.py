@@ -1,0 +1,89 @@
+"""The Naive Method (Section 3.1, Fig. 2): rewriting into "standard
+XQuery" with a node-set membership test.
+
+The paper's rewriting evaluates ``$xp := doc(T)/p`` once, then rebuilds
+the document with a recursive function that asks, at every element,
+``some $x in $xp satisfies ($n is $x)`` — a *linear scan* of ``$xp``
+per node unless the engine optimizes membership.  We reproduce that
+cost model faithfully: the selected node list is scanned linearly at
+each rebuilt element, giving the O(|T|²) worst-case data complexity
+the paper reports when ``p`` is unselective (NAIVE's blow-up on U1/U4
+in Figures 12-13).
+
+Unlike the automaton algorithms, the rebuild traverses the *entire*
+tree: there is no pruning.
+"""
+
+from __future__ import annotations
+
+from repro.transform.query import TransformQuery
+from repro.updates.ops import Update
+from repro.xmltree.node import Element, Node
+from repro.xpath.evaluator import evaluate
+
+
+def transform_naive(root: Element, query: TransformQuery) -> Element:
+    """Evaluate a transform query by the Fig. 2 rewriting semantics."""
+    update = query.update
+    xp = evaluate(root, update.path)  # the $xp node list
+
+    def member(node: Element) -> bool:
+        """``some $x in $xp satisfies ($n is $x)`` — deliberately linear."""
+        for candidate in xp:
+            if candidate is node:
+                return True
+        return False
+
+    rebuilt = rebuild_with_membership(root, member, update)
+    assert len(rebuilt) == 1 and rebuilt[0].is_element, "the root is never a match"
+    return rebuilt[0]
+
+
+def rebuild_with_membership(node: Node, member, update: Update) -> list[Node]:
+    """The local:insert()-style full rebuild of Fig. 2, generalized to
+    all four update kinds and parameterized by the membership test
+    (linear scan for NAIVE, hash index for the ablation variant).
+
+    Iterative, so document depth is not limited by the interpreter's
+    recursion limit.  Deliberately rebuilds *every* node — the absence
+    of pruning is part of the cost model being reproduced.
+    """
+    result: list[Node] = []
+    # Frame: [node, rebuilt, matched, child-cursor, out].
+    frames: list[list] = [[node, None, False, 0, result]]
+    while frames:
+        frame = frames[-1]
+        current = frame[0]
+        if frame[1] is None:
+            if not current.is_element:
+                frame[4].append(current)
+                frames.pop()
+                continue
+            matched = member(current)
+            if matched and not update.recurses_into_match:
+                # delete/replace: the subtree is not reconstructed.
+                frame[4].extend(
+                    update.result_for_match(
+                        Element(current.label, dict(current.attrs), [])
+                    )
+                )
+                frames.pop()
+                continue
+            frame[1] = Element(current.label, dict(current.attrs), [])
+            frame[2] = matched
+        children = current.children
+        cursor = frame[3]
+        rebuilt = frame[1]
+        while cursor < len(children) and not children[cursor].is_element:
+            rebuilt.children.append(children[cursor])
+            cursor += 1
+        frame[3] = cursor + 1
+        if cursor < len(children):
+            frames.append([children[cursor], None, False, 0, rebuilt.children])
+            continue
+        if frame[2]:
+            frame[4].extend(update.result_for_match(rebuilt))
+        else:
+            frame[4].append(rebuilt)
+        frames.pop()
+    return result

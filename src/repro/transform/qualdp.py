@@ -1,0 +1,119 @@
+"""``QualDP`` — dynamic-programming qualifier evaluation (Fig. 7).
+
+Given the truth vectors of all normalized (sub-)qualifiers at a node's
+children (``csat``) and proper descendants (``dsat``), a constant
+amount of work per expression computes the vector at the node itself.
+The expression list comes from a :class:`~repro.xpath.normalize.
+QualifierSpace`, whose interning order *is* the topologically sorted
+``LQ`` (sub-expressions first), so one in-order sweep suffices.
+
+Vectors are dense ``list[bool]`` indexed by ``nq_id``; at leaves both
+``csat`` and ``dsat`` are all-false (the paper's ``csat⊥``/``dsat⊥``).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.xmltree.node import Element
+from repro.xpath.evaluator import compare_value
+from repro.xpath.normalize import (
+    NAnd,
+    NAttr,
+    NChild,
+    NDesc,
+    NLabel,
+    NNot,
+    NOr,
+    NSeq,
+    NText,
+    NTrue,
+    QualifierSpace,
+)
+
+
+def qual_dp(
+    space: QualifierSpace,
+    label: str,
+    own_text: str,
+    attrs: Mapping[str, str],
+    csat: Sequence[bool],
+    dsat: Sequence[bool],
+) -> list[bool]:
+    """One node's ``satn`` vector (Fig. 7, all nine cases + attributes).
+
+    Takes the node's local facts (label, own text, attributes) rather
+    than the node itself so the streaming pass of Section 6 — which has
+    no tree — can call it with stack-held values.
+    """
+    sat = [False] * len(space)
+    for expr in space.expressions:
+        i = expr.nq_id
+        if isinstance(expr, NTrue):                       # case 1: ε
+            sat[i] = True
+        elif isinstance(expr, NSeq):                      # case 2: ε[q']/p
+            sat[i] = sat[expr.cond.nq_id] and sat[expr.rest.nq_id]
+        elif isinstance(expr, NChild):                    # case 3: */p
+            sat[i] = csat[expr.inner.nq_id]
+        elif isinstance(expr, NDesc):                     # case 4: //p
+            sat[i] = sat[expr.inner.nq_id] or dsat[expr.inner.nq_id]
+        elif isinstance(expr, NText):                     # case 5: ε op c
+            sat[i] = compare_value(own_text, expr.op, expr.value)
+        elif isinstance(expr, NLabel):                    # case 6: label() = l
+            sat[i] = label == expr.label
+        elif isinstance(expr, NAnd):                      # case 7
+            sat[i] = sat[expr.left.nq_id] and sat[expr.right.nq_id]
+        elif isinstance(expr, NOr):                       # case 8
+            sat[i] = sat[expr.left.nq_id] or sat[expr.right.nq_id]
+        elif isinstance(expr, NNot):                      # case 9
+            sat[i] = not sat[expr.inner.nq_id]
+        elif isinstance(expr, NAttr):                     # extension: @a [op c]
+            value = attrs.get(expr.name)
+            if value is None:
+                sat[i] = False
+            elif expr.op is None:
+                sat[i] = True
+            else:
+                sat[i] = compare_value(value, expr.op, expr.value)
+        else:  # pragma: no cover - the NQ language is closed
+            raise TypeError(f"unknown normalized qualifier {expr!r}")
+    return sat
+
+
+def qual_dp_at(space: QualifierSpace, node: Element, csat, dsat) -> list[bool]:
+    """Convenience wrapper taking a tree node."""
+    return qual_dp(space, node.label, node.own_text(), node.attrs, csat, dsat)
+
+
+def eval_nq_direct(node: Element, expr) -> bool:
+    """Direct recursive semantics of one normalized expression.
+
+    Exponentially slower than the DP on deep nestings — used only as a
+    test oracle to validate ``qual_dp`` and the normalization itself.
+    """
+    if isinstance(expr, NTrue):
+        return True
+    if isinstance(expr, NSeq):
+        return eval_nq_direct(node, expr.cond) and eval_nq_direct(node, expr.rest)
+    if isinstance(expr, NChild):
+        return any(eval_nq_direct(c, expr.inner) for c in node.child_elements())
+    if isinstance(expr, NDesc):
+        return any(eval_nq_direct(d, expr.inner) for d in node.descendants_or_self())
+    if isinstance(expr, NText):
+        return compare_value(node.own_text(), expr.op, expr.value)
+    if isinstance(expr, NLabel):
+        return node.label == expr.label
+    if isinstance(expr, NAnd):
+        return eval_nq_direct(node, expr.left) and eval_nq_direct(node, expr.right)
+    if isinstance(expr, NOr):
+        return eval_nq_direct(node, expr.left) or eval_nq_direct(node, expr.right)
+    if isinstance(expr, NNot):
+        return not eval_nq_direct(node, expr.inner)
+    if isinstance(expr, NAttr):
+        value = node.attrs.get(expr.name)
+        if value is None:
+            return False
+        if expr.op is None:
+            return True
+        return compare_value(value, expr.op, expr.value)
+    raise TypeError(f"unknown normalized qualifier {expr!r}")

@@ -1,0 +1,94 @@
+"""The transform-query object and its parser.
+
+Syntax (from the W3C XQuery Update draft, as used throughout the
+paper)::
+
+    transform copy $a := doc("T0") modify do <update> return $a
+
+The update's paths are written against the copy variable
+(``delete $a//price``); the same variable must be returned.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.updates.ops import Update, find_keyword, parse_update
+from repro.xpath import lexer as lx
+from repro.xpath.lexer import TokenStream, XPathSyntaxError, tokenize
+
+
+class TransformQuery:
+    """A parsed transform query: a document reference plus an update."""
+
+    def __init__(self, update: Update, doc: Optional[str] = None, var: str = "a"):
+        self.update = update
+        self.doc = doc  # document name inside doc("…"), informational
+        self.var = var
+
+    @property
+    def path(self):
+        """The X expression embedded in the update."""
+        return self.update.path
+
+    def __str__(self) -> str:
+        doc = self.doc if self.doc is not None else "T0"
+        return (
+            f'transform copy ${self.var} := doc("{doc}") '
+            f"modify do {self.update} return ${self.var}"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"TransformQuery({self.update!s})"
+
+
+def parse_transform_query(source: str) -> TransformQuery:
+    """Parse the full transform-query syntax."""
+    text = source.strip()
+    try:
+        modify_at = find_keyword(text, "modify")
+    except XPathSyntaxError:
+        raise XPathSyntaxError("expected 'modify' in transform query", 0) from None
+    header = text[:modify_at]
+    rest = text[modify_at + len("modify") :]
+    var, doc = _parse_header(header)
+    # The returned variable comes last, so split at the *last* 'return'.
+    body, sep, tail = rest.rpartition("return")
+    if not sep:
+        raise XPathSyntaxError("expected 'return' in transform query", len(header))
+    body = body.strip()
+    if body.startswith("do "):
+        body = body[3:]
+    elif body == "do":
+        body = ""
+    update = parse_update(body)
+    tail_tokens = TokenStream(tokenize(tail))
+    tail_tokens.expect(lx.DOLLAR)
+    returned = tail_tokens.expect(lx.NAME).value
+    if returned != var:
+        raise XPathSyntaxError(
+            f"transform must return ${var}, not ${returned}", 0
+        )
+    if not tail_tokens.done():
+        raise XPathSyntaxError("unexpected input after the returned variable", 0)
+    return TransformQuery(update, doc=doc, var=var)
+
+
+def _parse_header(header: str) -> tuple:
+    """Parse ``transform copy $a := doc("T0")``; returns (var, doc)."""
+    tokens = TokenStream(tokenize(header, keywords={"transform", "copy", "doc"}))
+    tokens.expect_name("transform")
+    tokens.expect_name("copy")
+    tokens.expect(lx.DOLLAR)
+    var = tokens.expect(lx.NAME).value
+    tokens.expect(lx.ASSIGN)
+    tokens.expect_name("doc")
+    tokens.expect(lx.LPAREN)
+    doc = tokens.expect(lx.STRING).value
+    tokens.expect(lx.RPAREN)
+    if not tokens.done():
+        raise XPathSyntaxError(
+            f"unexpected input {tokens.current.value!r} before 'modify'",
+            tokens.current.pos,
+        )
+    return var, doc

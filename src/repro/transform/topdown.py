@@ -1,0 +1,131 @@
+"""The Top Down Method — Algorithm ``topDown`` (Section 3.3, Fig. 3).
+
+A single recursive traversal driven by the selecting NFA:
+
+* compute ``S' = nextStates(Mp, S, n)`` at each node;
+* ``S' = ∅`` → the subtree cannot be affected: it is **shared** with
+  the input, unvisited (the paper's "simply copied to the result" —
+  and for delete, pruned "without loading" it);
+* the final state in ``S'`` → the node is in ``r[[p]]``: apply the
+  update's effect;
+* otherwise recurse into the children with ``S'``.
+
+``checkp`` is a strategy (see DESIGN.md): the default evaluates
+qualifiers with the reference evaluator at the node ("native engine",
+GENTOP in the experiments); ``transform_twopass`` substitutes O(1)
+lookups into the ``bottomUp`` annotations (TD-BU).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.automata.selecting import SelectingNFA, build_selecting_nfa
+from repro.transform.query import TransformQuery
+from repro.updates.ops import Update
+from repro.xmltree.node import Element, Node
+from repro.xpath.ast import Qual
+from repro.xpath.evaluator import eval_qualifier
+
+#: checkp strategy signature: (qualifier, node) -> bool.
+CheckP = Callable[[Qual, Element], bool]
+
+
+def native_checkp(qual: Qual, node: Element) -> bool:
+    """Evaluate the qualifier directly (the host engine's job in the
+    paper's GENTOP configuration)."""
+    return eval_qualifier(node, qual)
+
+
+def transform_topdown(
+    root: Element,
+    query: TransformQuery,
+    checkp: CheckP = native_checkp,
+    nfa: Optional[SelectingNFA] = None,
+) -> Element:
+    """Evaluate a transform query with algorithm ``topDown``.
+
+    The result shares unchanged subtrees with the input (both are to be
+    treated as immutable).  A pre-built NFA may be supplied to amortize
+    construction, e.g. across benchmark iterations.
+    """
+    if nfa is None:
+        nfa = build_selecting_nfa(query.path)
+    initial = nfa.initial_states_for(root)
+    if not initial:
+        return root  # nothing can match: the "update" is a no-op
+    fresh = Element(root.label, dict(root.attrs), [])
+    for child in root.children:
+        fresh.children.extend(topdown_subtree(nfa, initial, query.update, child, checkp))
+    return fresh
+
+
+def topdown_subtree(
+    nfa: SelectingNFA,
+    states: frozenset,
+    update: Update,
+    node: Node,
+    checkp: CheckP = native_checkp,
+) -> list[Node]:
+    """``topDown(Mp, S, Qt, n)`` of Fig. 3: transform the subtree at
+    *node* given the automaton states *states* reached at its parent.
+
+    Returns the node list that replaces *node* in its parent — empty
+    for a deleted node, the replacement for replace, and a single
+    (possibly rebuilt) node otherwise.  Exposed separately because the
+    Compose Method splices exactly this call into composed queries
+    (Section 4, Example 4.3/Q3).
+
+    Iterative (explicit frames), so document depth is not limited by
+    the interpreter's recursion limit.
+    """
+    result: list[Node] = []
+    # Frame: [node, states-at-node, matched, rebuilt, child-cursor, out].
+    frames: list[list] = [[node, states, None, None, 0, result]]
+    while frames:
+        frame = frames[-1]
+        current = frame[0]
+        if frame[2] is None:  # first visit: run the automaton step
+            if not current.is_element:
+                frame[5].append(current)
+                frames.pop()
+                continue
+            next_states = nfa.next_states(
+                frame[1], current.label, lambda q, n=current: checkp(q, n)
+            )
+            if not next_states:
+                # Untouched: share, do not copy (Fig. 3 lines 2-3).
+                frame[5].append(current)
+                frames.pop()
+                continue
+            matched = nfa.selects(next_states)
+            if matched and not update.recurses_into_match:
+                # delete/replace: prune the subtree without visiting it.
+                frame[5].extend(
+                    update.result_for_match(
+                        Element(current.label, dict(current.attrs), [])
+                    )
+                )
+                frames.pop()
+                continue
+            frame[1] = next_states
+            frame[2] = matched
+            frame[3] = Element(current.label, dict(current.attrs), [])
+        children = current.children
+        cursor = frame[4]
+        rebuilt = frame[3]
+        # Fast-forward over consecutive text children.
+        while cursor < len(children) and not children[cursor].is_element:
+            rebuilt.children.append(children[cursor])
+            cursor += 1
+        frame[4] = cursor + 1
+        if cursor < len(children):
+            frames.append([children[cursor], frame[1], None, None, 0, rebuilt.children])
+            continue
+        # All children processed: finish this node.
+        if frame[2]:
+            frame[5].extend(update.result_for_match(rebuilt))
+        else:
+            frame[5].append(rebuilt)
+        frames.pop()
+    return result

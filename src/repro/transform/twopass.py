@@ -1,0 +1,39 @@
+"""Algorithm ``twoPass`` = ``bottomUp`` + ``topDown`` (Fig. 10) —
+"TD-BU" in the experiments.
+
+Pass 1 annotates the tree with every qualifier's truth value
+(``bottomUp``); pass 2 runs ``topDown`` whose ``checkp`` is now an O(1)
+annotation lookup.  Total cost O(|T|·|p|²) combined / linear data
+complexity — and optimal: two passes are necessary for the embedded
+XPath evaluation alone (Koch, VLDB'03, as cited by the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.automata.filtering import FilteringNFA, build_filtering_nfa
+from repro.automata.selecting import SelectingNFA, build_selecting_nfa
+from repro.transform.bottomup import bottom_up_annotate
+from repro.transform.query import TransformQuery
+from repro.transform.topdown import native_checkp, transform_topdown
+from repro.xmltree.node import Element
+
+
+def transform_twopass(
+    root: Element,
+    query: TransformQuery,
+    selecting: Optional[SelectingNFA] = None,
+    filtering: Optional[FilteringNFA] = None,
+) -> Element:
+    """Evaluate a transform query with the two-pass algorithm."""
+    if selecting is None:
+        selecting = build_selecting_nfa(query.path)
+    if filtering is None:
+        filtering = build_filtering_nfa(query.path)
+    if len(filtering.space) == 0:
+        # No qualifiers at all: pass 1 would compute nothing; topDown
+        # with the (never-called) native checker is already optimal.
+        return transform_topdown(root, query, checkp=native_checkp, nfa=selecting)
+    annotations = bottom_up_annotate(root, nfa=filtering)
+    return transform_topdown(root, query, checkp=annotations.checkp, nfa=selecting)

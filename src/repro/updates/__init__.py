@@ -1,0 +1,29 @@
+"""XML updates (Section 2): the four operations embedded in transform
+queries, their parser, and the destructive in-place application used by
+the copy-and-update baseline.
+
+::
+
+    insert e into p      delete p
+    replace p with e     rename p as l
+"""
+
+from repro.updates.ops import (
+    Delete,
+    Insert,
+    Rename,
+    Replace,
+    Update,
+    parse_update,
+)
+from repro.updates.apply import apply_update
+
+__all__ = [
+    "Delete",
+    "Insert",
+    "Rename",
+    "Replace",
+    "Update",
+    "apply_update",
+    "parse_update",
+]

@@ -1,0 +1,71 @@
+"""Destructive, in-place application of an update to a mutable tree.
+
+This is the substrate for the copy-and-update baseline (the paper's
+``GalaXUpdate``: "Galax implements transform queries by taking a
+snapshot") and the semantic reference that every pure transform
+algorithm is tested against:
+
+    ``transform(T)  ≡  apply_update(deep_copy(T))``
+
+The tree model has no parent pointers, so the walk carries the parent
+explicitly and edits child lists from the root down.
+"""
+
+from __future__ import annotations
+
+from repro.xmltree.node import Element, deep_copy
+from repro.updates.ops import Delete, Insert, Rename, Replace, Update
+from repro.xpath.evaluator import evaluate
+
+
+def apply_update(root: Element, update: Update) -> Element:
+    """Apply *update* to the tree rooted at *root*, mutating it.
+
+    ``r[[p]]`` is computed first, against the tree as given, then the
+    operation is applied at every match (topmost-match-wins for delete
+    and replace — see :mod:`repro.updates.ops`).  Returns *root* for
+    convenience; the root element itself is never a match in this
+    fragment.
+    """
+    matched = {id(node) for node in evaluate(root, update.path)}
+    if not matched:
+        return root
+    _walk(root, matched, update)
+    return root
+
+
+def _walk(root: Element, matched: set, update: Update) -> None:
+    """Rewrite child lists top-down (iterative: safe at any depth)."""
+    stack: list[Element] = [root]
+    while stack:
+        node = stack.pop()
+        new_children: list = []
+        changed = False
+        for child in node.children:
+            if not child.is_element or id(child) not in matched:
+                if child.is_element:
+                    stack.append(child)
+                new_children.append(child)
+                continue
+            changed = True
+            if isinstance(update, Delete):
+                continue
+            if isinstance(update, Replace):
+                new_children.append(deep_copy(update.content))
+                continue
+            if isinstance(update, Rename):
+                child.label = update.new_label
+                stack.append(child)
+                new_children.append(child)
+                continue
+            if isinstance(update, Insert):
+                # Descend first conceptually; appending now is safe since
+                # matches are identified by id against the original tree
+                # and the appended copy is fresh.
+                stack.append(child)
+                child.children.append(deep_copy(update.content))
+                new_children.append(child)
+                continue
+            raise TypeError(f"unknown update {update!r}")
+        if changed:
+            node.children[:] = new_children

@@ -1,0 +1,231 @@
+"""Update operations and their parser (Section 2).
+
+The four update forms supported by the paper's transform queries::
+
+    insert e into $a/p    — add e as the last child of every node in r[[p]]
+    delete $a/p           — remove every node in r[[p]] with its subtree
+    replace $a/p with e   — replace every node in r[[p]] with e
+    rename $a/p as l      — relabel every node in r[[p]] to l
+
+Nested-match convention (applied consistently by *every* evaluation
+algorithm in this repo, and by the destructive reference): ``r[[p]]``
+is computed against the original tree; for ``delete`` and ``replace``
+the topmost match wins (matches strictly inside a deleted/replaced
+subtree have no observable effect), while ``insert`` and ``rename``
+apply at every match, including nested ones.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.xmltree.node import Element, Node, deep_copy
+from repro.xmltree.parser import XMLSyntaxError, parse_fragment
+from repro.xpath import lexer as lx
+from repro.xpath.ast import Path
+from repro.xpath.lexer import TokenStream, XPathSyntaxError, tokenize
+from repro.xpath.parser import parse_path, validate_path
+
+
+def path_with_var(path: Path, var: str = "a") -> str:
+    """Render ``$a/p`` (no doubled slash when ``p`` starts with //)."""
+    text = str(path)
+    if text.startswith("//"):
+        return f"${var}{text}"
+    return f"${var}/{text}"
+
+
+class Update:
+    """Abstract base of the four update operations."""
+
+    #: Set by subclasses: "insert" | "delete" | "replace" | "rename".
+    kind = ""
+
+    def __init__(self, path: Path):
+        validate_path(path)
+        self.path = path
+
+    #: Does the transform keep processing below a matched node?
+    #: delete/replace swallow the whole subtree; insert/rename recurse.
+    recurses_into_match = True
+
+    def result_for_match(self, rebuilt: Element) -> list[Node]:
+        """Output nodes for a matched element.
+
+        *rebuilt* is the element with its (already transformed, for
+        recursing updates) children.  Returns the node list that takes
+        its place in the parent's child list.
+        """
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        raise NotImplementedError
+
+
+class Insert(Update):
+    """``insert e into $a/p``."""
+
+    kind = "insert"
+    recurses_into_match = True
+
+    def __init__(self, path: Path, content: Element):
+        super().__init__(path)
+        self.content = content
+
+    def result_for_match(self, rebuilt: Element) -> list[Node]:
+        # A fresh copy per match: the result must be a proper tree, not
+        # a DAG — node identity matters to downstream queries (document
+        # order, duplicate elimination).
+        rebuilt.children.append(deep_copy(self.content))
+        return [rebuilt]
+
+    def __str__(self) -> str:
+        from repro.xmltree.serializer import serialize
+
+        return f"insert {serialize(self.content)} into {path_with_var(self.path)}"
+
+
+class Delete(Update):
+    """``delete $a/p``."""
+
+    kind = "delete"
+    recurses_into_match = False
+
+    def result_for_match(self, rebuilt: Element) -> list[Node]:
+        return []
+
+    def __str__(self) -> str:
+        return f"delete {path_with_var(self.path)}"
+
+
+class Replace(Update):
+    """``replace $a/p with e``."""
+
+    kind = "replace"
+    recurses_into_match = False
+
+    def __init__(self, path: Path, content: Element):
+        super().__init__(path)
+        self.content = content
+
+    def result_for_match(self, rebuilt: Element) -> list[Node]:
+        return [deep_copy(self.content)]  # fresh per match (tree, not DAG)
+
+    def __str__(self) -> str:
+        from repro.xmltree.serializer import serialize
+
+        return f"replace {path_with_var(self.path)} with {serialize(self.content)}"
+
+
+class Rename(Update):
+    """``rename $a/p as l``."""
+
+    kind = "rename"
+    recurses_into_match = True
+
+    def __init__(self, path: Path, new_label: str):
+        super().__init__(path)
+        self.new_label = new_label
+
+    def result_for_match(self, rebuilt: Element) -> list[Node]:
+        rebuilt.label = self.new_label
+        return [rebuilt]
+
+    def __str__(self) -> str:
+        return f"rename {path_with_var(self.path)} as {self.new_label}"
+
+
+# ----------------------------------------------------------------------
+# Parsing
+# ----------------------------------------------------------------------
+
+
+def _parse_update_path(stream: TokenStream) -> Path:
+    """Parse ``$a/p`` (the variable prefix is optional)."""
+    if stream.accept(lx.DOLLAR):
+        stream.expect(lx.NAME)
+        if stream.current.type not in (lx.SLASH, lx.DSLASH):
+            raise XPathSyntaxError("expected a path after the variable", stream.current.pos)
+    path = parse_path(stream)
+    return path
+
+
+def _parse_content(source: str, offset: int) -> tuple[Element, int]:
+    """Parse the constant element ``e``, unifying the error type."""
+    try:
+        return parse_fragment(source, offset)
+    except XMLSyntaxError as exc:
+        raise XPathSyntaxError(f"bad XML element literal: {exc}", offset) from exc
+
+
+def parse_update(source: str) -> Update:
+    """Parse an update expression from its textual form."""
+    source = source.strip()
+    if source.startswith("insert"):
+        rest = source[len("insert") :]
+        content, end = _parse_content(rest, 0)
+        tail = rest[end:]
+        tokens = TokenStream(tokenize(tail, keywords={"into"}))
+        tokens.expect_name("into")
+        path = _parse_update_path(tokens)
+        _expect_done(tokens)
+        return Insert(path, content)
+    if source.startswith("delete"):
+        tail = source[len("delete") :]
+        tokens = TokenStream(tokenize(tail))
+        path = _parse_update_path(tokens)
+        _expect_done(tokens)
+        return Delete(path)
+    if source.startswith("replace"):
+        tail = source[len("replace") :]
+        with_pos = find_keyword(tail, "with")
+        tokens = TokenStream(tokenize(tail[:with_pos]))
+        path = _parse_update_path(tokens)
+        _expect_done(tokens)
+        content, end = _parse_content(tail, with_pos + len("with"))
+        trailing = tail[end:].strip()
+        if trailing:
+            raise XPathSyntaxError(f"unexpected trailing input {trailing!r}", end)
+        return Replace(path, content)
+    if source.startswith("rename"):
+        tail = source[len("rename") :]
+        tokens = TokenStream(tokenize(tail, keywords={"as"}))
+        path = _parse_update_path(tokens)
+        tokens.expect_name("as")
+        label = tokens.expect(lx.NAME).value
+        _expect_done(tokens)
+        return Rename(path, label)
+    raise XPathSyntaxError(
+        "expected an update (insert/delete/replace/rename)", 0
+    )
+
+
+def find_keyword(source: str, keyword: str) -> int:
+    """Find a whitespace-delimited keyword outside any brackets."""
+    depth = 0
+    in_string: Optional[str] = None
+    for i, ch in enumerate(source):
+        if in_string:
+            if ch == in_string:
+                in_string = None
+            continue
+        if ch in "\"'":
+            in_string = ch
+        elif ch in "[(":
+            depth += 1
+        elif ch in "])":
+            depth -= 1
+        elif depth == 0 and source.startswith(keyword, i):
+            before_ok = i == 0 or source[i - 1] in " \t\r\n"
+            after = i + len(keyword)
+            after_ok = after >= len(source) or source[after] in " \t\r\n<"
+            if before_ok and after_ok:
+                return i
+    raise XPathSyntaxError(f"expected keyword {keyword!r}", 0)
+
+
+def _expect_done(tokens: TokenStream) -> None:
+    if not tokens.done():
+        raise XPathSyntaxError(
+            f"unexpected trailing input {tokens.current.value!r}", tokens.current.pos
+        )

@@ -1,0 +1,426 @@
+"""SAX event layer: streaming scanner and tree↔event adapters.
+
+Section 6 of the paper integrates the two-pass transform evaluation with
+SAX parsing so very large documents are processed with memory bounded by
+document depth.  This module provides the substrate:
+
+* the five event types of the paper — ``startDocument()``,
+  ``startElement(n)``, ``text(t)``, ``endElement(n)``,
+  ``endDocument()`` — as lightweight classes;
+* :func:`iter_sax_file` — an incremental scanner that reads the file in
+  chunks and **never materializes the document**;
+* :func:`iter_sax_string` — the same scanner over an in-memory string;
+* :func:`tree_to_events` / :func:`events_to_tree` — adapters between the
+  tree model and event streams (the transform result of ``twoPassSAX``
+  "may be accessed as a SAX event stream", per the paper);
+* :func:`events_to_text` — serialize an event stream to XML text,
+  streaming, for writing transform results straight to disk.
+"""
+
+from __future__ import annotations
+
+from typing import IO, Iterable, Iterator, Optional, Union
+
+from repro.xmltree.node import Element, Node, Text
+from repro.xmltree.parser import XMLSyntaxError, decode_entities
+from repro.xmltree.serializer import escape_attr, escape_text
+
+
+class SAXEvent:
+    """Base class for SAX events."""
+
+    __slots__ = ()
+
+
+class StartDocument(SAXEvent):
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "StartDocument()"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, StartDocument)
+
+    def __hash__(self) -> int:
+        return hash(StartDocument)
+
+
+class EndDocument(SAXEvent):
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "EndDocument()"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, EndDocument)
+
+    def __hash__(self) -> int:
+        return hash(EndDocument)
+
+
+class StartElement(SAXEvent):
+    __slots__ = ("name", "attrs")
+
+    def __init__(self, name: str, attrs: Optional[dict] = None):
+        self.name = name
+        self.attrs: dict[str, str] = attrs if attrs is not None else {}
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"StartElement({self.name!r}, {self.attrs!r})"
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, StartElement)
+            and self.name == other.name
+            and self.attrs == other.attrs
+        )
+
+    def __hash__(self) -> int:
+        return hash(("start", self.name))
+
+
+class EndElement(SAXEvent):
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"EndElement({self.name!r})"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, EndElement) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(("end", self.name))
+
+
+class TextEvent(SAXEvent):
+    __slots__ = ("value",)
+
+    def __init__(self, value: str):
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"TextEvent({self.value!r})"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, TextEvent) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("text", self.value))
+
+
+# ----------------------------------------------------------------------
+# Streaming scanner
+# ----------------------------------------------------------------------
+
+_CHUNK = 1 << 16
+
+
+class _StreamScanner:
+    """Incremental XML tokenizer over a text stream.
+
+    Keeps a buffer with a read position; the consumed prefix is dropped
+    only when more input is needed, so tokenizing is amortized linear.
+    Buffer size stays bounded by the chunk size plus the largest single
+    token (tag, comment or text run between tags).
+    """
+
+    def __init__(self, stream: IO[str], strip_whitespace: bool):
+        self.stream = stream
+        self.buf = ""
+        self.pos = 0        # read position within buf
+        self.base = 0       # absolute offset of buf[0], for errors
+        self.eof = False
+        self.strip = strip_whitespace
+
+    def _fill(self) -> bool:
+        """Compact and read one more chunk; False at end of input."""
+        if self.pos:
+            self.base += self.pos
+            self.buf = self.buf[self.pos :]
+            self.pos = 0
+        if self.eof:
+            return False
+        chunk = self.stream.read(_CHUNK)
+        if not chunk:
+            self.eof = True
+            return False
+        self.buf += chunk
+        return True
+
+    def _find(self, token: str, offset: int) -> int:
+        """Find *token* at or after ``pos + offset``; -1 at EOF.
+
+        The returned index stays valid because a successful find never
+        compacts; on a miss the buffer is compacted and refilled, and
+        the search resumes with a small overlap.
+        """
+        start = self.pos + offset
+        while True:
+            idx = self.buf.find(token, start)
+            if idx != -1:
+                return idx
+            start = max(start, len(self.buf) - len(token) + 1)
+            before = self.pos
+            if not self._fill():
+                return -1
+            start -= before  # account for the compaction shift
+
+    def _ensure(self, length: int) -> bool:
+        """Make at least *length* characters available at ``pos``."""
+        while len(self.buf) - self.pos < length:
+            if not self._fill():
+                return False
+        return True
+
+    def events(self) -> Iterator[SAXEvent]:
+        yield StartDocument()
+        depth = 0
+        seen_root = False
+        while True:
+            # Text (or inter-markup whitespace) up to the next '<'.
+            lt = self._find("<", 0)
+            if lt == -1:
+                if self.buf[self.pos :].strip():
+                    raise XMLSyntaxError("text outside the root element", self.base)
+                if depth > 0:
+                    raise XMLSyntaxError("unexpected end of input", self.base)
+                break
+            if lt > self.pos:
+                raw = self.buf[self.pos : lt]
+                self.pos = lt
+                if depth > 0:
+                    if not self.strip or not raw.isspace():
+                        yield TextEvent(
+                            decode_entities(raw, self.base) if "&" in raw else raw
+                        )
+                elif raw.strip():
+                    raise XMLSyntaxError("text outside the root element", self.base)
+            # Markup starting at buf[pos] == '<'.
+            self._ensure(2)
+            next_char = self.buf[self.pos + 1] if self.pos + 1 < len(self.buf) else ""
+            if next_char == "/":
+                end = self._find(">", 2)
+                if end == -1:
+                    raise XMLSyntaxError("unterminated end tag", self.base)
+                name = self.buf[self.pos + 2 : end].strip()
+                self.pos = end + 1
+                if depth == 0:
+                    raise XMLSyntaxError(f"unmatched end tag </{name}>", self.base)
+                yield EndElement(name)
+                depth -= 1
+                if depth == 0:
+                    seen_root = True
+                continue
+            if next_char == "!":
+                self._ensure(9)
+                head = self.buf[self.pos : self.pos + 9]
+                if head.startswith("<!--"):
+                    end = self._find("-->", 4)
+                    if end == -1:
+                        raise XMLSyntaxError("unterminated comment", self.base)
+                    self.pos = end + 3
+                    continue
+                if head == "<![CDATA[":
+                    end = self._find("]]>", 9)
+                    if end == -1:
+                        raise XMLSyntaxError("unterminated CDATA section", self.base)
+                    if depth == 0:
+                        raise XMLSyntaxError("CDATA outside the root element", self.base)
+                    yield TextEvent(self.buf[self.pos + 9 : end])
+                    self.pos = end + 3
+                    continue
+                if head.startswith("<!DOCTYPE"):
+                    end = self._find(">", 9)
+                    if end == -1:
+                        raise XMLSyntaxError("unterminated DOCTYPE", self.base)
+                    self.pos = end + 1
+                    continue
+                raise XMLSyntaxError("unrecognized markup", self.base)
+            if next_char == "?":
+                end = self._find("?>", 2)
+                if end == -1:
+                    raise XMLSyntaxError("unterminated processing instruction", self.base)
+                self.pos = end + 2
+                continue
+            # Start tag.
+            end = self._find(">", 1)
+            if end == -1:
+                raise XMLSyntaxError("unterminated start tag", self.base)
+            raw_tag = self.buf[self.pos + 1 : end]
+            self.pos = end + 1
+            self_closing = raw_tag.endswith("/")
+            if self_closing:
+                raw_tag = raw_tag[:-1]
+            name, attrs = _parse_tag_body(raw_tag, self.base)
+            if depth == 0 and seen_root:
+                raise XMLSyntaxError("multiple root elements", self.base)
+            yield StartElement(name, attrs)
+            if self_closing:
+                yield EndElement(name)
+                if depth == 0:
+                    seen_root = True
+            else:
+                depth += 1
+        if not seen_root:
+            raise XMLSyntaxError("no root element", self.base)
+        yield EndDocument()
+
+
+def _parse_tag_body(raw: str, base: int) -> tuple[str, dict]:
+    """Parse ``name a="v" b='w'`` (the inside of a start tag)."""
+    if " " not in raw:  # fast path: no attributes (the common case)
+        if not raw or "\t" in raw or "\n" in raw or "\r" in raw:
+            return _parse_tag_body_slow(raw, base)
+        return raw, {}
+    return _parse_tag_body_slow(raw, base)
+
+
+def _parse_tag_body_slow(raw: str, base: int) -> tuple[str, dict]:
+    i = 0
+    n = len(raw)
+    while i < n and raw[i] not in " \t\r\n":
+        i += 1
+    name = raw[:i]
+    if not name:
+        raise XMLSyntaxError("empty tag name", base)
+    attrs: dict[str, str] = {}
+    while i < n:
+        while i < n and raw[i] in " \t\r\n":
+            i += 1
+        if i >= n:
+            break
+        eq = raw.find("=", i)
+        if eq == -1:
+            raise XMLSyntaxError(f"malformed attribute in <{name}>", base)
+        attr_name = raw[i:eq].strip()
+        j = eq + 1
+        while j < n and raw[j] in " \t\r\n":
+            j += 1
+        if j >= n or raw[j] not in "\"'":
+            raise XMLSyntaxError(f"unquoted attribute value in <{name}>", base)
+        quote = raw[j]
+        close = raw.find(quote, j + 1)
+        if close == -1:
+            raise XMLSyntaxError(f"unterminated attribute value in <{name}>", base)
+        attrs[attr_name] = decode_entities(raw[j + 1 : close], base)
+        i = close + 1
+    return name, attrs
+
+
+def iter_sax_file(
+    path: str, strip_whitespace: bool = True, encoding: str = "utf-8"
+) -> Iterator[SAXEvent]:
+    """Stream SAX events from a file without building a tree."""
+    with open(path, "r", encoding=encoding) as handle:
+        yield from _StreamScanner(handle, strip_whitespace).events()
+
+
+def iter_sax_string(source: str, strip_whitespace: bool = True) -> Iterator[SAXEvent]:
+    """Stream SAX events from an in-memory string."""
+    import io
+
+    yield from _StreamScanner(io.StringIO(source), strip_whitespace).events()
+
+
+# ----------------------------------------------------------------------
+# Tree <-> events adapters
+# ----------------------------------------------------------------------
+
+
+def tree_to_events(root: Element, document: bool = True) -> Iterator[SAXEvent]:
+    """Generate the SAX event stream of an in-memory tree.
+
+    Iterative, so it handles documents of any depth.  With
+    ``document=False`` the surrounding Start/EndDocument pair is omitted
+    (useful when splicing a constant subtree into a larger stream).
+    """
+    if document:
+        yield StartDocument()
+    stack: list = [root]
+    while stack:
+        item = stack.pop()
+        if isinstance(item, EndElement):
+            yield item
+            continue
+        if item.is_text:
+            yield TextEvent(item.value)
+            continue
+        yield StartElement(item.label, item.attrs)
+        stack.append(EndElement(item.label))
+        stack.extend(reversed(item.children))
+    if document:
+        yield EndDocument()
+
+
+def events_to_tree(events: Iterable[SAXEvent]) -> Element:
+    """Build a tree from an event stream; returns the root element."""
+    root: Optional[Element] = None
+    stack: list[Element] = []
+    for event in events:
+        if isinstance(event, StartElement):
+            node = Element(event.name, dict(event.attrs), [])
+            if stack:
+                stack[-1].children.append(node)
+            elif root is None:
+                root = node
+            else:
+                raise XMLSyntaxError("multiple root elements in event stream", 0)
+            stack.append(node)
+        elif isinstance(event, EndElement):
+            if not stack:
+                raise XMLSyntaxError("unmatched EndElement in event stream", 0)
+            stack.pop()
+        elif isinstance(event, TextEvent):
+            if not stack:
+                raise XMLSyntaxError("text outside the root in event stream", 0)
+            stack[-1].children.append(Text(event.value))
+        # Start/EndDocument carry no content.
+    if stack:
+        raise XMLSyntaxError("unclosed elements in event stream", 0)
+    if root is None:
+        raise XMLSyntaxError("empty event stream", 0)
+    return root
+
+
+def events_to_text(events: Iterable[SAXEvent], out: Optional[IO[str]] = None) -> Optional[str]:
+    """Serialize an event stream to XML text.
+
+    Streaming: with an ``out`` stream nothing is buffered; without one
+    the text is accumulated and returned.
+    """
+    parts: Optional[list[str]] = None
+    if out is None:
+        parts = []
+        write = parts.append
+    else:
+        write = out.write
+    pending_open: Optional[StartElement] = None
+
+    def flush_open(self_close: bool) -> None:
+        nonlocal pending_open
+        if pending_open is None:
+            return
+        attrs = "".join(
+            f' {k}="{escape_attr(v)}"' for k, v in pending_open.attrs.items()
+        )
+        write(f"<{pending_open.name}{attrs}{'/' if self_close else ''}>")
+        pending_open = None
+
+    for event in events:
+        if isinstance(event, StartElement):
+            flush_open(False)
+            pending_open = event
+        elif isinstance(event, EndElement):
+            if pending_open is not None:
+                flush_open(True)
+            else:
+                write(f"</{event.name}>")
+        elif isinstance(event, TextEvent):
+            flush_open(False)
+            write(escape_text(event.value))
+    if parts is not None:
+        return "".join(parts)
+    return None

@@ -1,0 +1,114 @@
+"""Serialization of the tree model back to XML text."""
+
+from __future__ import annotations
+
+from typing import IO, Optional
+
+from repro.xmltree.node import Element, Node
+
+
+def escape_text(value: str) -> str:
+    """Escape character data for element content."""
+    return value.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def escape_attr(value: str) -> str:
+    """Escape character data for a double-quoted attribute value."""
+    return (
+        value.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )
+
+
+def _write_node(node: Node, out: list, indent: Optional[str], depth: int) -> None:
+    pad = "" if indent is None else indent * depth
+    newline = "" if indent is None else "\n"
+    if node.is_text:
+        out.append(pad + escape_text(node.value) + newline)
+        return
+    attrs = "".join(f' {k}="{escape_attr(v)}"' for k, v in node.attrs.items())
+    if not node.children:
+        out.append(f"{pad}<{node.label}{attrs}/>{newline}")
+        return
+    # A single text child stays inline even when pretty-printing, so
+    # <price>12</price> does not gain whitespace inside the value.
+    if len(node.children) == 1 and node.children[0].is_text:
+        value = escape_text(node.children[0].value)
+        out.append(f"{pad}<{node.label}{attrs}>{value}</{node.label}>{newline}")
+        return
+    out.append(f"{pad}<{node.label}{attrs}>{newline}")
+    # Iterative serialization would obscure the depth bookkeeping; the
+    # recursion here is bounded by document depth, which our data keeps
+    # far below the interpreter limit.  serialize() raises it for safety.
+    for child in node.children:
+        _write_node(child, out, indent, depth + 1)
+    out.append(f"{pad}</{node.label}>{newline}")
+
+
+def serialize(node: Node, indent: Optional[str] = None) -> str:
+    """Serialize a subtree to XML text.
+
+    With ``indent`` (e.g. ``"  "``) the output is pretty-printed;
+    whitespace-only text nodes are assumed to be absent (the parser
+    strips them by default).  The compact form (``indent=None``) is
+    iterative and safe for documents of any depth.
+    """
+    if indent is None:
+        out_parts: list[str] = []
+        stack: list = [node]
+        while stack:
+            item = stack.pop()
+            if isinstance(item, str):
+                out_parts.append(item)
+                continue
+            if item.is_text:
+                out_parts.append(escape_text(item.value))
+                continue
+            attrs = "".join(f' {k}="{escape_attr(v)}"' for k, v in item.attrs.items())
+            if not item.children:
+                out_parts.append(f"<{item.label}{attrs}/>")
+                continue
+            out_parts.append(f"<{item.label}{attrs}>")
+            stack.append(f"</{item.label}>")
+            stack.extend(reversed(item.children))
+        return "".join(out_parts)
+    out: list[str] = []
+    _write_node(node, out, indent, 0)
+    return "".join(out)
+
+
+def write_file(node: Node, path: str, indent: Optional[str] = None, declaration: bool = True) -> None:
+    """Serialize a subtree into a file, optionally with an XML declaration."""
+    with open(path, "w", encoding="utf-8") as handle:
+        if declaration:
+            handle.write('<?xml version="1.0" encoding="utf-8"?>\n')
+        handle.write(serialize(node, indent=indent))
+        if indent is None:
+            handle.write("\n")
+
+
+def write_stream(node: Node, handle: IO[str]) -> None:
+    """Serialize a subtree to an open text stream without pretty-printing.
+
+    Iterative (explicit stack), so it works on documents of any depth;
+    used by the data generator when emitting large files.
+    """
+    # Stack entries are either nodes to open or closing tags to emit.
+    stack: list = [node]
+    while stack:
+        item = stack.pop()
+        if isinstance(item, str):
+            handle.write(item)
+            continue
+        if item.is_text:
+            handle.write(escape_text(item.value))
+            continue
+        attrs = "".join(f' {k}="{escape_attr(v)}"' for k, v in item.attrs.items())
+        if not item.children:
+            handle.write(f"<{item.label}{attrs}/>")
+            continue
+        handle.write(f"<{item.label}{attrs}>")
+        stack.append(f"</{item.label}>")
+        stack.extend(reversed(item.children))

@@ -1,0 +1,54 @@
+"""The XPath fragment ``X`` of the paper (Section 2).
+
+Grammar (downward modality only)::
+
+    p ::= ε | l | * | @a | p/p | p//p | p[q]
+    q ::= p | p op c | label() = l | q and q | q or q | not(q)
+
+where ``op`` is one of ``= != < <= > >=`` and ``c`` is a string or
+number literal.  Attribute steps (``@a``) may appear only as the final
+step of a qualifier path — the fragment selects elements, and updates
+apply to elements, exactly as in the paper; attributes exist so the
+XMark workload qualifiers (``@id = "person10"`` …) are expressible.
+
+Public surface:
+
+* :func:`parse_xpath` — text → :class:`~repro.xpath.ast.Path`.
+* :func:`evaluate` / :func:`eval_qualifier` — the reference (spec)
+  semantics ``r[[p]]``; this is the oracle every automaton is tested
+  against, and the "native engine" qualifier backend for ``topDown``.
+* :mod:`repro.xpath.normalize` — the step form ``β1[q1]/…/βk[qk]`` that
+  the NFAs are built from, and the Section-5 qualifier normal form that
+  ``QualDP`` runs on.
+"""
+
+from repro.xpath.ast import (
+    AndQual,
+    CmpQual,
+    LabelQual,
+    NotQual,
+    OrQual,
+    Path,
+    PathQual,
+    Qual,
+    Step,
+)
+from repro.xpath.evaluator import eval_qualifier, evaluate
+from repro.xpath.lexer import XPathSyntaxError
+from repro.xpath.parser import parse_xpath
+
+__all__ = [
+    "AndQual",
+    "CmpQual",
+    "LabelQual",
+    "NotQual",
+    "OrQual",
+    "Path",
+    "PathQual",
+    "Qual",
+    "Step",
+    "XPathSyntaxError",
+    "eval_qualifier",
+    "evaluate",
+    "parse_xpath",
+]

@@ -1,0 +1,171 @@
+"""Reference (specification) semantics for the fragment ``X``.
+
+``evaluate(root, p)`` computes ``r[[p]]`` — the set of element nodes
+reachable from the context node via ``p`` — in document order, without
+duplicates.  It is deliberately straightforward: this module is the
+*oracle* that the selecting/filtering NFAs and every transform algorithm
+are validated against, and it doubles as the "native engine" qualifier
+backend for ``topDown`` (the role Qizx plays in the paper).
+
+Value semantics for comparisons (``p op c``):
+
+* element nodes contribute their *own text* (concatenated immediate
+  text children — see :mod:`repro.xmltree.node`);
+* attribute steps contribute the attribute string;
+* a string literal compares as a string, a number literal numerically
+  (values that do not parse as numbers never match);
+* the comparison is existential, as in XPath: true iff *some* selected
+  value satisfies it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Union
+
+from repro.xmltree.node import Element
+from repro.xpath.ast import (
+    AndQual,
+    CmpQual,
+    LabelQual,
+    NotQual,
+    OrQual,
+    Path,
+    PathQual,
+    Qual,
+    Step,
+    TrueQual,
+)
+
+
+def evaluate(context: Element, path: Path) -> list[Element]:
+    """Evaluate a selecting path at *context*; document order, deduplicated."""
+    frontier: list[Element] = [context]
+    for step in path.steps:
+        if step.kind == "attr":
+            raise ValueError("attribute steps select values, not elements; "
+                             "use eval_values() in qualifier context")
+        frontier = _apply_step(frontier, step)
+    if len(frontier) > 1:
+        frontier = _document_order(context, frontier)
+    return frontier
+
+
+def _document_order(context: Element, nodes: list[Element]) -> list[Element]:
+    """Sort *nodes* into document (preorder) order below *context*.
+
+    Step application visits parents before expanding them, which is
+    set-correct but can interleave branches (e.g. after ``//``); one
+    preorder sweep restores the order the spec requires.
+    """
+    wanted = {id(node) for node in nodes}
+    ordered: list[Element] = []
+    for candidate in context.descendants_or_self():
+        if id(candidate) in wanted:
+            ordered.append(candidate)
+            if len(ordered) == len(nodes):
+                break
+    return ordered
+
+
+def _apply_step(frontier: list[Element], step: Step) -> list[Element]:
+    out: list[Element] = []
+    seen: set[int] = set()
+
+    def push(node: Element) -> None:
+        key = id(node)
+        if key not in seen:
+            seen.add(key)
+            out.append(node)
+
+    if step.kind == "dos":
+        for node in frontier:
+            for descendant in node.descendants_or_self():
+                if _check_quals(descendant, step.quals):
+                    push(descendant)
+        return out
+    if step.kind == "self":
+        for node in frontier:
+            if _check_quals(node, step.quals):
+                push(node)
+        return out
+    # child axis: label or wildcard
+    for node in frontier:
+        for child in node.child_elements():
+            if step.kind == "label" and child.label != step.name:
+                continue
+            if _check_quals(child, step.quals):
+                push(child)
+    return out
+
+
+def _check_quals(node: Element, quals: Iterable[Qual]) -> bool:
+    return all(eval_qualifier(node, q) for q in quals)
+
+
+def eval_values(context: Element, path: Path) -> list[Union[Element, str]]:
+    """Evaluate a qualifier path, which may end in an attribute step.
+
+    Returns element nodes, except that a final ``@a`` step turns each
+    reached element into its ``a`` attribute string (elements without
+    the attribute contribute nothing).
+    """
+    steps = path.steps
+    attr_name: Optional[str] = None
+    if steps and steps[-1].kind == "attr":
+        attr_name = steps[-1].name
+        path = Path(steps[:-1])
+    nodes = evaluate(context, path)
+    if attr_name is None:
+        return list(nodes)
+    return [node.attrs[attr_name] for node in nodes if attr_name in node.attrs]
+
+
+def compare_value(value: str, op: str, literal: Union[str, float]) -> bool:
+    """Compare one node/attribute value against a literal."""
+    if isinstance(literal, float):
+        try:
+            number = float(value)
+        except (TypeError, ValueError):
+            return False
+        left, right = number, literal
+    else:
+        left, right = value, literal
+    if op == "=":
+        return left == right
+    if op == "!=":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    raise ValueError(f"unknown operator {op!r}")
+
+
+def eval_qualifier(node: Element, qual: Qual) -> bool:
+    """Evaluate a qualifier at a context node (the ``checkp`` oracle)."""
+    if isinstance(qual, TrueQual):
+        return True
+    if isinstance(qual, PathQual):
+        return bool(eval_values(node, qual.path))
+    if isinstance(qual, CmpQual):
+        if qual.path.is_empty():
+            return compare_value(node.own_text(), qual.op, qual.value)
+        values = eval_values(node, qual.path)
+        for value in values:
+            text = value if isinstance(value, str) else value.own_text()
+            if compare_value(text, qual.op, qual.value):
+                return True
+        return False
+    if isinstance(qual, LabelQual):
+        return node.label == qual.label
+    if isinstance(qual, AndQual):
+        return eval_qualifier(node, qual.left) and eval_qualifier(node, qual.right)
+    if isinstance(qual, OrQual):
+        return eval_qualifier(node, qual.left) or eval_qualifier(node, qual.right)
+    if isinstance(qual, NotQual):
+        return not eval_qualifier(node, qual.operand)
+    raise TypeError(f"unknown qualifier {qual!r}")

@@ -1,0 +1,58 @@
+"""An XQuery subset: the user queries of Section 4 and the expression
+core that composed queries are built from.
+
+The paper's user queries have the shape::
+
+    for $x in ρ
+    where ρ'1 = ρ''1 and … and ρ'k = ρ''k
+    return exp(ϱ1, …, ϱm)
+
+with ``ρ`` an ``X`` path and the ``ρ'``/``ϱ`` operands either constants
+or ``$x/ρ`` paths; ``exp`` is an XML element template.  The parser
+(:func:`parse_user_query`) turns this into the expression core of
+:mod:`repro.xquery.ast` — the same core the Compose Method emits, which
+additionally uses ``let``, conditionals, qualifier checks and embedded
+``topDown`` calls (Example 4.2/4.3).
+"""
+
+from repro.xquery.ast import (
+    Compare,
+    Conditional,
+    ConstTree,
+    ElementTemplate,
+    EmptySeq,
+    Exists,
+    Expr,
+    For,
+    Let,
+    Literal,
+    PathFrom,
+    QualCheck,
+    Sequence,
+    TransformedSubtree,
+    UserQuery,
+    VarRef,
+)
+from repro.xquery.evaluator import evaluate_query
+from repro.xquery.parser import parse_user_query
+
+__all__ = [
+    "Compare",
+    "Conditional",
+    "ConstTree",
+    "ElementTemplate",
+    "EmptySeq",
+    "Exists",
+    "Expr",
+    "For",
+    "Let",
+    "Literal",
+    "PathFrom",
+    "QualCheck",
+    "Sequence",
+    "TransformedSubtree",
+    "UserQuery",
+    "VarRef",
+    "evaluate_query",
+    "parse_user_query",
+]

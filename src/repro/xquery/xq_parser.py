@@ -1,0 +1,315 @@
+"""Parser for XQuery *programs* — the textual form of Fig. 2.
+
+Reads the language :mod:`repro.xquery.program` evaluates (function
+declarations, FLWR, computed element constructors, ``some … satisfies``
+with node identity, builtins), so the Fig. 2 rewriting round-trips::
+
+    program  = rewrite_to_xquery(qt)
+    reparsed = parse_xquery_program(str(program))
+    evaluate_program(reparsed, T)  ==  evaluate_program(program, T)
+
+Grammar (names may carry ``local:``/``fn:`` prefixes)::
+
+    program   := declaration* expr
+    declaration := 'declare' 'function' NAME '(' [$v (',' $v)*] ')'
+                   '{' expr '}' [';']
+    expr      := flwr | if | ctor | primary
+    flwr      := (('for' $v 'in' expr) | ('let' $v ':=' expr))+
+                 ['where' bool] 'return' expr
+    if        := 'if' '(' bool ')' 'then' expr 'else' expr
+    ctor      := 'element' '{' expr '}' '{' [expr (',' expr)*] '}'
+    primary   := '(' [expr (',' expr)*] ')' | STRING | NUMBER
+               | $v ['/' relpath] | NAME '(' args ')' ['/' relpath]
+               | relpath
+    bool      := bool_and ('or' bool_and)*
+    bool_and  := bool_not ('and' bool_not)*
+    bool_not  := 'not' '(' bool ')' | 'some' $v 'in' expr 'satisfies' bool
+               | 'empty' '(' expr ')' | cmp
+    cmp       := expr [('is' | OP) expr]      (bare expr ⇒ effective boolean)
+
+Direct element constructors (``<x>…</x>``) are re-scanned from the raw
+source with the XML parser; their text content must stay within the
+query lexer's alphabet (no bare ``&`` or ``#``) — entity-escape
+anything unusual, as the rewriting's own output does.
+"""
+
+from __future__ import annotations
+
+from repro.xpath import lexer as lx
+from repro.xpath.ast import Path
+from repro.xpath.lexer import TokenStream, XPathSyntaxError, tokenize
+from repro.xpath.parser import parse_path
+from repro.xquery.ast import (
+    BoolAnd,
+    BoolExpr,
+    BoolNot,
+    BoolOr,
+    Compare,
+    Conditional,
+    EmptySeq,
+    Expr,
+    For,
+    Let,
+    Literal,
+    PathFrom,
+    Sequence,
+    VarRef,
+)
+from repro.xquery.program import (
+    BuiltinCall,
+    ComputedElement,
+    EffectiveBool,
+    FunctionCall,
+    FunctionDecl,
+    IsSame,
+    Program,
+    SomeSatisfies,
+)
+
+_KEYWORDS = {
+    "declare", "function", "for", "let", "in", "return", "where",
+    "if", "then", "else", "element", "some", "satisfies", "is",
+    "empty", "document",
+}
+
+#: Builtins the program evaluator provides (without the fn: prefix).
+BUILTINS = {
+    "doc", "children", "attributes", "local-name", "is-element",
+    "empty", "string", "copy",
+}
+
+
+def parse_xquery_program(source: str) -> Program:
+    """Parse a program from text."""
+    stream = TokenStream(tokenize(source, keywords=_KEYWORDS))
+    stream.source = source  # for inline XML literals (direct constructors)
+    declarations = []
+    while stream.at_name("declare"):
+        declarations.append(_parse_declaration(stream))
+    body = _parse_expr(stream)
+    if not stream.done():
+        raise XPathSyntaxError(
+            f"unexpected trailing input {stream.current.value!r}", stream.current.pos
+        )
+    return Program(declarations=declarations, body=body)
+
+
+def _strip_prefix(name: str) -> str:
+    if ":" in name:
+        return name.split(":", 1)[1]
+    return name
+
+
+def _parse_declaration(stream: TokenStream) -> FunctionDecl:
+    stream.expect_name("declare")
+    stream.expect_name("function")
+    name = _strip_prefix(stream.expect(lx.NAME).value)
+    stream.expect(lx.LPAREN)
+    params = []
+    if stream.current.type == lx.DOLLAR:
+        stream.advance()
+        params.append(stream.expect(lx.NAME).value)
+        while stream.accept(lx.COMMA):
+            stream.expect(lx.DOLLAR)
+            params.append(stream.expect(lx.NAME).value)
+    stream.expect(lx.RPAREN)
+    stream.expect(lx.LBRACE)
+    body = _parse_expr(stream)
+    stream.expect(lx.RBRACE)
+    stream.accept(lx.SEMICOLON)  # conventional terminator, optional
+    return FunctionDecl(name, params, body)
+
+
+def _parse_expr(stream: TokenStream) -> Expr:
+    token = stream.current
+    if token.type == lx.NAME:
+        if token.value in ("for", "let"):
+            return _parse_flwr(stream)
+        if token.value == "if":
+            return _parse_if(stream)
+        if token.value == "element":
+            return _parse_ctor(stream)
+    return _parse_primary(stream)
+
+
+def _parse_flwr(stream: TokenStream) -> Expr:
+    clauses = []  # ("for"|"let", var, expr)
+    while stream.at_name("for") or stream.at_name("let"):
+        kind = stream.advance().value
+        stream.expect(lx.DOLLAR)
+        var = stream.expect(lx.NAME).value
+        if kind == "for":
+            stream.expect_name("in")
+        else:
+            stream.expect(lx.ASSIGN)
+        clauses.append((kind, var, _parse_expr(stream)))
+    condition = None
+    if stream.at_name("where"):
+        stream.advance()
+        condition = _parse_bool(stream)
+    stream.expect_name("return")
+    body = _parse_expr(stream)
+    if condition is not None:
+        body = Conditional(condition, body, EmptySeq())
+    for kind, var, source in reversed(clauses):
+        body = For(var, source, body) if kind == "for" else Let(var, source, body)
+    return body
+
+
+def _parse_if(stream: TokenStream) -> Conditional:
+    stream.expect_name("if")
+    stream.expect(lx.LPAREN)
+    condition = _parse_bool(stream)
+    stream.expect(lx.RPAREN)
+    stream.expect_name("then")
+    then = _parse_expr(stream)
+    stream.expect_name("else")
+    orelse = _parse_expr(stream)
+    return Conditional(condition, then, orelse)
+
+
+def _parse_ctor(stream: TokenStream) -> ComputedElement:
+    stream.expect_name("element")
+    stream.expect(lx.LBRACE)
+    name = _parse_expr(stream)
+    stream.expect(lx.RBRACE)
+    stream.expect(lx.LBRACE)
+    content = _parse_sequence_until(stream, lx.RBRACE)
+    stream.expect(lx.RBRACE)
+    return ComputedElement(name, content)
+
+
+def _parse_sequence_until(stream: TokenStream, end_type: str) -> Expr:
+    if stream.current.type == end_type:
+        return EmptySeq()
+    parts = [_parse_expr(stream)]
+    while stream.accept(lx.COMMA):
+        parts.append(_parse_expr(stream))
+    if len(parts) == 1:
+        return parts[0]
+    return Sequence(parts)
+
+
+def _parse_primary(stream: TokenStream) -> Expr:
+    token = stream.current
+    if token.type == lx.OP and token.value == "<":
+        return _parse_xml_literal(stream)
+    if token.type == lx.LPAREN:
+        stream.advance()
+        inner = _parse_sequence_until(stream, lx.RPAREN)
+        stream.expect(lx.RPAREN)
+        return inner
+    if token.type == lx.STRING:
+        stream.advance()
+        return Literal(token.value)
+    if token.type == lx.NUMBER:
+        stream.advance()
+        return Literal(float(token.value))
+    if token.type == lx.DOLLAR:
+        stream.advance()
+        var = stream.expect(lx.NAME).value
+        if stream.current.type in (lx.SLASH, lx.DSLASH):
+            return PathFrom(var, parse_path(stream))
+        return VarRef(var)
+    if token.type == lx.NAME and stream.peek().type == lx.LPAREN:
+        return _parse_call(stream)
+    # A bare path from the document root.
+    return PathFrom(None, parse_path(stream))
+
+
+def _parse_xml_literal(stream: TokenStream) -> Expr:
+    """A direct element constructor: re-scan the raw source as XML from
+    the current token's offset, then resynchronize the token cursor."""
+    from repro.xmltree.parser import XMLSyntaxError, parse_fragment
+    from repro.xquery.ast import ConstTree
+
+    source = getattr(stream, "source", None)
+    start = stream.current.pos
+    if source is None:
+        raise XPathSyntaxError("XML literals need the raw source", start)
+    try:
+        element, end = parse_fragment(source, start)
+    except XMLSyntaxError as exc:
+        raise XPathSyntaxError(f"bad XML literal: {exc}", start) from exc
+    while stream.current.type != lx.EOF and stream.current.pos < end:
+        stream.advance()
+    return ConstTree(element)
+
+
+def _parse_call(stream: TokenStream) -> Expr:
+    raw_name = stream.expect(lx.NAME).value
+    name = _strip_prefix(raw_name)
+    stream.expect(lx.LPAREN)
+    args = []
+    if stream.current.type != lx.RPAREN:
+        args.append(_parse_expr(stream))
+        while stream.accept(lx.COMMA):
+            args.append(_parse_expr(stream))
+    stream.expect(lx.RPAREN)
+    if raw_name.startswith("local:"):
+        call: Expr = FunctionCall(name, args)
+    elif name in BUILTINS:
+        call = BuiltinCall(name, args)
+    else:
+        raise XPathSyntaxError(f"unknown function {raw_name!r}", stream.current.pos)
+    # doc()/path — a path applied to a call only makes sense for doc().
+    if stream.current.type in (lx.SLASH, lx.DSLASH):
+        if name != "doc":
+            raise XPathSyntaxError(
+                "a path step may only follow doc()", stream.current.pos
+            )
+        return PathFrom(None, parse_path(stream))
+    return call
+
+
+def _parse_bool(stream: TokenStream) -> BoolExpr:
+    left = _parse_bool_and(stream)
+    while stream.accept(lx.OR):
+        left = BoolOr(left, _parse_bool_and(stream))
+    return left
+
+
+def _parse_bool_and(stream: TokenStream) -> BoolExpr:
+    left = _parse_bool_not(stream)
+    while stream.accept(lx.AND):
+        left = BoolAnd(left, _parse_bool_not(stream))
+    return left
+
+
+def _parse_bool_not(stream: TokenStream) -> BoolExpr:
+    if stream.current.type == lx.LPAREN:
+        # In boolean position parentheses group booleans: '(b1 or b2)'.
+        # (Comparisons are part of the boolean grammar, so parenthesized
+        # comparisons parse here too.)
+        stream.advance()
+        inner = _parse_bool(stream)
+        stream.expect(lx.RPAREN)
+        return inner
+    if stream.accept(lx.NOT):
+        stream.expect(lx.LPAREN)
+        inner = _parse_bool(stream)
+        stream.expect(lx.RPAREN)
+        return BoolNot(inner)
+    if stream.at_name("some"):
+        stream.advance()
+        stream.expect(lx.DOLLAR)
+        var = stream.expect(lx.NAME).value
+        stream.expect_name("in")
+        source = _parse_expr(stream)
+        stream.expect_name("satisfies")
+        condition = _parse_bool(stream)
+        return SomeSatisfies(var, source, condition)
+    return _parse_cmp(stream)
+
+
+def _parse_cmp(stream: TokenStream) -> BoolExpr:
+    left = _parse_expr(stream)
+    if stream.at_name("is"):
+        stream.advance()
+        right = _parse_expr(stream)
+        return IsSame(left, right)
+    if stream.current.type == lx.OP:
+        op = stream.advance().value
+        right = _parse_expr(stream)
+        return Compare(left, op, right)
+    return EffectiveBool(left)

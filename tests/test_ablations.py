@@ -1,0 +1,59 @@
+"""The ablation variants must be semantically identical to the originals."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.transform import TransformQuery, transform_copy_update
+from repro.transform.ablations import (
+    transform_naive_indexed,
+    transform_topdown_no_pruning,
+)
+from repro.updates import parse_update
+from repro.xmltree import deep_equal, parse
+
+from tests.strategies import trees, xpath_queries
+from repro.xpath.normalize import UnsupportedPathError
+
+
+@pytest.fixture
+def doc():
+    return parse(
+        "<db><part><pname>kb</pname><supplier><price>12</price></supplier></part>"
+        "<part><pname>m</pname><supplier><price>8</price></supplier></part></db>"
+    )
+
+
+@pytest.mark.parametrize(
+    "update_text",
+    [
+        "delete $a//price",
+        "insert <x/> into $a/part[pname = 'kb']",
+        "replace $a//supplier with <gone/>",
+        "rename $a/part as item",
+    ],
+)
+def test_variants_match_reference(doc, update_text):
+    query = TransformQuery(parse_update(update_text))
+    expected = transform_copy_update(doc, query)
+    assert deep_equal(transform_topdown_no_pruning(doc, query), expected)
+    assert deep_equal(transform_naive_indexed(doc, query), expected)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    tree=trees(),
+    query_text=xpath_queries(),
+    kind=st.sampled_from(["insert", "delete"]),
+)
+def test_variants_match_reference_property(tree, query_text, kind):
+    target = ("$a" + query_text) if query_text.startswith("//") else f"$a/{query_text}"
+    text = f"insert <n/> into {target}" if kind == "insert" else f"delete {target}"
+    query = TransformQuery(parse_update(text))
+    expected = transform_copy_update(tree, query)
+    try:
+        no_pruning = transform_topdown_no_pruning(tree, query)
+    except UnsupportedPathError:
+        return
+    assert deep_equal(no_pruning, expected)
+    assert deep_equal(transform_naive_indexed(tree, query), expected)

@@ -1,0 +1,145 @@
+"""Rendering tests: every AST layer prints faithful, re-parseable (or
+at least human-accurate) text — these strings appear in logs, composed
+query plans and the CLI's explain output."""
+
+import pytest
+
+from repro.updates.ops import path_with_var, parse_update
+from repro.xpath import parse_xpath
+from repro.xpath.ast import Path, Step
+from repro.xquery import parse_user_query
+from repro.xquery.ast import (
+    BoolAnd,
+    BoolConst,
+    BoolNot,
+    BoolOr,
+    Compare,
+    Conditional,
+    ConstTree,
+    ElementTemplate,
+    EmptySeq,
+    Exists,
+    For,
+    Let,
+    Literal,
+    PathFrom,
+    QualCheck,
+    Sequence,
+    TransformedSubtree,
+    VarRef,
+)
+from repro.xmltree import element
+
+
+class TestPathStr:
+    @pytest.mark.parametrize(
+        "source,expected",
+        [
+            ("a/b", "a/b"),
+            ("//a", "//a"),
+            ("a//b", "a//b"),
+            ("a/*", "a/*"),
+            (".", "."),
+            ("a//.", "a//."),
+            ("a[b]", "a[b]"),
+            ("a[b = 'x']", "a[b = 'x']"),
+            ("a[b < 5]", "a[b < 5]"),
+            ("a[not(b)]", "a[not(b)]"),
+            ("a[b and c]", "a[(b and c)]"),
+            ("a[label() = part]", "a[label() = part]"),
+            ("a[@id = 'x']", "a[@id = 'x']"),
+        ],
+    )
+    def test_str(self, source, expected):
+        assert str(parse_xpath(source)) == expected
+
+    @pytest.mark.parametrize(
+        "source",
+        ["a/b", "//a", "a//b", "a/*", "a//.", "a[b = 'x']", "a[not(b and c)]",
+         "a[@id]", "a[. = 5]", "a[b/@k != 'v']"],
+    )
+    def test_str_reparses(self, source):
+        path = parse_xpath(source)
+        assert parse_xpath(str(path)) == path
+
+    def test_path_with_var(self):
+        assert path_with_var(parse_xpath("//a")) == "$a//a"
+        assert path_with_var(parse_xpath("a/b")) == "$a/a/b"
+        assert path_with_var(parse_xpath("a"), var="d") == "$d/a"
+
+
+class TestQueryExprStr:
+    def test_path_from(self):
+        assert str(PathFrom("x", parse_xpath("a/b"))) == "$x/a/b"
+        assert str(PathFrom("x", parse_xpath("//a"))) == "$x//a"
+        assert str(PathFrom(None, parse_xpath("a"))) == "doc()/a"
+        assert str(PathFrom("x", Path())) == "$x"
+
+    def test_literals(self):
+        assert str(Literal("s")) == "'s'"
+        assert str(Literal(5.0)) == "5"
+        assert str(EmptySeq()) == "()"
+
+    def test_for_let_conditional(self):
+        expr = For("y", PathFrom(None, parse_xpath("a")),
+                   Let("z", VarRef("y"),
+                       Conditional(BoolConst(True), VarRef("z"), EmptySeq())))
+        text = str(expr)
+        assert "for $y in doc()/a" in text
+        assert "let $z := $y" in text
+        assert "if (true())" in text
+
+    def test_boolean_renderings(self):
+        qual = parse_xpath("x[a]").steps[0].quals[0]
+        pieces = [
+            str(Exists(VarRef("x"))),
+            str(Compare(VarRef("x"), "=", Literal("v"))),
+            str(BoolAnd(BoolConst(True), BoolConst(False))),
+            str(BoolOr(BoolConst(False), BoolNot(BoolConst(True)))),
+            str(QualCheck("x", qual)),
+        ]
+        assert pieces == [
+            "exists($x)",
+            "$x = 'v'",
+            "(true() and false())",
+            "(false() or not(true()))",
+            "$x[a]",
+        ]
+
+    def test_sequence_and_template(self):
+        expr = Sequence([Literal("a"), ElementTemplate("row", {}, [VarRef("x")])])
+        assert str(expr) == "('a', <row>{ $x }</row>)"
+
+    def test_const_tree(self):
+        assert str(ConstTree(element("n", "1"))) == "<n>1</n>"
+
+    def test_transformed_subtree_mentions_topdown(self):
+        expr = TransformedSubtree(var="x", states=frozenset({1}))
+        assert "topDown" in str(expr)
+        assert "$x" in str(expr)
+
+    def test_user_query_str_prefers_source(self):
+        q = parse_user_query("for $x in a/b return $x")
+        assert str(q) == "for $x in a/b return $x"
+
+
+class TestUpdateStr:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "delete $a//price",
+            "insert <x/> into $a/part",
+            "replace $a/part with <y>1</y>",
+            "rename $a/part as item",
+        ],
+    )
+    def test_round_trip(self, text):
+        update = parse_update(text)
+        again = parse_update(str(update))
+        assert str(again) == str(update)
+
+    def test_transform_query_str(self):
+        from repro.transform import parse_transform_query
+
+        text = 'transform copy $a := doc("T0") modify do delete $a//price return $a'
+        assert str(parse_transform_query(text)) == text

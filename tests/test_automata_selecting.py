@@ -1,0 +1,160 @@
+"""Tests for the selecting NFA: construction, nextStates, and agreement
+with the reference evaluator (the paper's r[[p]] semantics)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.automata import build_selecting_nfa
+from repro.automata.core import TEST_DOS, TEST_LABEL, TEST_START, TEST_WILDCARD
+from repro.xmltree import parse
+from repro.xpath import evaluate, parse_xpath
+from repro.xpath.normalize import UnsupportedPathError
+
+from tests.strategies import trees, xpath_queries
+
+
+@pytest.fixture
+def doc():
+    return parse(
+        """
+        <db>
+          <part>
+            <pname>keyboard</pname>
+            <supplier><sname>HP</sname><price>12</price><country>US</country></supplier>
+            <supplier><sname>Dell</sname><price>20</price><country>A</country></supplier>
+            <part>
+              <pname>key</pname>
+              <supplier><sname>Acme</sname><price>16</price><country>B</country></supplier>
+            </part>
+          </part>
+          <part>
+            <pname>mouse</pname>
+            <supplier><sname>HP</sname><price>8</price><country>A</country></supplier>
+          </part>
+        </db>
+        """
+    )
+
+
+class TestConstruction:
+    def test_fig5_shape(self):
+        # //part[q1]//part[q2] — Fig. 5: 5 states, two dos loops.
+        nfa = build_selecting_nfa(
+            parse_xpath(
+                "//part[pname = 'keyboard']"
+                "//part[not(supplier/sname = 'HP') and not(supplier/price < 15)]"
+            )
+        )
+        tests = [s.test for s in nfa.states]
+        assert tests == [TEST_START, TEST_DOS, TEST_LABEL, TEST_DOS, TEST_LABEL]
+        assert nfa.states[4].is_final
+        assert nfa.states[2].has_qualifier and nfa.states[4].has_qualifier
+        assert not nfa.states[1].has_qualifier
+
+    def test_linear_size(self):
+        nfa = build_selecting_nfa(parse_xpath("a/b/c/d/e"))
+        assert nfa.size() == 6  # start + 5 steps
+
+    def test_wildcard_state(self):
+        nfa = build_selecting_nfa(parse_xpath("a/*"))
+        assert nfa.states[2].test == TEST_WILDCARD
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ValueError):
+            build_selecting_nfa(parse_xpath("."))
+
+    def test_dos_self_qualifier_rejected(self):
+        with pytest.raises(UnsupportedPathError):
+            build_selecting_nfa(parse_xpath("a//.[b]"))
+
+    def test_attr_selecting_path_rejected(self):
+        with pytest.raises(UnsupportedPathError):
+            build_selecting_nfa(parse_xpath("a/@id"))
+
+    def test_initial_states_include_dos_closure(self):
+        nfa = build_selecting_nfa(parse_xpath("//part"))
+        assert nfa.initial_states() == frozenset({0, 1})
+
+    def test_initial_states_child_only(self):
+        nfa = build_selecting_nfa(parse_xpath("part"))
+        assert nfa.initial_states() == frozenset({0})
+
+
+class TestRuns:
+    def test_example_3_2_state_walk(self, doc):
+        # Mirrors Example 6.1: at the first part under the root the
+        # state set is {s1, s2, s3}.
+        nfa = build_selecting_nfa(
+            parse_xpath(
+                "//part[pname = 'keyboard']"
+                "//part[not(supplier/sname = 'HP') and not(supplier/price < 15)]"
+            )
+        )
+        first_part = doc.children[0]
+        initial = nfa.initial_states_for(doc)
+        assert initial == frozenset({0, 1})
+        states = nfa.next_states(initial, "part", nfa.make_checker(first_part))
+        assert states == frozenset({1, 2, 3})
+
+    def test_pruning_empty_states(self, doc):
+        nfa = build_selecting_nfa(parse_xpath("part/supplier"))
+        pname = doc.children[0].children[0]
+        states = nfa.next_states(
+            nfa.next_states(nfa.initial_states(), "part", nfa.make_checker(doc.children[0])),
+            "pname",
+            nfa.make_checker(pname),
+        )
+        assert states == frozenset()
+
+    def test_qualifier_filters_state(self, doc):
+        nfa = build_selecting_nfa(parse_xpath("part[pname = 'keyboard']"))
+        checker_kb = nfa.make_checker(doc.children[0])
+        checker_mouse = nfa.make_checker(doc.children[1])
+        assert nfa.selects(nfa.next_states(nfa.initial_states(), "part", checker_kb))
+        assert not nfa.selects(nfa.next_states(nfa.initial_states(), "part", checker_mouse))
+
+    @pytest.mark.parametrize(
+        "expr,expected",
+        [
+            ("part", 2),
+            ("part/supplier", 3),
+            ("//part", 3),
+            ("//supplier", 4),
+            ("part//supplier", 4),
+            ("//supplier[price < 15]", 2),
+            ("part[pname = 'keyboard']//part", 1),
+            ("//part[not(supplier/country = 'A')]", 1),
+            ("part/*", 6),
+            ("//nothing", 0),
+            ("a/b/c", 0),
+        ],
+    )
+    def test_run_select_counts(self, doc, expr, expected):
+        nfa = build_selecting_nfa(parse_xpath(expr))
+        assert len(nfa.run_select(doc)) == expected
+
+    def test_run_select_matches_reference_order(self, doc):
+        path = parse_xpath("//supplier[country = 'A']")
+        nfa = build_selecting_nfa(path)
+        via_nfa = nfa.run_select(doc)
+        via_reference = evaluate(doc, path)
+        assert [id(n) for n in via_nfa] == [id(n) for n in via_reference]
+
+    def test_context_qualifier_gates_everything(self, doc):
+        nfa = build_selecting_nfa(parse_xpath(".[zzz]/part"))
+        assert nfa.initial_states_for(doc) == frozenset()
+        assert nfa.run_select(doc) == []
+
+
+class TestPropertyAgainstReference:
+    @settings(max_examples=150, deadline=None)
+    @given(tree=trees(), query=xpath_queries())
+    def test_nfa_matches_reference(self, tree, query):
+        path = parse_xpath(query)
+        try:
+            nfa = build_selecting_nfa(path)
+        except UnsupportedPathError:
+            return  # outside the automaton core; reference-only
+        via_nfa = nfa.run_select(tree)
+        via_reference = evaluate(tree, path)
+        assert [id(n) for n in via_nfa] == [id(n) for n in via_reference]

@@ -1,0 +1,210 @@
+"""Tests for the filtering NFA, QualDP and the bottomUp pass."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.automata import build_filtering_nfa, build_selecting_nfa
+from repro.automata.core import TEST_DOS, TEST_LABEL, TEST_START
+from repro.transform.bottomup import bottom_up_annotate
+from repro.transform.qualdp import eval_nq_direct, qual_dp_at
+from repro.xmltree import parse
+from repro.xpath import eval_qualifier, parse_xpath
+from repro.xpath.normalize import QualifierSpace, UnsupportedPathError
+
+from tests.strategies import trees, xpath_queries
+
+
+P1 = (
+    "//part[pname = 'keyboard']"
+    "//part[not(supplier/sname = 'HP') and not(supplier/price < 15)]"
+)
+
+
+@pytest.fixture
+def doc():
+    return parse(
+        """
+        <db>
+          <part>
+            <pname>keyboard</pname>
+            <supplier><sname>HP</sname><price>12</price><country>US</country></supplier>
+            <part>
+              <pname>key</pname>
+              <supplier><sname>Acme</sname><price>16</price><country>B</country></supplier>
+            </part>
+          </part>
+          <part>
+            <pname>mouse</pname>
+            <supplier><sname>HP</sname><price>8</price><country>A</country></supplier>
+          </part>
+        </db>
+        """
+    )
+
+
+class TestFilteringNFA:
+    def test_fig8_has_branch_states(self):
+        selecting = build_selecting_nfa(parse_xpath(P1))
+        filtering = build_filtering_nfa(parse_xpath(P1))
+        # Fig. 8 adds states for pname, supplier/sname and supplier/price
+        # beyond the selecting spine (Fig. 5's 5 states).
+        assert selecting.size() == 5
+        assert filtering.size() > selecting.size()
+
+    def test_spine_states_annotated(self):
+        filtering = build_filtering_nfa(parse_xpath(P1))
+        annotated = [s for s in filtering.states if s.nq_id is not None]
+        assert len(annotated) == 2  # the two part[q] spine states
+
+    def test_branch_states_have_no_annotations(self):
+        filtering = build_filtering_nfa(parse_xpath(P1))
+        for state in filtering.states:
+            if state.sid not in filtering.spine_ids:
+                assert state.nq_id is None
+
+    def test_spine_transitions_mirror_selecting(self):
+        selecting = build_selecting_nfa(parse_xpath(P1))
+        filtering = build_filtering_nfa(parse_xpath(P1))
+        # Running both unfiltered on the same label sequence keeps the
+        # same spine step-positions alive.
+        s_sel = selecting.initial_states()
+        s_fil = filtering.initial_states()
+        for label in ["part", "part", "supplier"]:
+            s_sel = selecting.next_states(s_sel, label, None)
+            s_fil = filtering.next_states(s_fil, label, None)
+        # Map states to their step depth via sid ordering on each spine.
+        sel_spine = sorted(s_sel)
+        fil_spine = sorted(sid for sid in s_fil if sid in filtering.spine_ids)
+        assert len(sel_spine) == len(fil_spine)
+
+    def test_qualifier_free_path_has_no_space(self):
+        filtering = build_filtering_nfa(parse_xpath("a/b//c"))
+        assert len(filtering.space) == 0
+
+    def test_example_5_3_pruning_path(self):
+        # p' = supplier//part from the root of T0: no state survives the
+        # root's children, so bottomUp prunes immediately.
+        filtering = build_filtering_nfa(parse_xpath("supplier//part[pname]"))
+        states = filtering.next_states(filtering.initial_states(), "part", None)
+        assert states == frozenset()
+
+
+class TestQualDP:
+    def test_leaf_vector(self, doc):
+        space = QualifierSpace()
+        qual = parse_xpath("x[pname = 'keyboard']").steps[0].quals[0]
+        space.normalize_qual(qual)
+        leaf = parse("<pname>keyboard</pname>")
+        size = len(space)
+        sat = qual_dp_at(space, leaf, [False] * size, [False] * size)
+        # At the pname leaf itself, label()=pname holds and text matches.
+        for expr in space.expressions:
+            assert sat[expr.nq_id] == eval_nq_direct(leaf, expr)
+
+    @settings(max_examples=100, deadline=None)
+    @given(tree=trees())
+    def test_dp_equals_direct_everywhere(self, tree):
+        space = QualifierSpace()
+        qual = parse_xpath(
+            "x[a = '1' or not(.//b[label() = b]) and c/d]"
+        ).steps[0].quals[0]
+        top = space.normalize_qual(qual)
+        size = len(space)
+
+        def recurse(node):
+            csat = [False] * size
+            dsat = [False] * size
+            for child in node.child_elements():
+                child_sat, child_dsat = recurse(child)
+                for i in range(size):
+                    if child_sat[i]:
+                        csat[i] = True
+                        dsat[i] = True
+                    elif child_dsat[i]:
+                        dsat[i] = True
+            sat = qual_dp_at(space, node, csat, dsat)
+            assert sat[top.nq_id] == eval_nq_direct(node, top)
+            assert sat[top.nq_id] == eval_qualifier(node, qual)
+            return sat, dsat
+
+        recurse(tree)
+
+
+class TestBottomUp:
+    def test_annotations_present_for_alive_nodes(self, doc):
+        filtering = build_filtering_nfa(parse_xpath(P1))
+        annotations = bottom_up_annotate(doc, nfa=filtering)
+        # The root and every part/pname/supplier/sname/price node are
+        # alive; country nodes are not on any qualifier path.
+        assert id(doc) in annotations.sat_by_node
+        for part in doc.descendants_or_self():
+            if part.label == "part":
+                assert id(part) in annotations.sat_by_node
+
+    def test_pruned_subtrees_not_annotated(self, doc):
+        filtering = build_filtering_nfa(parse_xpath("part[pname = 'keyboard']"))
+        annotations = bottom_up_annotate(doc, nfa=filtering)
+        for node in doc.descendants_or_self():
+            if node.label == "supplier":
+                assert id(node) not in annotations.sat_by_node
+
+    def test_checkp_matches_reference(self, doc):
+        path = parse_xpath(P1)
+        filtering = build_filtering_nfa(path)
+        selecting = build_selecting_nfa(path)
+        annotations = bottom_up_annotate(doc, nfa=filtering)
+        # For every annotated part node, the recorded qualifier value
+        # matches direct evaluation.
+        for node in doc.descendants_or_self():
+            if node.label != "part" or id(node) not in annotations.sat_by_node:
+                continue
+            for state in selecting.states:
+                if state.has_qualifier and state.qual in annotations.nq_id_by_qual:
+                    assert annotations.checkp(state.qual, node) == eval_qualifier(
+                        node, state.qual
+                    )
+
+    def test_empty_space_shortcut(self, doc):
+        filtering = build_filtering_nfa(parse_xpath("part/supplier"))
+        annotations = bottom_up_annotate(doc, nfa=filtering)
+        assert len(annotations) == 0
+
+    def test_deep_tree_no_recursion_error(self):
+        doc = parse("<a>" + "<a>" * 3000 + "<flag/>" + "</a>" * 3000 + "</a>")
+        filtering = build_filtering_nfa(parse_xpath("//a[flag]"))
+        annotations = bottom_up_annotate(doc, nfa=filtering)
+        assert len(annotations) > 3000
+
+    @settings(max_examples=80, deadline=None)
+    @given(tree=trees(), query=xpath_queries())
+    def test_annotated_selection_matches_reference(self, tree, query):
+        """Selecting with twoPass checkp equals native selection."""
+        path = parse_xpath(query)
+        try:
+            selecting = build_selecting_nfa(path)
+            filtering = build_filtering_nfa(path)
+        except UnsupportedPathError:
+            return
+        annotations = bottom_up_annotate(tree, nfa=filtering)
+        if len(filtering.space) == 0:
+            return
+
+        def annotated_run(node, states, out):
+            next_states = selecting.next_states(
+                states, node.label, lambda q: annotations.checkp(q, node)
+            )
+            if not next_states:
+                return
+            if selecting.selects(next_states):
+                out.append(node)
+            for child in node.child_elements():
+                annotated_run(child, next_states, out)
+
+        selected: list = []
+        initial = selecting.initial_states_for(tree)
+        if initial:
+            for child in tree.child_elements():
+                annotated_run(child, initial, selected)
+        from repro.xpath import evaluate
+
+        assert [id(n) for n in selected] == [id(n) for n in evaluate(tree, path)]

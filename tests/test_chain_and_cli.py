@@ -1,0 +1,207 @@
+"""Tests for chained transforms, the CLI, and automaton introspection."""
+
+import pytest
+
+from repro.transform import TransformQuery, transform_copy_update, transform_topdown
+from repro.transform.chain import (
+    TransformChain,
+    parse_transform_chain,
+    transform_chain,
+)
+from repro.transform.sax_twopass import transform_sax
+from repro.transform.twopass import transform_twopass
+from repro.updates import parse_update
+from repro.xmltree import deep_equal, parse, parse_file, serialize, write_file
+from repro.xpath import parse_xpath
+from repro.xpath.lexer import XPathSyntaxError
+from repro.automata import build_selecting_nfa
+from repro import cli
+
+
+@pytest.fixture
+def doc():
+    return parse(
+        "<db><part><pname>kb</pname><supplier><sname>HP</sname>"
+        "<price>12</price></supplier></part></db>"
+    )
+
+
+class TestTransformChain:
+    def test_sequential_semantics(self, doc):
+        chain = TransformChain(
+            [
+                parse_update("delete $a//price"),
+                parse_update("rename $a//sname as vendor"),
+            ]
+        )
+        result = transform_chain(doc, chain)
+        text = serialize(result)
+        assert "price" not in text and "<vendor>" in text
+        assert "price" in serialize(doc)  # source untouched
+
+    def test_stage_order_matters(self, doc):
+        # Renaming first makes the delete miss its target.
+        forward = transform_chain(
+            doc,
+            TransformChain(
+                [parse_update("rename $a//price as cost"),
+                 parse_update("delete $a//price")],
+            ),
+        )
+        assert "<cost>" in serialize(forward)
+        backward = transform_chain(
+            doc,
+            TransformChain(
+                [parse_update("delete $a//price"),
+                 parse_update("rename $a//price as cost")],
+            ),
+        )
+        assert "<cost>" not in serialize(backward)
+
+    def test_second_stage_sees_first_stage_inserts(self, doc):
+        chain = TransformChain(
+            [
+                parse_update("insert <flag/> into $a/part"),
+                parse_update("rename $a/part/flag as marker"),
+            ]
+        )
+        result = transform_chain(doc, chain)
+        assert "<marker/>" in serialize(result)
+
+    @pytest.mark.parametrize("algorithm", [transform_topdown, transform_twopass, transform_sax])
+    def test_chain_algorithm_agnostic(self, doc, algorithm):
+        chain = TransformChain(
+            [parse_update("delete $a//price"), parse_update("insert <new/> into $a/part")]
+        )
+        expected = transform_chain(doc, chain, transform=transform_copy_update)
+        assert deep_equal(transform_chain(doc, chain, transform=algorithm), expected)
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ValueError):
+            TransformChain([])
+
+    def test_stages_are_single_update_queries(self):
+        chain = TransformChain([parse_update("delete $a/x")], doc="f")
+        (stage,) = chain.stages()
+        assert isinstance(stage, TransformQuery)
+        assert stage.doc == "f"
+
+
+class TestChainParsing:
+    def test_multi_update_syntax(self):
+        chain = parse_transform_chain(
+            'transform copy $a := doc("T") modify do ('
+            "delete $a//price, rename $a//sname as vendor"
+            ") return $a"
+        )
+        assert len(chain) == 2
+        assert chain.updates[0].kind == "delete"
+        assert chain.updates[1].kind == "rename"
+
+    def test_single_update_accepted(self):
+        chain = parse_transform_chain(
+            'transform copy $a := doc("T") modify do delete $a//price return $a'
+        )
+        assert len(chain) == 1
+
+    def test_comma_inside_xml_content(self):
+        chain = parse_transform_chain(
+            'transform copy $a := doc("T") modify do ('
+            "insert <note>one, two</note> into $a/part, delete $a//price"
+            ") return $a"
+        )
+        assert len(chain) == 2
+        assert chain.updates[0].content.own_text() == "one, two"
+
+    def test_str_round_trip(self):
+        text = (
+            'transform copy $a := doc("T") modify do '
+            "(delete $a//price, rename $a//sname as vendor) return $a"
+        )
+        chain = parse_transform_chain(text)
+        again = parse_transform_chain(str(chain))
+        assert len(again) == len(chain)
+        assert [u.kind for u in again.updates] == [u.kind for u in chain.updates]
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            'transform copy $a := doc("T") modify do () return $a',
+            'transform copy $a := doc("T") modify do (delete $a/x) return $b',
+            'transform copy $a := doc("T") modify do (delete $a/x',
+        ],
+    )
+    def test_malformed(self, bad):
+        with pytest.raises(XPathSyntaxError):
+            parse_transform_chain(bad)
+
+
+class TestDescribe:
+    def test_selecting_nfa_description(self):
+        nfa = build_selecting_nfa(parse_xpath("//part[pname = 'kb']//part"))
+        text = nfa.describe()
+        assert "s0: start" in text
+        assert "FINAL" in text
+        assert "self-loop" in text
+        assert "--ε-->" in text
+
+
+class TestCLI:
+    def test_transform_to_stdout(self, doc, tmp_path, capsys):
+        in_path = str(tmp_path / "in.xml")
+        write_file(doc, in_path)
+        code = cli.main([
+            "transform",
+            "-q", 'transform copy $a := doc("f") modify do delete $a//price return $a',
+            "-i", in_path,
+        ])
+        assert code == 0
+        assert "price" not in capsys.readouterr().out
+
+    @pytest.mark.parametrize("method", ["topdown", "twopass", "naive", "copy", "sax"])
+    def test_transform_methods_to_file(self, doc, tmp_path, method):
+        in_path = str(tmp_path / "in.xml")
+        out_path = str(tmp_path / f"out-{method}.xml")
+        write_file(doc, in_path)
+        code = cli.main([
+            "transform",
+            "-q", 'transform copy $a := doc("f") modify do delete $a//price return $a',
+            "-i", in_path, "-o", out_path, "--method", method,
+        ])
+        assert code == 0
+        assert "price" not in serialize(parse_file(out_path))
+
+    def test_compose_plan_only(self, capsys):
+        code = cli.main([
+            "compose",
+            "-t", 'transform copy $a := doc("f") modify do delete $a/a/b return $a',
+            "-u", "for $x in a/b/c return $x",
+            "--show-plan",
+        ])
+        assert code == 0
+        assert "composed query" in capsys.readouterr().out
+
+    def test_compose_with_input(self, tmp_path, capsys):
+        in_path = str(tmp_path / "in.xml")
+        write_file(parse("<db><a><b><c>1</c></b></a></db>"), in_path)
+        code = cli.main([
+            "compose",
+            "-t", 'transform copy $a := doc("f") modify do delete $a/zzz return $a',
+            "-u", "for $x in a/b/c return $x",
+            "-i", in_path,
+        ])
+        assert code == 0
+        assert "<c>1</c>" in capsys.readouterr().out
+
+    def test_generate(self, tmp_path, capsys):
+        out_path = str(tmp_path / "xmark.xml")
+        code = cli.main(["generate", "--factor", "0.001", "-o", out_path])
+        assert code == 0
+        assert parse_file(out_path).label == "site"
+
+    def test_explain(self, capsys):
+        code = cli.main(["explain", "-p", "//part[pname = 'kb']"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "selecting NFA" in out and "filtering NFA" in out

@@ -1,0 +1,277 @@
+"""Tests for the Compose Method: the paper's examples, structural
+expectations, and equivalence with the Naive Composition Method."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compose import compose, evaluate_composed, naive_compose
+from repro.compose.compose import Composer
+from repro.compose.walk import EMPTY, UNCHANGED, UNKNOWN, walk_word, word_letters
+from repro.automata import build_selecting_nfa
+from repro.transform import TransformQuery
+from repro.updates import parse_update
+from repro.xmltree import Element, deep_equal, parse, serialize
+from repro.xpath import parse_xpath
+from repro.xquery import parse_user_query
+from repro.xquery.ast import EmptySeq, TransformedSubtree
+
+from tests.strategies import trees, xpath_queries
+
+
+def assert_same_results(root, user_query, transform_query):
+    expected = naive_compose(root, user_query, transform_query)
+    composed = compose(user_query, transform_query)
+    actual = evaluate_composed(root, composed)
+    assert len(actual) == len(expected), (
+        f"arity differs: composed {len(actual)} vs naive {len(expected)}\n"
+        f"  Q:  {user_query}\n  Qt: {transform_query}\n  T:  {serialize(root)}\n"
+        f"  composed: {composed}"
+    )
+    for got, want in zip(actual, expected):
+        if isinstance(got, Element) and isinstance(want, Element):
+            assert deep_equal(got, want), (
+                f"item differs:\n  got  {serialize(got)}\n  want {serialize(want)}\n"
+                f"  Q:  {user_query}\n  Qt: {transform_query}\n  T:  {serialize(root)}"
+            )
+        else:
+            assert got == want or str(got) == str(want)
+
+
+@pytest.fixture
+def doc():
+    return parse(
+        """
+        <db>
+          <a>
+            <b><q>A</q><c>A</c><c>B</c></b>
+            <b><c>C</c></b>
+            <x><c>D</c></x>
+          </a>
+          <a><b><c>E</c></b></a>
+        </db>
+        """
+    )
+
+
+class TestPaperExamples:
+    def test_q1_delete_with_qualifier(self, doc):
+        # Q1: delete a/b[q];  Q'1: for $x in a/b/c return $x
+        qt = TransformQuery(parse_update("delete $a/a/b[q = 'A']"))
+        q = parse_user_query("for $x in a/b/c return $x")
+        assert_same_results(doc, q, qt)
+
+    def test_q2_statically_true_qualifier(self, doc):
+        # Q2: delete a/b/c;  Q'2: for $x in a/b[not(c = 'A')] return $x
+        qt = TransformQuery(parse_update("delete $a/a/b/c"))
+        q = parse_user_query("for $x in a/b where not($x/c = 'A') return $x")
+        assert_same_results(doc, q, qt)
+
+    def test_q2_written_as_step_qualifier(self, doc):
+        qt = TransformQuery(parse_update("delete $a/a/b/c"))
+        q = parse_user_query("for $x in a/b[not(c = 'A')] return $x")
+        assert_same_results(doc, q, qt)
+
+    def test_q3_insert_descendant(self, doc):
+        # Q3: insert e into a//c;  Q'3: for $x in a/b return $x
+        qt = TransformQuery(parse_update("insert <e>new</e> into $a/a//c"))
+        q = parse_user_query("for $x in a/b return $x")
+        assert_same_results(doc, q, qt)
+
+    def test_example_4_2_security_view(self):
+        root = parse(
+            """
+            <site>
+              <part><pname>keyboard</pname>
+                <supplier><country>A</country><price>1</price></supplier>
+                <supplier><country>B</country><price>2</price></supplier>
+              </part>
+              <part><pname>mouse</pname>
+                <supplier><country>A</country><price>3</price></supplier>
+              </part>
+            </site>
+            """
+        )
+        qt = TransformQuery(parse_update("delete $a//supplier[country = 'A']"))
+        q = parse_user_query("for $x in part[pname = 'keyboard']/supplier return $x")
+        assert_same_results(root, q, qt)
+
+
+class TestStaticDecisions:
+    def test_walk_word_delete_empty(self):
+        nfa = build_selecting_nfa(parse_xpath("a/b/c"))
+        update = parse_update("delete $a/a/b/c")
+        # From the state after 'a/b', the word 'c' hits the final state.
+        states = nfa.next_states(nfa.initial_states(), "a", lambda q: True)
+        states = nfa.next_states(states, "b", lambda q: True)
+        assert walk_word(nfa, states, ["c"], update) == EMPTY
+
+    def test_walk_word_disjoint_unchanged(self):
+        nfa = build_selecting_nfa(parse_xpath("a/b/c"))
+        update = parse_update("delete $a/a/b/c")
+        states = nfa.next_states(nfa.initial_states(), "a", lambda q: True)
+        assert walk_word(nfa, states, ["z"], update) == UNCHANGED
+
+    def test_walk_word_qualified_delete_unknown(self):
+        nfa = build_selecting_nfa(parse_xpath("a/b[q]"))
+        update = parse_update("delete $a/a/b[q]")
+        states = nfa.next_states(nfa.initial_states(), "a", lambda q: True)
+        assert walk_word(nfa, states, ["b"], update) == UNKNOWN
+
+    def test_walk_word_insert_at_end_unchanged(self):
+        nfa = build_selecting_nfa(parse_xpath("a/b"))
+        update = parse_update("insert <z/> into $a/a/b")
+        states = nfa.next_states(nfa.initial_states(), "a", lambda q: True)
+        assert walk_word(nfa, states, ["b"], update) == UNCHANGED
+
+    def test_walk_word_insert_extending_match_unknown(self):
+        nfa = build_selecting_nfa(parse_xpath("a"))
+        update = parse_update("insert <b/> into $a/a")
+        assert walk_word(nfa, nfa.initial_states(), ["a", "b"], update) == UNKNOWN
+
+    def test_walk_word_insert_nonmatching_content_unchanged(self):
+        nfa = build_selecting_nfa(parse_xpath("a"))
+        update = parse_update("insert <z/> into $a/a")
+        assert walk_word(nfa, nfa.initial_states(), ["a", "b"], update) == UNCHANGED
+
+    def test_walk_word_rename_away_empty(self):
+        nfa = build_selecting_nfa(parse_xpath("a/b"))
+        update = parse_update("rename $a/a/b as z")
+        states = nfa.next_states(nfa.initial_states(), "a", lambda q: True)
+        assert walk_word(nfa, states, ["b"], update) == EMPTY
+
+    def test_walk_word_rename_into_unknown(self):
+        nfa = build_selecting_nfa(parse_xpath("a/b"))
+        update = parse_update("rename $a/a/b as c")
+        states = nfa.next_states(nfa.initial_states(), "a", lambda q: True)
+        assert walk_word(nfa, states, ["c"], update) == UNKNOWN
+
+    def test_walk_word_replace_no_rematch_empty(self):
+        nfa = build_selecting_nfa(parse_xpath("a/b"))
+        update = parse_update("replace $a/a/b with <z/>")
+        states = nfa.next_states(nfa.initial_states(), "a", lambda q: True)
+        assert walk_word(nfa, states, ["b"], update) == EMPTY
+
+    def test_walk_word_replace_rematch_unknown(self):
+        nfa = build_selecting_nfa(parse_xpath("a/b"))
+        update = parse_update("replace $a/a/b with <b/>")
+        states = nfa.next_states(nfa.initial_states(), "a", lambda q: True)
+        assert walk_word(nfa, states, ["b"], update) == UNKNOWN
+
+    def test_word_letters(self):
+        assert word_letters(parse_xpath("a/b/c")) == ["a", "b", "c"]
+        assert word_letters(parse_xpath("a/b/@id")) == ["a", "b"]
+        assert word_letters(parse_xpath("a/*")) is None
+        assert word_letters(parse_xpath("a//b")) is None
+        assert word_letters(parse_xpath("a[x]/b")) is None
+
+    def test_q2_condition_compiled_away(self, doc):
+        # The composed Q2 contains no runtime transform calls at all:
+        # the qualifier is decided at compile time.
+        qt = TransformQuery(parse_update("delete $a/a/b/c"))
+        q = parse_user_query("for $x in a/b where not($x/c = 'A') return $x")
+        composed = compose(q, qt)
+        text = str(composed)
+        assert "false()" in text  # c = 'A' became statically false
+
+
+class TestDisjointQueries:
+    def test_fully_disjoint_no_transform_calls(self, doc):
+        qt = TransformQuery(parse_update("delete $a/zzz/yyy"))
+        q = parse_user_query("for $x in a/b return $x")
+        composed = compose(q, qt)
+        assert "topDown" not in str(composed)
+        assert_same_results(doc, q, qt)
+
+    def test_disjoint_branch_pruned(self, doc):
+        # U9/U1-style: the user query visits a region the update ignores.
+        qt = TransformQuery(parse_update("delete $a/a/x"))
+        q = parse_user_query("for $x in a/b/c return $x")
+        composed = compose(q, qt)
+        assert "topDown" not in str(composed)
+        assert_same_results(doc, q, qt)
+
+
+class TestUpdateKindsThroughComposition:
+    UPDATES = [
+        "delete $a/a/b",
+        "delete $a/a/b[q = 'A']",
+        "delete $a//c",
+        "insert <c>X</c> into $a/a/b",
+        "insert <b><c>Y</c></b> into $a/a",
+        "replace $a/a/b with <b><c>R</c></b>",
+        "replace $a/a/b with <z/>",
+        "rename $a/a/b as z",
+        "rename $a/a/x as b",
+        "rename $a/a/b as b2",
+    ]
+
+    QUERIES = [
+        "for $x in a/b return $x",
+        "for $x in a/b/c return $x",
+        "for $x in a/b where $x/c = 'A' return $x",
+        "for $x in a return <row>{ $x/b }</row>",
+        "for $x in a/b return $x/c",
+        "for $x in a//c return $x",
+        "for $x in a/*/c return $x",
+    ]
+
+    @pytest.mark.parametrize("update_text", UPDATES)
+    @pytest.mark.parametrize("query_text", QUERIES)
+    def test_compose_matches_naive(self, doc, update_text, query_text):
+        qt = TransformQuery(parse_update(update_text))
+        q = parse_user_query(query_text)
+        assert_same_results(doc, q, qt)
+
+
+class TestPropertyEquivalence:
+    @settings(max_examples=150, deadline=None)
+    @given(
+        tree=trees(),
+        update_path=xpath_queries(),
+        user_path=xpath_queries(),
+        kind=st.sampled_from(["insert", "delete", "replace", "rename"]),
+        shape=st.sampled_from(["bare", "path", "where", "template"]),
+    )
+    def test_compose_equals_naive_composition(
+        self, tree, update_path, user_path, kind, shape
+    ):
+        target = ("$a" + update_path) if update_path.startswith("//") else f"$a/{update_path}"
+        if kind == "insert":
+            update_text = f"insert <b><c>1</c></b> into {target}"
+        elif kind == "delete":
+            update_text = f"delete {target}"
+        elif kind == "replace":
+            update_text = f"replace {target} with <b>r</b>"
+        else:
+            update_text = f"rename {target} as b"
+        if shape == "bare":
+            query_text = f"for $x in {user_path} return $x"
+        elif shape == "path":
+            query_text = f"for $x in {user_path} return $x/b"
+        elif shape == "where":
+            query_text = f"for $x in {user_path} where $x/b = '1' return $x"
+        else:
+            query_text = f"for $x in {user_path} return <row>{{ $x/a, $x/b }}</row>"
+        from repro.xpath.normalize import UnsupportedPathError
+
+        try:
+            qt = TransformQuery(parse_update(update_text))
+            q = parse_user_query(query_text)
+            composed = compose(q, qt)
+        except UnsupportedPathError:
+            return
+        expected = naive_compose(tree, q, qt)
+        actual = evaluate_composed(tree, composed)
+        assert len(actual) == len(expected), (
+            f"arity: {len(actual)} vs {len(expected)}\n  Q: {query_text}\n"
+            f"  Qt: {update_text}\n  T: {serialize(tree)}\n  C: {composed}"
+        )
+        for got, want in zip(actual, expected):
+            if isinstance(got, Element) and isinstance(want, Element):
+                assert deep_equal(got, want), (
+                    f"item: {serialize(got)} vs {serialize(want)}\n  Q: {query_text}\n"
+                    f"  Qt: {update_text}\n  T: {serialize(tree)}\n  C: {composed}"
+                )
+            else:
+                assert got == want

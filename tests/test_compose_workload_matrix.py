@@ -1,0 +1,69 @@
+"""Integration matrix: composition across the full Fig. 11 workload.
+
+Every workload query as a user query × every update kind as a
+transform (embedding a different workload query) on a small XMark
+document — 40+ composition instances, each checked against Naive
+Composition.  This is the broad-coverage complement to the focused
+unit tests in test_compose.py.
+"""
+
+import pytest
+
+from repro.compose import compose, evaluate_composed, naive_compose
+from repro.xmark import generate
+from repro.xmark.queries import (
+    QUERY_IDS,
+    delete_transform,
+    insert_transform,
+    rename_transform,
+    replace_transform,
+    user_query_for,
+)
+from repro.xmltree import Element, deep_equal, serialize
+
+
+@pytest.fixture(scope="module")
+def doc():
+    return generate(0.001, seed=23)
+
+
+def check(doc, transform_query, user_query):
+    expected = naive_compose(doc, user_query, transform_query)
+    actual = evaluate_composed(doc, compose(user_query, transform_query))
+    assert len(actual) == len(expected), (
+        f"arity {len(actual)} vs {len(expected)} for Qt={transform_query} Q={user_query}"
+    )
+    for got, want in zip(actual, expected):
+        if isinstance(got, Element) and isinstance(want, Element):
+            assert deep_equal(got, want), (
+                f"Qt={transform_query}\nQ={user_query}\n"
+                f"got  {serialize(got)}\nwant {serialize(want)}"
+            )
+        else:
+            assert got == want
+
+
+TRANSFORM_IDS = ["U1", "U3", "U5", "U8", "U9"]
+USER_IDS = QUERY_IDS
+
+
+@pytest.mark.parametrize("user_id", USER_IDS)
+@pytest.mark.parametrize("transform_id", TRANSFORM_IDS)
+def test_insert_matrix(doc, transform_id, user_id):
+    check(doc, insert_transform(transform_id), user_query_for(user_id))
+
+
+@pytest.mark.parametrize("user_id", USER_IDS)
+@pytest.mark.parametrize("transform_id", ["U2", "U4", "U7", "U10"])
+def test_delete_matrix(doc, transform_id, user_id):
+    check(doc, delete_transform(transform_id), user_query_for(user_id))
+
+
+@pytest.mark.parametrize("user_id", ["U1", "U4", "U8"])
+def test_replace_matrix(doc, user_id):
+    check(doc, replace_transform("U3"), user_query_for(user_id))
+
+
+@pytest.mark.parametrize("user_id", ["U1", "U2", "U3"])
+def test_rename_matrix(doc, user_id):
+    check(doc, rename_transform("U1", "member"), user_query_for(user_id))

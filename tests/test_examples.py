@@ -1,0 +1,56 @@
+"""The examples are part of the public contract: each must run clean.
+
+Executed in-process (import as modules, call main) so failures give
+real tracebacks; the streaming example is pointed at a tiny factor.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, argv=None, capsys=None):
+    old_argv = sys.argv
+    sys.argv = [name] + (argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_quickstart(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "never modified" in out
+
+
+def test_security_views(capsys):
+    run_example("security_views.py")
+    out = capsys.readouterr().out
+    assert "views were virtual" in out
+    assert "emea-analysts" in out
+
+
+def test_hypothetical_queries(capsys):
+    run_example("hypothetical_queries.py")
+    out = capsys.readouterr().out
+    assert "bidders remain" in out
+    assert "schema migration preview" in out
+
+
+def test_virtual_view_updates(capsys):
+    run_example("virtual_view_updates.py")
+    out = capsys.readouterr().out
+    assert "compile-time" in out
+    assert "topDown" in out  # the Q3 composed query shows the call
+
+
+def test_streaming_large_documents(capsys):
+    run_example("streaming_large_documents.py", argv=["0.002"])
+    out = capsys.readouterr().out
+    assert "twoPassSAX" in out
+    assert "memory ratio" in out

@@ -1,0 +1,153 @@
+"""Tests for normalization: step form and qualifier normal form."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.xmltree import parse
+from repro.xpath import parse_xpath
+from repro.xpath.ast import TrueQual
+from repro.xpath.evaluator import eval_qualifier
+from repro.xpath.normalize import (
+    BETA_DOS,
+    BETA_LABEL,
+    BETA_WILDCARD,
+    NAnd,
+    NChild,
+    NDesc,
+    NLabel,
+    NSeq,
+    NText,
+    NTrue,
+    QualifierSpace,
+    UnsupportedPathError,
+    normalize_steps,
+)
+from repro.transform.qualdp import eval_nq_direct
+
+from tests.strategies import trees, _qualifiers
+from hypothesis import strategies as st
+
+
+class TestStepForm:
+    def test_simple_chain(self):
+        _, steps = normalize_steps(parse_xpath("a/b/c"))
+        assert [s.beta for s in steps] == [BETA_LABEL] * 3
+        assert [s.name for s in steps] == ["a", "b", "c"]
+
+    def test_descendant_and_wildcard(self):
+        _, steps = normalize_steps(parse_xpath("//a/*"))
+        assert [s.beta for s in steps] == [BETA_DOS, BETA_LABEL, BETA_WILDCARD]
+
+    def test_consecutive_descendants_collapse(self):
+        _, steps = normalize_steps(parse_xpath("a////b"))
+        assert [s.beta for s in steps] == [BETA_LABEL, BETA_DOS, BETA_LABEL]
+
+    def test_qualifiers_merge_with_and(self):
+        _, steps = normalize_steps(parse_xpath("a[x][y]"))
+        (step,) = steps
+        assert not isinstance(step.qual, TrueQual)
+        assert "and" in str(step.qual)
+
+    def test_self_qualifier_folds_into_previous(self):
+        _, steps = normalize_steps(parse_xpath("a/.[x]/b"))
+        assert len(steps) == 2
+        assert not isinstance(steps[0].qual, TrueQual)
+
+    def test_leading_self_qualifier_becomes_context(self):
+        context, steps = normalize_steps(parse_xpath(".[x]/a"))
+        assert not isinstance(context, TrueQual)
+        assert len(steps) == 1
+
+    def test_self_after_descendant_rejected(self):
+        with pytest.raises(UnsupportedPathError):
+            normalize_steps(parse_xpath("a//.[x]"))
+
+    def test_attr_rejected(self):
+        with pytest.raises(UnsupportedPathError):
+            normalize_steps(parse_xpath("a/@id"))
+
+    def test_step_matches_label(self):
+        _, steps = normalize_steps(parse_xpath("a/*//b"))
+        assert steps[0].matches_label("a") and not steps[0].matches_label("b")
+        assert steps[1].matches_label("anything")
+        assert steps[2].matches_label("anything")  # dos consumes any label
+
+    def test_str_forms(self):
+        _, steps = normalize_steps(parse_xpath("a[x]/*//b"))
+        rendered = [str(s) for s in steps]
+        assert rendered[0].startswith("a[")
+        assert rendered[1] == "*"
+        assert rendered[2] == "//"
+
+
+class TestQualifierNormalForm:
+    def test_label_rule(self):
+        # l → */ε[label()=l]
+        space = QualifierSpace()
+        qual = parse_xpath("x[a]").steps[0].quals[0]
+        expr = space.normalize_qual(qual)
+        assert isinstance(expr, NChild)
+        assert isinstance(expr.inner, NSeq) or isinstance(expr.inner, NLabel)
+
+    def test_comparison_rule(self):
+        # p = 's' → p[ε='s']
+        space = QualifierSpace()
+        qual = parse_xpath("x[a = 'v']").steps[0].quals[0]
+        expr = space.normalize_qual(qual)
+        assert isinstance(expr, NChild)
+
+    def test_empty_path_comparison(self):
+        space = QualifierSpace()
+        qual = parse_xpath("x[. = 'v']").steps[0].quals[0]
+        expr = space.normalize_qual(qual)
+        assert isinstance(expr, NText)
+
+    def test_descendant_path(self):
+        space = QualifierSpace()
+        qual = parse_xpath("x[.//a]").steps[0].quals[0]
+        expr = space.normalize_qual(qual)
+        assert isinstance(expr, NDesc)
+
+    def test_interning_shares_subexpressions(self):
+        # Example 5.1: the two supplier-rooted qualifier paths share
+        # their common sub-expressions.
+        space = QualifierSpace()
+        qual = parse_xpath(
+            "x[not(supplier/sname = 'HP') and not(supplier/price < 15)]"
+        ).steps[0].quals[0]
+        space.normalize_qual(qual)
+        size_once = len(space)
+        space.normalize_qual(qual)  # interning again adds nothing
+        assert len(space) == size_once
+
+    def test_topological_order(self):
+        space = QualifierSpace()
+        qual = parse_xpath("x[a[b]/c = 'v' and not(d)]").steps[0].quals[0]
+        space.normalize_qual(qual)
+        for expr in space.expressions:
+            for child in expr.children():
+                assert child.nq_id < expr.nq_id
+
+    def test_true_qualifier(self):
+        space = QualifierSpace()
+        assert isinstance(space.normalize_qual(TrueQual()), NTrue)
+
+    def test_and_collapses_true(self):
+        space = QualifierSpace()
+        left = space.true()
+        right = space.nq_label("a")
+        assert space.nq_and(left, right) is right
+
+
+class TestNormalFormSemantics:
+    """The normalized expression must mean exactly what the original
+    qualifier means — eval_nq_direct vs eval_qualifier, everywhere."""
+
+    @settings(max_examples=150, deadline=None)
+    @given(tree=trees(), qual_text=_qualifiers(2))
+    def test_direct_nq_matches_reference(self, tree, qual_text):
+        qual = parse_xpath(f"x[{qual_text}]").steps[0].quals[0]
+        space = QualifierSpace()
+        expr = space.normalize_qual(qual)
+        for node in tree.descendants_or_self():
+            assert eval_nq_direct(node, expr) == eval_qualifier(node, qual)

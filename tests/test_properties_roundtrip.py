@@ -1,0 +1,101 @@
+"""Property-based round-trip invariants across the XML substrate.
+
+Any tree the generator can produce must survive every representation
+change losslessly: serialization, file IO, SAX events (from a tree and
+from text), and streaming serialization.
+"""
+
+import io
+
+from hypothesis import given, settings
+
+from repro.xmltree import (
+    deep_copy,
+    deep_equal,
+    events_to_text,
+    events_to_tree,
+    iter_sax_string,
+    parse,
+    serialize,
+    tree_to_events,
+)
+from repro.xmltree.serializer import write_stream
+from repro.updates import parse_update
+
+from tests.strategies import trees, xpath_queries
+
+
+def _normalize(tree):
+    """Strip whitespace-only text and merge adjacent text nodes, so the
+    tree is in the parser's canonical form before round-tripping."""
+    from repro.xmltree.node import Element, Text
+
+    fresh = Element(tree.label, dict(tree.attrs), [])
+    pending = ""
+    for child in tree.children:
+        if child.is_text:
+            pending += child.value
+            continue
+        if pending and not pending.isspace():
+            fresh.children.append(Text(pending))
+        pending = ""
+        fresh.children.append(_normalize(child))
+    if pending and not pending.isspace():
+        fresh.children.append(Text(pending))
+    return fresh
+
+
+class TestRoundTrips:
+    @settings(max_examples=200, deadline=None)
+    @given(tree=trees())
+    def test_serialize_parse(self, tree):
+        tree = _normalize(tree)
+        assert deep_equal(parse(serialize(tree)), tree)
+
+    @settings(max_examples=200, deadline=None)
+    @given(tree=trees())
+    def test_tree_events_tree(self, tree):
+        assert deep_equal(events_to_tree(tree_to_events(tree)), tree)
+
+    @settings(max_examples=200, deadline=None)
+    @given(tree=trees())
+    def test_scanner_equals_parser(self, tree):
+        tree = _normalize(tree)
+        text = serialize(tree)
+        assert deep_equal(events_to_tree(iter_sax_string(text)), parse(text))
+
+    @settings(max_examples=200, deadline=None)
+    @given(tree=trees())
+    def test_events_to_text_round_trip(self, tree):
+        tree = _normalize(tree)
+        text = events_to_text(tree_to_events(tree))
+        assert deep_equal(parse(text), tree)
+
+    @settings(max_examples=100, deadline=None)
+    @given(tree=trees())
+    def test_write_stream_matches_serialize(self, tree):
+        out = io.StringIO()
+        write_stream(tree, out)
+        assert out.getvalue() == serialize(tree)
+
+    @settings(max_examples=100, deadline=None)
+    @given(tree=trees())
+    def test_deep_copy_round_trip(self, tree):
+        assert deep_equal(deep_copy(tree), tree)
+
+
+class TestSyntaxRoundTrips:
+    @settings(max_examples=150, deadline=None)
+    @given(query=xpath_queries())
+    def test_update_str_reparses(self, query):
+        target = ("$a" + query) if query.startswith("//") else f"$a/{query}"
+        for text in (
+            f"delete {target}",
+            f"insert <n k=\"v\">t</n> into {target}",
+            f"replace {target} with <n/>",
+            f"rename {target} as other",
+        ):
+            update = parse_update(text)
+            again = parse_update(str(update))
+            assert again.path == update.path
+            assert type(again) is type(update)

@@ -1,0 +1,91 @@
+"""The public API surface: everything advertised in ``repro.__all__``
+must import, and the README's code snippets must work verbatim."""
+
+import pytest
+
+import repro
+
+
+class TestSurface:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.{name} missing"
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_readme_quickstart(self):
+        doc = repro.parse("<db><part><pname>kb</pname><price>12</price></part></db>")
+        qt = repro.parse_transform_query(
+            'transform copy $a := doc("db") modify do delete $a//price return $a'
+        )
+        view = repro.transform_topdown(doc, qt)
+        assert "price" not in repro.serialize(view)
+        assert "price" in repro.serialize(doc)
+
+    def test_readme_composition(self):
+        doc = repro.parse("<db><part><pname>kb</pname><price>12</price></part></db>")
+        qt = repro.parse_transform_query(
+            'transform copy $a := doc("db") modify do delete $a//price return $a'
+        )
+        q = repro.parse_user_query("for $x in part[pname = 'kb']/price return $x")
+        qc = repro.compose(q, qt)
+        assert repro.evaluate_composed(doc, qc) == []
+        assert repro.naive_compose(doc, q, qt) == []
+
+    def test_module_docstring_example(self):
+        # The example in repro/__init__.py's docstring.
+        doc = repro.parse("<db><part><price>12</price></part></db>")
+        qt = repro.parse_transform_query(
+            'transform copy $a := doc("db") modify do delete $a//price return $a'
+        )
+        view = repro.transform_topdown(doc, qt)
+        assert "price" not in repro.serialize(view)
+        assert "price" in repro.serialize(doc)
+
+
+class TestEdgeSemantics:
+    """Odd-but-legal inputs every layer must agree on."""
+
+    def test_numeric_text_with_whitespace(self):
+        doc = repro.parse("<r><x> 5 </x></r>")
+        nodes = repro.evaluate(doc, repro.parse_xpath("x[. = 5]"))
+        assert len(nodes) == 1  # float(' 5 ') parses
+
+    def test_float_comparison(self):
+        doc = repro.parse("<r><x>5.5</x></r>")
+        assert repro.evaluate(doc, repro.parse_xpath("x[. > 5.4]"))
+        assert not repro.evaluate(doc, repro.parse_xpath("x[. > 5.6]"))
+
+    def test_empty_element_own_text(self):
+        doc = repro.parse("<r><x/></r>")
+        assert repro.evaluate(doc, repro.parse_xpath("x[. = '']"))
+
+    def test_unicode_content(self):
+        doc = repro.parse("<r><x>héllo wörld — ünïcode</x></r>")
+        nodes = repro.evaluate(doc, repro.parse_xpath("x[. = 'héllo wörld — ünïcode']"))
+        assert len(nodes) == 1
+        assert "héllo" in repro.serialize(doc)
+
+    def test_unicode_through_sax(self, tmp_path):
+        doc = repro.parse("<r><x>héllo</x><price>1</price></r>")
+        path = str(tmp_path / "u.xml")
+        repro.write_file(doc, path)
+        qt = repro.parse_transform_query(
+            'transform copy $a := doc("f") modify do delete $a//price return $a'
+        )
+        text = repro.transform_sax_file(path, qt)
+        assert "héllo" in text and "price" not in text
+
+    def test_label_equal_to_keyword(self):
+        # Elements named like query keywords must still parse as labels.
+        doc = repro.parse("<r><label>x</label><insert>y</insert></r>")
+        assert repro.evaluate(doc, repro.parse_xpath("label"))
+        assert repro.evaluate(doc, repro.parse_xpath("insert"))
+
+    def test_update_hits_root_children_only_below(self):
+        # The root element itself is never in r[[p]].
+        doc = repro.parse("<part><part/></part>")
+        qt = repro.TransformQuery(repro.parse_update("delete $a//part"))
+        result = repro.transform_topdown(doc, qt)
+        assert repro.serialize(result) == "<part/>"

@@ -1,0 +1,208 @@
+"""Tests for the Fig. 2 rewriting and the XQuery program layer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.transform import TransformQuery, transform_copy_update
+from repro.transform.rewrite import rewrite_to_xquery, transform_naive_xquery
+from repro.updates import parse_update
+from repro.xmltree import deep_equal, element, parse, serialize
+from repro.xpath import parse_xpath
+from repro.xquery.ast import Conditional, For, Literal, PathFrom, Sequence, VarRef
+from repro.xquery.program import EffectiveBool
+from repro.xquery.program import (
+    AttrItem,
+    BuiltinCall,
+    ComputedElement,
+    FunctionCall,
+    FunctionDecl,
+    IsSame,
+    Program,
+    ProgramEvaluator,
+    SomeSatisfies,
+    XQueryRuntimeError,
+    evaluate_program,
+)
+
+from tests.strategies import trees, xpath_queries
+
+
+@pytest.fixture
+def doc():
+    return parse(
+        '<db><part id="p1"><pname>kb</pname>'
+        "<supplier><price>12</price></supplier></part>"
+        "<part><pname>mouse</pname></part></db>"
+    )
+
+
+class TestProgramLayer:
+    def test_function_call_and_recursion(self, doc):
+        # A Fig. 2-shaped identity copy: recursive function over nodes.
+        program = Program(
+            declarations=[
+                FunctionDecl(
+                    "copy",
+                    ["n"],
+                    Conditional(
+                        EffectiveBool(BuiltinCall("is-element", [VarRef("n")])),
+                        ComputedElement(
+                            BuiltinCall("local-name", [VarRef("n")]),
+                            Sequence([
+                                BuiltinCall("attributes", [VarRef("n")]),
+                                For(
+                                    "c",
+                                    BuiltinCall("children", [VarRef("n")]),
+                                    FunctionCall("copy", [VarRef("c")]),
+                                ),
+                            ]),
+                        ),
+                        VarRef("n"),
+                    ),
+                )
+            ],
+            body=FunctionCall("copy", [BuiltinCall("doc", [])]),
+        )
+        (result,) = evaluate_program(program, doc)
+        assert deep_equal(result, doc)
+        assert result is not doc  # a genuine rebuild
+
+    def test_undeclared_function(self, doc):
+        program = Program(body=FunctionCall("nope", []))
+        with pytest.raises(XQueryRuntimeError):
+            evaluate_program(program, doc)
+
+    def test_arity_mismatch(self, doc):
+        program = Program(
+            declarations=[FunctionDecl("f", ["a", "b"], VarRef("a"))],
+            body=FunctionCall("f", [Literal("x")]),
+        )
+        with pytest.raises(XQueryRuntimeError):
+            evaluate_program(program, doc)
+
+    def test_computed_element_with_attrs_and_text(self, doc):
+        program = Program(
+            body=ComputedElement(
+                Literal("out"),
+                Sequence([
+                    BuiltinCall("attributes", [PathFrom(None, parse_xpath("part"))]),
+                    Literal("txt"),
+                ]),
+            )
+        )
+        (result,) = evaluate_program(program, doc)
+        assert result.attrs == {"id": "p1"}
+        assert result.own_text() == "txt"
+
+    def test_some_satisfies_is(self, doc):
+        program = Program(
+            body=Conditional(
+                SomeSatisfies("x", PathFrom(None, parse_xpath("part")),
+                              IsSame(VarRef("x"), VarRef("x"))),
+                Literal("yes"),
+                Literal("no"),
+            )
+        )
+        assert evaluate_program(program, doc) == ["yes"]
+
+    def test_some_satisfies_false_on_disjoint(self, doc):
+        program = Program(
+            body=Conditional(
+                SomeSatisfies("x", PathFrom(None, parse_xpath("part")),
+                              IsSame(VarRef("x"), PathFrom(None, parse_xpath("zzz")))),
+                Literal("yes"),
+                Literal("no"),
+            )
+        )
+        assert evaluate_program(program, doc) == ["no"]
+
+    @pytest.mark.parametrize(
+        "builtin,expected",
+        [
+            ("local-name", ["db"]),
+            ("is-element", [True]),
+            ("empty", [False]),
+            ("string", [""]),
+        ],
+    )
+    def test_builtins_on_root(self, doc, builtin, expected):
+        program = Program(body=BuiltinCall(builtin, [BuiltinCall("doc", [])]))
+        assert evaluate_program(program, doc) == expected
+
+    def test_unknown_builtin(self, doc):
+        program = Program(body=BuiltinCall("frobnicate", [Literal("x")]))
+        with pytest.raises(XQueryRuntimeError):
+            evaluate_program(program, doc)
+
+    def test_attr_item_str(self):
+        assert str(AttrItem("id", "p1")) == 'attribute id {"p1"}'
+
+    def test_program_text_shape(self):
+        query = TransformQuery(parse_update("delete $a//price"))
+        program = rewrite_to_xquery(query)
+        text = str(program)
+        assert "declare function local:apply" in text
+        assert "some $x in $xp satisfies" in text
+        assert "element {" in text
+        assert "let $xp :=" in text
+
+
+class TestNaiveXQueryEquivalence:
+    @pytest.mark.parametrize(
+        "update_text",
+        [
+            "delete $a//price",
+            "delete $a/part[pname = 'kb']",
+            "insert <checked/> into $a//supplier",
+            "insert <s/> into $a/part",
+            "replace $a//price with <price>0</price>",
+            "rename $a//pname as name",
+            "delete $a//nothing",
+        ],
+    )
+    def test_matches_reference(self, doc, update_text):
+        query = TransformQuery(parse_update(update_text))
+        expected = transform_copy_update(doc, query)
+        actual = transform_naive_xquery(doc, query)
+        assert deep_equal(actual, expected), (
+            f"rewriting diverges on {update_text}:\n"
+            f"  expected {serialize(expected)}\n  actual   {serialize(actual)}"
+        )
+
+    def test_attributes_preserved(self):
+        doc = parse('<r><a k="v" id="i"><b x="1"/></a></r>')
+        query = TransformQuery(parse_update("insert <n/> into $a/a"))
+        result = transform_naive_xquery(doc, query)
+        expected = transform_copy_update(doc, query)
+        assert deep_equal(result, expected)
+
+    def test_mixed_content_preserved(self):
+        doc = parse("<r>x<a/>y</r>", strip_whitespace=False)
+        query = TransformQuery(parse_update("delete $a/a"))
+        assert serialize(transform_naive_xquery(doc, query)) == "<r>xy</r>"
+
+    def test_inserted_copies_are_independent(self):
+        doc = parse("<r><a/><a/></r>")
+        query = TransformQuery(parse_update("insert <m/> into $a/a"))
+        result = transform_naive_xquery(doc, query)
+        first, second = result.children
+        assert first.children[0] is not second.children[0]
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        tree=trees(),
+        query_text=xpath_queries(),
+        kind=st.sampled_from(["insert", "delete", "replace", "rename"]),
+    )
+    def test_property_equivalence(self, tree, query_text, kind):
+        target = ("$a" + query_text) if query_text.startswith("//") else f"$a/{query_text}"
+        text = {
+            "insert": f"insert <n/> into {target}",
+            "delete": f"delete {target}",
+            "replace": f"replace {target} with <n/>",
+            "rename": f"rename {target} as renamed",
+        }[kind]
+        query = TransformQuery(parse_update(text))
+        expected = transform_copy_update(tree, query)
+        assert deep_equal(transform_naive_xquery(tree, query), expected)

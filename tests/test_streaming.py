@@ -1,0 +1,175 @@
+"""Tests for the streaming selector and the streaming composition
+pipeline (the future-work extension)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compose import naive_compose
+from repro.streaming import (
+    stream_compose,
+    stream_compose_file,
+    stream_select,
+    stream_select_file,
+)
+from repro.transform import TransformQuery
+from repro.updates import parse_update
+from repro.xmark import generate
+from repro.xmark.queries import (
+    composition_pairs,
+    insert_transform,
+    user_query_for,
+    EMBEDDED_PATHS,
+    QUERY_IDS,
+)
+from repro.xmltree import Element, deep_equal, parse, serialize, tree_to_events, write_file
+from repro.xpath import evaluate, parse_xpath
+from repro.xpath.normalize import UnsupportedPathError
+from repro.xquery import parse_user_query
+
+from tests.strategies import trees, xpath_queries
+
+
+def tree_source(tree):
+    return lambda: tree_to_events(tree)
+
+
+class TestStreamSelect:
+    def test_simple_selection(self):
+        doc = parse("<db><part><pname>kb</pname></part><part/></db>")
+        matches = list(stream_select(tree_source(doc), parse_xpath("part")))
+        assert len(matches) == 2
+        assert serialize(matches[0]) == "<part><pname>kb</pname></part>"
+
+    def test_qualifier_selection(self):
+        doc = parse("<db><part><pname>kb</pname></part><part><pname>m</pname></part></db>")
+        matches = list(
+            stream_select(tree_source(doc), parse_xpath("part[pname = 'kb']"))
+        )
+        assert len(matches) == 1
+
+    def test_descendant_selection_document_order(self):
+        doc = parse("<r><a><a><a/></a></a><a/></r>")
+        matches = list(stream_select(tree_source(doc), parse_xpath("//a")))
+        expected = evaluate(doc, parse_xpath("//a"))
+        assert len(matches) == len(expected)
+        for got, want in zip(matches, expected):
+            assert deep_equal(got, want)
+
+    def test_nested_matches_each_yield(self):
+        doc = parse("<r><a><b/><a><c/></a></a></r>")
+        matches = list(stream_select(tree_source(doc), parse_xpath("//a")))
+        assert [serialize(m) for m in matches] == [
+            "<a><b/><a><c/></a></a>",
+            "<a><c/></a>",
+        ]
+
+    def test_no_matches(self):
+        doc = parse("<r><a/></r>")
+        assert list(stream_select(tree_source(doc), parse_xpath("zzz"))) == []
+
+    def test_from_file(self, tmp_path):
+        doc = parse("<db><part><pname>kb</pname></part></db>")
+        path = str(tmp_path / "f.xml")
+        write_file(doc, path)
+        matches = list(stream_select_file(path, parse_xpath("part/pname")))
+        assert len(matches) == 1 and matches[0].own_text() == "kb"
+
+    @pytest.mark.parametrize("uid", QUERY_IDS)
+    def test_workload_matches_reference(self, uid):
+        doc = generate(0.001, seed=9)
+        path = parse_xpath(EMBEDDED_PATHS[uid])
+        expected = evaluate(doc, path)
+        matches = list(stream_select(tree_source(doc), path))
+        assert len(matches) == len(expected)
+        for got, want in zip(matches, expected):
+            assert deep_equal(got, want)
+
+    @settings(max_examples=100, deadline=None)
+    @given(tree=trees(), query=xpath_queries())
+    def test_property_matches_reference(self, tree, query):
+        path = parse_xpath(query)
+        try:
+            matches = list(stream_select(tree_source(tree), path))
+        except UnsupportedPathError:
+            return
+        expected = evaluate(tree, path)
+        assert len(matches) == len(expected)
+        for got, want in zip(matches, expected):
+            assert deep_equal(got, want)
+
+
+class TestStreamCompose:
+    def test_paper_pairs_match_naive(self):
+        doc = generate(0.001, seed=9)
+        for _tid, _uid, transform_query, user_query in composition_pairs():
+            expected = naive_compose(doc, user_query, transform_query)
+            actual = list(stream_compose(tree_source(doc), user_query, transform_query))
+            assert len(actual) == len(expected)
+            for got, want in zip(actual, expected):
+                assert deep_equal(got, want)
+
+    def test_where_clause_applies(self):
+        doc = parse(
+            "<db><part><pname>kb</pname><price>5</price></part>"
+            "<part><pname>m</pname><price>50</price></part></db>"
+        )
+        qt = TransformQuery(parse_update("insert <tag/> into $a/part"))
+        q = parse_user_query("for $x in part where $x/price < 10 return $x/pname")
+        result = list(stream_compose(tree_source(doc), q, qt))
+        assert len(result) == 1 and result[0].own_text() == "kb"
+
+    def test_template_applies(self):
+        doc = parse("<db><part><pname>kb</pname></part></db>")
+        qt = TransformQuery(parse_update("delete $a//zzz"))
+        q = parse_user_query("for $x in part return <row>{ $x/pname }</row>")
+        result = list(stream_compose(tree_source(doc), q, qt))
+        assert serialize(result[0]) == "<row><pname>kb</pname></row>"
+
+    def test_transform_visible_to_user_query(self):
+        doc = parse("<db><part><price>5</price></part></db>")
+        qt = TransformQuery(parse_update("delete $a//price"))
+        q = parse_user_query("for $x in part/price return $x")
+        assert list(stream_compose(tree_source(doc), q, qt)) == []
+
+    def test_insert_visible_to_user_query(self):
+        doc = parse("<db><part/></db>")
+        qt = TransformQuery(parse_update("insert <flag/> into $a/part"))
+        q = parse_user_query("for $x in part/flag return $x")
+        assert len(list(stream_compose(tree_source(doc), q, qt))) == 1
+
+    def test_from_file(self, tmp_path):
+        doc = generate(0.001, seed=9)
+        path = str(tmp_path / "site.xml")
+        write_file(doc, path)
+        qt = insert_transform("U1")
+        q = user_query_for("U2")
+        expected = naive_compose(doc, q, qt)
+        actual = list(stream_compose_file(path, q, qt))
+        assert len(actual) == len(expected)
+        for got, want in zip(actual, expected):
+            assert deep_equal(got, want)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        tree=trees(),
+        update_path=xpath_queries(),
+        user_path=xpath_queries(),
+        kind=st.sampled_from(["insert", "delete"]),
+    )
+    def test_property_matches_naive(self, tree, update_path, user_path, kind):
+        target = ("$a" + update_path) if update_path.startswith("//") else f"$a/{update_path}"
+        text = f"insert <n/> into {target}" if kind == "insert" else f"delete {target}"
+        try:
+            qt = TransformQuery(parse_update(text))
+            q = parse_user_query(f"for $x in {user_path} return $x")
+            actual = list(stream_compose(tree_source(tree), q, qt))
+        except UnsupportedPathError:
+            return
+        expected = naive_compose(tree, q, qt)
+        assert len(actual) == len(expected)
+        for got, want in zip(actual, expected):
+            if isinstance(got, Element) and isinstance(want, Element):
+                assert deep_equal(got, want)
+            else:
+                assert got == want

@@ -1,0 +1,176 @@
+"""Unit tests for update operations, their parser, and in-place apply."""
+
+import pytest
+
+from repro.updates import (
+    Delete,
+    Insert,
+    Rename,
+    Replace,
+    apply_update,
+    parse_update,
+)
+from repro.xmltree import deep_copy, deep_equal, element, parse, serialize
+from repro.xpath import parse_xpath
+from repro.xpath.lexer import XPathSyntaxError
+
+
+@pytest.fixture
+def doc():
+    return parse(
+        "<db>"
+        "<part><pname>kb</pname><supplier><price>12</price></supplier></part>"
+        "<part><pname>mouse</pname><supplier><price>8</price></supplier></part>"
+        "</db>"
+    )
+
+
+class TestParsing:
+    def test_insert(self):
+        update = parse_update("insert <supplier><sname>HP</sname></supplier> into $a//part")
+        assert isinstance(update, Insert)
+        assert str(update.path) == "//part"
+        assert update.content.label == "supplier"
+
+    def test_insert_without_variable(self):
+        update = parse_update("insert <x/> into part/supplier")
+        assert isinstance(update, Insert)
+
+    def test_delete(self):
+        update = parse_update("delete $a//price")
+        assert isinstance(update, Delete)
+        assert str(update.path) == "//price"
+
+    def test_delete_with_qualifier(self):
+        update = parse_update("delete $a//supplier[country = 'A']/price")
+        assert isinstance(update, Delete)
+
+    def test_replace(self):
+        update = parse_update("replace $a//price with <price>0</price>")
+        assert isinstance(update, Replace)
+        assert update.content.own_text() == "0"
+
+    def test_rename(self):
+        update = parse_update("rename $a//pname as name")
+        assert isinstance(update, Rename)
+        assert update.new_label == "name"
+
+    def test_str_round_trip(self):
+        for text in [
+            "insert <x/> into $a//part",
+            "delete $a//price",
+            "replace $a/part with <y>1</y>",
+            "rename $a/part as item",
+        ]:
+            update = parse_update(text)
+            again = parse_update(str(update))
+            assert type(again) is type(update)
+            assert again.path == update.path
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "frobnicate $a/x",
+            "insert <x/> into",
+            "insert <x> into $a/y",
+            "insert x into $a/y",
+            "delete",
+            "delete $a",
+            "replace $a/x with",
+            "replace $a/x with <y/> trailing",
+            "rename $a/x",
+            "rename $a/x as",
+            "delete $a/x extra",
+        ],
+    )
+    def test_malformed(self, bad):
+        with pytest.raises(XPathSyntaxError):
+            parse_update(bad)
+
+    def test_content_with_keyword_text(self):
+        # 'into' inside the element literal must not confuse the parser.
+        update = parse_update("insert <note>going into detail</note> into $a/part")
+        assert update.content.own_text() == "going into detail"
+
+    def test_replace_with_keyword_in_qualifier_string(self):
+        update = parse_update("replace $a/part[pname = 'with'] with <x/>")
+        assert isinstance(update, Replace)
+
+
+class TestApply:
+    def test_delete_removes_subtrees(self, doc):
+        apply_update(doc, parse_update("delete $a//price"))
+        assert "price" not in serialize(doc)
+        assert serialize(doc).count("<supplier/>") == 2
+
+    def test_delete_no_match_is_noop(self, doc):
+        before = serialize(doc)
+        apply_update(doc, parse_update("delete $a//zzz"))
+        assert serialize(doc) == before
+
+    def test_insert_appends_as_last_child(self, doc):
+        apply_update(doc, parse_update("insert <country>US</country> into $a//supplier"))
+        for part in doc.children_labeled("part"):
+            supplier = part.first("supplier")
+            assert supplier.children[-1].label == "country"
+
+    def test_insert_copies_are_independent(self, doc):
+        apply_update(doc, parse_update("insert <c/> into $a//supplier"))
+        suppliers = [p.first("supplier") for p in doc.children_labeled("part")]
+        assert suppliers[0].children[-1] is not suppliers[1].children[-1]
+
+    def test_replace(self, doc):
+        apply_update(doc, parse_update("replace $a//price with <price>0</price>"))
+        prices = [n.own_text() for n in doc.descendants() if n.label == "price"]
+        assert prices == ["0", "0"]
+
+    def test_rename(self, doc):
+        apply_update(doc, parse_update("rename $a//pname as name"))
+        assert [n.label for n in doc.children[0].child_elements()] == ["name", "supplier"]
+
+    def test_delete_nested_matches_topmost_wins(self):
+        doc = parse("<r><a><a><b/></a></a></r>")
+        apply_update(doc, parse_update("delete $a//a"))
+        assert serialize(doc) == "<r/>"
+
+    def test_insert_applies_at_nested_matches(self):
+        doc = parse("<r><a><a/></a></r>")
+        apply_update(doc, parse_update("insert <m/> into $a//a"))
+        assert serialize(doc) == "<r><a><a><m/></a><m/></a></r>"
+
+    def test_rename_applies_at_nested_matches(self):
+        doc = parse("<r><a><a/></a></r>")
+        apply_update(doc, parse_update("rename $a//a as b"))
+        assert serialize(doc) == "<r><b><b/></b></r>"
+
+    def test_replace_nested_matches_topmost_wins(self):
+        doc = parse("<r><a><a/></a></r>")
+        apply_update(doc, parse_update("replace $a//a with <x/>"))
+        assert serialize(doc) == "<r><x/></r>"
+
+    def test_matches_computed_before_update(self):
+        # Inserting <a/> into matches of //a must not cascade into the
+        # freshly inserted elements.
+        doc = parse("<r><a/></r>")
+        apply_update(doc, parse_update("insert <a/> into $a//a"))
+        assert serialize(doc) == "<r><a><a/></a></r>"
+
+    def test_qualifier_based_delete(self):
+        doc = parse(
+            "<db><s><country>A</country><price>1</price></s>"
+            "<s><country>B</country><price>2</price></s></db>"
+        )
+        apply_update(doc, parse_update("delete $a/s[country = 'A']/price"))
+        texts = serialize(doc)
+        assert "<price>1</price>" not in texts
+        assert "<price>2</price>" in texts
+
+    def test_returns_same_root(self, doc):
+        assert apply_update(doc, parse_update("delete $a//price")) is doc
+
+    def test_original_preserved_under_copy(self, doc):
+        snapshot = deep_copy(doc)
+        apply_update(snapshot, parse_update("delete $a//price"))
+        assert "price" in serialize(doc)
+        assert not deep_equal(doc, snapshot)

@@ -1,0 +1,150 @@
+"""Tests for the XMark-shaped generator and the Fig. 11 workload."""
+
+import pytest
+
+from repro.transform import (
+    transform_copy_update,
+    transform_naive,
+    transform_sax,
+    transform_topdown,
+    transform_twopass,
+)
+from repro.xmark import (
+    EMBEDDED_PATHS,
+    QUERY_IDS,
+    composition_pairs,
+    document_stats,
+    generate,
+    insert_transform,
+    user_query_for,
+    write_xmark_file,
+)
+from repro.xmark.generator import XMarkGenerator
+from repro.xmltree import deep_equal, parse_file
+from repro.xpath import evaluate, parse_xpath
+from repro.compose import compose, evaluate_composed, naive_compose
+from repro.xmltree.node import Element
+
+
+@pytest.fixture(scope="module")
+def doc():
+    return generate(0.002, seed=7)
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = generate(0.001, seed=3)
+        b = generate(0.001, seed=3)
+        assert deep_equal(a, b)
+
+    def test_seed_changes_content(self):
+        a = generate(0.001, seed=3)
+        b = generate(0.001, seed=4)
+        assert not deep_equal(a, b)
+
+    def test_top_level_shape(self, doc):
+        labels = [c.label for c in doc.child_elements()]
+        assert labels == ["regions", "people", "open_auctions", "closed_auctions"]
+        assert doc.label == "site"
+
+    def test_scaling_monotonic(self):
+        small = document_stats(generate(0.001, seed=1))
+        large = document_stats(generate(0.004, seed=1))
+        assert large["elements"] > small["elements"]
+        assert large["persons"] > small["persons"]
+
+    def test_counts_match_factor(self, doc):
+        stats = document_stats(doc)
+        gen = XMarkGenerator(0.002, seed=7)
+        assert stats["items"] == gen.item_count
+        assert stats["persons"] == gen.person_count
+        assert stats["open_auctions"] == gen.open_count
+        assert stats["closed_auctions"] == gen.closed_count
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            XMarkGenerator(0)
+
+    def test_streamed_file_equals_tree(self, tmp_path):
+        path = str(tmp_path / "xmark.xml")
+        size = write_xmark_file(path, 0.001, seed=7)
+        assert size > 0
+        streamed = parse_file(path)
+        in_memory = generate(0.001, seed=7)
+        assert deep_equal(streamed, in_memory)
+
+
+class TestWorkloadSelectivity:
+    """Every Fig. 11 query must select a non-empty, plausible node set."""
+
+    @pytest.mark.parametrize("uid", QUERY_IDS)
+    def test_query_selects_something(self, doc, uid):
+        nodes = evaluate(doc, parse_xpath(EMBEDDED_PATHS[uid]))
+        assert nodes, f"{uid} selected nothing"
+
+    def test_u2_selects_exactly_one(self, doc):
+        nodes = evaluate(doc, parse_xpath(EMBEDDED_PATHS["U2"]))
+        assert len(nodes) == 1
+
+    def test_u3_selects_most_but_not_all_persons(self, doc):
+        persons = evaluate(doc, parse_xpath(EMBEDDED_PATHS["U1"]))
+        adults = evaluate(doc, parse_xpath(EMBEDDED_PATHS["U3"]))
+        assert 0 < len(adults) < len(persons)
+
+    def test_u9_subset_of_u4(self, doc):
+        all_items = {id(n) for n in evaluate(doc, parse_xpath(EMBEDDED_PATHS["U4"]))}
+        us_items = {id(n) for n in evaluate(doc, parse_xpath(EMBEDDED_PATHS["U9"]))}
+        assert us_items and us_items < all_items
+
+    def test_u6_deep_path_reaches_keywords(self, doc):
+        nodes = evaluate(doc, parse_xpath(EMBEDDED_PATHS["U6"]))
+        assert all(n.label == "keyword" for n in nodes)
+
+    def test_u10_excludes_auction_2(self, doc):
+        nodes = evaluate(
+            doc,
+            parse_xpath("//open_auctions/open_auction[@id = 'open_auction2']/bidder"),
+        )
+        u10 = evaluate(doc, parse_xpath(EMBEDDED_PATHS["U10"]))
+        excluded = {id(n) for n in nodes}
+        assert all(id(n) not in excluded for n in u10)
+
+
+class TestTransformsOnWorkload:
+    """All algorithms agree on real workload queries over XMark data."""
+
+    @pytest.mark.parametrize("uid", QUERY_IDS)
+    def test_insert_transforms_agree(self, doc, uid):
+        query = insert_transform(uid)
+        expected = transform_copy_update(doc, query)
+        assert deep_equal(transform_topdown(doc, query), expected)
+        assert deep_equal(transform_twopass(doc, query), expected)
+        assert deep_equal(transform_sax(doc, query), expected)
+
+    @pytest.mark.parametrize("uid", ["U2", "U7", "U9", "U10"])
+    def test_naive_agrees_on_selected_queries(self, doc, uid):
+        # Naive is quadratic; spot-check a representative subset.
+        query = insert_transform(uid)
+        expected = transform_copy_update(doc, query)
+        assert deep_equal(transform_naive(doc, query), expected)
+
+
+class TestCompositionPairs:
+    @pytest.mark.parametrize(
+        "pair", composition_pairs(), ids=[f"{t}-{u}" for t, u, _, _ in composition_pairs()]
+    )
+    def test_compose_equals_naive_on_xmark(self, doc, pair):
+        _tid, _uid, transform_query, user_query = pair
+        expected = naive_compose(doc, user_query, transform_query)
+        actual = evaluate_composed(doc, compose(user_query, transform_query))
+        assert len(actual) == len(expected)
+        for got, want in zip(actual, expected):
+            assert isinstance(got, Element) and isinstance(want, Element)
+            assert deep_equal(got, want)
+
+    def test_u8_u10_composes_statically(self, doc):
+        # The delete of U8's bidders is decided per-auction at runtime
+        # but without any embedded topDown call.
+        _, _, tq, uq = composition_pairs()[3]
+        composed = compose(uq, tq)
+        assert "topDown" not in str(composed)

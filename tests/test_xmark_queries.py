@@ -1,0 +1,71 @@
+"""Unit tests for the workload module (repro.xmark.queries)."""
+
+import pytest
+
+from repro.transform import TransformQuery
+from repro.xmark.queries import (
+    EMBEDDED_PATHS,
+    INSERT_CONTENT,
+    QUERY_IDS,
+    composition_pairs,
+    delete_transform,
+    insert_transform,
+    rename_transform,
+    replace_transform,
+    user_query_for,
+)
+from repro.xpath import parse_xpath
+from repro.xquery.ast import UserQuery
+
+
+class TestWorkloadDefinitions:
+    def test_ten_queries_in_order(self):
+        assert QUERY_IDS == [f"U{i}" for i in range(1, 11)]
+
+    @pytest.mark.parametrize("uid", [f"U{i}" for i in range(1, 11)])
+    def test_paths_parse(self, uid):
+        assert parse_xpath(EMBEDDED_PATHS[uid]).steps
+
+    def test_u6_is_the_long_path(self):
+        # Fig. 11 calls out U6's 12-step path; minus the leading /site
+        # adaptation ours has 11 steps.
+        path = parse_xpath(EMBEDDED_PATHS["U6"])
+        assert len(path.steps) == 11
+
+    def test_u5_and_u10_use_descendant_axis(self):
+        assert EMBEDDED_PATHS["U5"].startswith("//")
+        assert EMBEDDED_PATHS["U10"].startswith("//")
+
+    @pytest.mark.parametrize("uid", [f"U{i}" for i in range(1, 11)])
+    def test_transform_builders(self, uid):
+        for builder, kind in [
+            (insert_transform, "insert"),
+            (delete_transform, "delete"),
+            (replace_transform, "replace"),
+            (rename_transform, "rename"),
+        ]:
+            query = builder(uid)
+            assert isinstance(query, TransformQuery)
+            assert query.update.kind == kind
+            assert str(query.path)  # embedded path round-trips
+
+    def test_insert_content_is_constant_element(self):
+        query = insert_transform("U1")
+        assert query.update.content.label == "new_annotation"
+        assert "inserted by Qt" in INSERT_CONTENT
+
+    @pytest.mark.parametrize("uid", [f"U{i}" for i in range(1, 11)])
+    def test_user_queries(self, uid):
+        query = user_query_for(uid)
+        assert isinstance(query, UserQuery)
+        assert query.var == "x"
+
+    def test_user_query_u10_avoids_redundant_descendant(self):
+        assert not str(user_query_for("U10").path).startswith("//")
+
+    def test_composition_pairs_match_section_7_2(self):
+        pairs = composition_pairs()
+        labels = [(t, u) for t, u, _, _ in pairs]
+        assert labels == [("U1", "U2"), ("U9", "U1"), ("U9", "U4"), ("U8", "U10")]
+        kinds = [tq.update.kind for _, _, tq, _ in pairs]
+        assert kinds == ["insert", "insert", "delete", "delete"]

@@ -1,0 +1,144 @@
+"""Unit tests for the SAX layer (streaming scanner and adapters)."""
+
+import io
+
+import pytest
+
+from repro.xmltree import (
+    EndDocument,
+    EndElement,
+    StartDocument,
+    StartElement,
+    TextEvent,
+    XMLSyntaxError,
+    deep_equal,
+    element,
+    events_to_text,
+    events_to_tree,
+    iter_sax_file,
+    iter_sax_string,
+    parse,
+    serialize,
+    tree_to_events,
+)
+
+
+class TestScanner:
+    def test_simple_document_events(self):
+        events = list(iter_sax_string("<a><b>x</b></a>"))
+        assert events == [
+            StartDocument(),
+            StartElement("a"),
+            StartElement("b"),
+            TextEvent("x"),
+            EndElement("b"),
+            EndElement("a"),
+            EndDocument(),
+        ]
+
+    def test_self_closing_emits_both(self):
+        events = list(iter_sax_string("<a/>"))
+        assert events == [StartDocument(), StartElement("a"), EndElement("a"), EndDocument()]
+
+    def test_attributes(self):
+        events = list(iter_sax_string('<a x="1" y=\'2\'/>'))
+        assert events[1] == StartElement("a", {"x": "1", "y": "2"})
+
+    def test_whitespace_stripped_by_default(self):
+        events = list(iter_sax_string("<a>\n  <b/>\n</a>"))
+        assert not any(isinstance(e, TextEvent) for e in events)
+
+    def test_whitespace_kept_on_request(self):
+        events = list(iter_sax_string("<a> <b/> </a>", strip_whitespace=False))
+        texts = [e.value for e in events if isinstance(e, TextEvent)]
+        assert texts == [" ", " "]
+
+    def test_entities_decoded(self):
+        events = list(iter_sax_string("<a>&lt;x&gt;</a>"))
+        assert TextEvent("<x>") in events
+
+    def test_comments_and_pis_skipped(self):
+        events = list(iter_sax_string('<?xml version="1.0"?><a><!--c--><?pi?><b/></a>'))
+        names = [e.name for e in events if isinstance(e, StartElement)]
+        assert names == ["a", "b"]
+
+    def test_cdata(self):
+        events = list(iter_sax_string("<a><![CDATA[<&>]]></a>"))
+        assert TextEvent("<&>") in events
+
+    def test_doctype_skipped(self):
+        events = list(iter_sax_string("<!DOCTYPE a><a/>"))
+        assert events[1] == StartElement("a")
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "<a>", "</a>", "<a/><b/>", "text<a/>", "<a>x", "<a><!--x</a>"],
+    )
+    def test_malformed_raises(self, bad):
+        with pytest.raises(XMLSyntaxError):
+            list(iter_sax_string(bad))
+
+    def test_chunk_boundary_robustness(self):
+        # A document much larger than one read chunk, with tags likely
+        # to straddle chunk boundaries.
+        body = "".join(f'<item id="i{i}">value {i} &amp; more</item>' for i in range(20000))
+        doc = f"<root>{body}</root>"
+        starts = sum(1 for e in iter_sax_string(doc) if isinstance(e, StartElement))
+        assert starts == 20001
+
+    def test_file_streaming(self, tmp_path):
+        path = tmp_path / "doc.xml"
+        path.write_text("<a><b>x</b></a>", encoding="utf-8")
+        events = list(iter_sax_file(str(path)))
+        assert events[1] == StartElement("a")
+        assert events[-1] == EndDocument()
+
+
+class TestAdapters:
+    def test_tree_to_events_round_trip(self):
+        root = parse('<db><part id="p"><pname>kb</pname></part><part/></db>')
+        rebuilt = events_to_tree(tree_to_events(root))
+        assert deep_equal(root, rebuilt)
+
+    def test_tree_to_events_no_document_wrapper(self):
+        root = element("a", element("b"))
+        events = list(tree_to_events(root, document=False))
+        assert isinstance(events[0], StartElement)
+        assert isinstance(events[-1], EndElement)
+
+    def test_scanner_matches_parser(self):
+        doc = '<db><part id="p1"><pname>key&amp;board</pname><price>12</price></part></db>'
+        via_sax = events_to_tree(iter_sax_string(doc))
+        via_dom = parse(doc)
+        assert deep_equal(via_sax, via_dom)
+
+    def test_events_to_text_round_trip(self):
+        doc = '<db><part id="p1"><pname>key&amp;board</pname></part><part/></db>'
+        text = events_to_text(iter_sax_string(doc))
+        assert deep_equal(parse(text), parse(doc))
+
+    def test_events_to_text_stream_output(self):
+        out = io.StringIO()
+        result = events_to_text(iter_sax_string("<a><b>x</b></a>"), out)
+        assert result is None
+        assert deep_equal(parse(out.getvalue()), parse("<a><b>x</b></a>"))
+
+    def test_events_to_text_self_closes_empty(self):
+        assert events_to_text(iter_sax_string("<a></a>")) == "<a/>"
+
+    def test_events_to_tree_errors(self):
+        with pytest.raises(XMLSyntaxError):
+            events_to_tree([StartElement("a")])
+        with pytest.raises(XMLSyntaxError):
+            events_to_tree([EndElement("a")])
+        with pytest.raises(XMLSyntaxError):
+            events_to_tree([TextEvent("x")])
+        with pytest.raises(XMLSyntaxError):
+            events_to_tree([])
+
+    def test_deep_tree_adapters_no_recursion_error(self):
+        doc = "<n>" * 4000 + "</n>" * 4000
+        root = events_to_tree(iter_sax_string(doc))
+        text = events_to_text(tree_to_events(root))
+        assert text.count("<n>") == 3999  # innermost serializes as <n/>
+        assert deep_equal(parse(serialize(root)), root)

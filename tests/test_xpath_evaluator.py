@@ -1,0 +1,207 @@
+"""Unit tests for the reference XPath evaluator (the oracle)."""
+
+import pytest
+
+from repro.xmltree import element, parse
+from repro.xpath import evaluate, eval_qualifier, parse_xpath
+from repro.xpath.evaluator import compare_value, eval_values
+
+
+@pytest.fixture
+def doc():
+    """The running example of Fig. 1, with concrete values."""
+    return parse(
+        """
+        <db>
+          <part>
+            <pname>keyboard</pname>
+            <supplier>
+              <sname>HP</sname><price>12</price><country>US</country>
+            </supplier>
+            <supplier>
+              <sname>Dell</sname><price>20</price><country>A</country>
+            </supplier>
+            <part>
+              <pname>key</pname>
+              <supplier>
+                <sname>Acme</sname><price>5</price><country>B</country>
+              </supplier>
+            </part>
+          </part>
+          <part>
+            <pname>mouse</pname>
+            <supplier>
+              <sname>HP</sname><price>8</price><country>A</country>
+            </supplier>
+          </part>
+        </db>
+        """
+    )
+
+
+def select(doc, expr):
+    return evaluate(doc, parse_xpath(expr))
+
+
+class TestSteps:
+    def test_child_label(self, doc):
+        assert len(select(doc, "part")) == 2
+
+    def test_child_chain(self, doc):
+        assert len(select(doc, "part/supplier")) == 3
+
+    def test_wildcard(self, doc):
+        assert len(select(doc, "part/*")) == 6
+
+    def test_descendant(self, doc):
+        assert len(select(doc, "//part")) == 3
+        assert len(select(doc, "//supplier")) == 4
+
+    def test_descendant_mid_path(self, doc):
+        assert len(select(doc, "part//supplier")) == 4
+
+    def test_descendant_excludes_root_itself(self, doc):
+        # //db is child::db under descendant-or-self — the root element
+        # itself is not selected.
+        assert select(doc, "//db") == []
+
+    def test_trailing_descendant_or_self(self, doc):
+        # part//. selects the parts and all their element descendants.
+        nodes = select(doc, "part//.")
+        assert len(nodes) == 22
+
+    def test_empty_path_selects_context(self, doc):
+        assert select(doc, ".") == [doc]
+
+    def test_document_order_no_duplicates(self, doc):
+        # part//supplier via two overlapping part branches must not
+        # duplicate the nested part's supplier.
+        nodes = select(doc, "//supplier")
+        assert len(nodes) == len({id(n) for n in nodes})
+        snames = [n.first("sname").own_text() for n in nodes]
+        assert snames == ["HP", "Dell", "Acme", "HP"]
+
+    def test_missing_label(self, doc):
+        assert select(doc, "nonexistent") == []
+
+
+class TestQualifiers:
+    def test_existence(self, doc):
+        assert len(select(doc, "part[supplier]")) == 2
+        assert len(select(doc, "part[part]")) == 1
+
+    def test_string_equality(self, doc):
+        assert len(select(doc, "part[pname = 'keyboard']")) == 1
+
+    def test_numeric_less_than(self, doc):
+        assert len(select(doc, "//supplier[price < 15]")) == 3
+
+    def test_numeric_on_nonnumeric_text_is_false(self, doc):
+        assert select(doc, "part[pname < 5]") == []
+
+    def test_existential_semantics(self, doc):
+        # The first part has suppliers in US and A: both comparisons hit.
+        assert len(select(doc, "part[supplier/country = 'US']")) == 1
+        assert len(select(doc, "part[supplier/country = 'A']")) == 2
+
+    def test_and(self, doc):
+        nodes = select(doc, "//supplier[sname = 'HP' and price < 10]")
+        assert len(nodes) == 1
+
+    def test_or(self, doc):
+        nodes = select(doc, "//supplier[country = 'US' or country = 'B']")
+        assert len(nodes) == 2
+
+    def test_not(self, doc):
+        nodes = select(doc, "//supplier[not(country = 'A')]")
+        assert len(nodes) == 2
+
+    def test_paper_query_p1(self, doc):
+        # //part[pname='keyboard']//part[¬supplier/sname='HP' ∧ ¬supplier/price<15]
+        nodes = select(
+            doc,
+            "//part[pname = 'keyboard']"
+            "//part[not(supplier/sname = 'HP') and not(supplier/price < 15)]",
+        )
+        # The nested part has supplier Acme at price 5: price<15 is true,
+        # so it is excluded; no part qualifies.
+        assert nodes == []
+
+    def test_nested_qualifier(self, doc):
+        nodes = select(doc, "part[supplier[country = 'US']/price < 15]")
+        assert len(nodes) == 1
+
+    def test_label_function(self, doc):
+        assert len(select(doc, "part/*[label() = supplier]")) == 3
+
+    def test_qualifier_with_descendant(self, doc):
+        assert len(select(doc, "part[.//sname = 'Acme']")) == 1
+
+    def test_empty_path_comparison(self, doc):
+        assert len(select(doc, "//pname[. = 'mouse']")) == 1
+
+    def test_attribute_comparison(self):
+        root = parse('<site><person id="p1"/><person id="p2"/></site>')
+        assert len(evaluate(root, parse_xpath("person[@id = 'p1']"))) == 1
+
+    def test_attribute_existence(self):
+        root = parse('<site><person id="p1"/><person/></site>')
+        assert len(evaluate(root, parse_xpath("person[@id]"))) == 1
+
+    def test_attribute_missing_never_matches(self):
+        root = parse("<site><person/></site>")
+        assert evaluate(root, parse_xpath("person[@id = 'p1']")) == []
+
+    def test_context_qualifier(self, doc):
+        assert len(select(doc, ".[part]/part")) == 2
+        assert select(doc, ".[zzz]/part") == []
+
+
+class TestValuesAndComparisons:
+    def test_eval_values_attr(self):
+        root = parse('<a><b id="1"/><b id="2"/><b/></a>')
+        values = eval_values(root, parse_xpath("b/@id"))
+        assert values == ["1", "2"]
+
+    def test_eval_values_elements(self, doc):
+        values = eval_values(doc, parse_xpath("part/pname"))
+        assert [v.own_text() for v in values] == ["keyboard", "mouse"]
+
+    @pytest.mark.parametrize(
+        "value,op,literal,expected",
+        [
+            ("12", "<", 15.0, True),
+            ("12", ">", 15.0, False),
+            ("12", "=", 12.0, True),
+            ("12", "!=", 12.0, False),
+            ("12", "<=", 12.0, True),
+            ("12", ">=", 13.0, False),
+            ("abc", "<", 15.0, False),
+            ("abc", "=", "abc", True),
+            ("abc", "!=", "abd", True),
+            ("abc", "<", "abd", True),
+        ],
+    )
+    def test_compare_value(self, value, op, literal, expected):
+        assert compare_value(value, op, literal) is expected
+
+    def test_compare_unknown_op(self):
+        with pytest.raises(ValueError):
+            compare_value("1", "~", 1.0)
+
+    def test_evaluate_rejects_attr_step(self):
+        root = element("a")
+        with pytest.raises(ValueError):
+            evaluate(root, parse_xpath("b/@id"))
+
+
+class TestQualifierAtNode:
+    def test_eval_qualifier_direct(self, doc):
+        part = doc.children[0]
+        qual = parse_xpath("x[pname = 'keyboard']").steps[0].quals[0]
+        assert eval_qualifier(part, qual)
+
+    def test_eval_qualifier_false(self, doc):
+        part = doc.children[1]
+        qual = parse_xpath("x[pname = 'keyboard']").steps[0].quals[0]
+        assert not eval_qualifier(part, qual)

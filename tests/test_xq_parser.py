@@ -1,0 +1,164 @@
+"""Tests for the XQuery program parser and the full Fig. 2 text
+round-trip: rewrite → print → reparse → evaluate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.transform import TransformQuery, transform_copy_update
+from repro.transform.rewrite import rewrite_to_xquery
+from repro.updates import parse_update
+from repro.xmltree import deep_equal, parse, serialize
+from repro.xpath.lexer import XPathSyntaxError
+from repro.xquery.ast import Conditional, For, Let, Literal, PathFrom, Sequence, VarRef
+from repro.xquery.ast import ConstTree
+from repro.xquery.program import (
+    BuiltinCall,
+    ComputedElement,
+    FunctionCall,
+    IsSame,
+    SomeSatisfies,
+    evaluate_program,
+)
+from repro.xquery.xq_parser import parse_xquery_program
+
+from tests.strategies import trees, xpath_queries
+
+
+@pytest.fixture
+def doc():
+    return parse(
+        '<db><part id="p"><pname>kb</pname><price>12</price></part><part/></db>'
+    )
+
+
+class TestParsing:
+    def test_literal_program(self, doc):
+        program = parse_xquery_program("'hello'")
+        assert program.declarations == []
+        assert evaluate_program(program, doc) == ["hello"]
+
+    def test_path_program(self, doc):
+        program = parse_xquery_program("part/pname")
+        (result,) = evaluate_program(program, doc)
+        assert result.own_text() == "kb"
+
+    def test_doc_call_with_path(self, doc):
+        program = parse_xquery_program("fn:doc()/part")
+        assert isinstance(program.body, PathFrom)
+        assert len(evaluate_program(program, doc)) == 2
+
+    def test_for_let_return(self, doc):
+        program = parse_xquery_program(
+            "for $p in part return let $n := $p/pname return $n"
+        )
+        assert isinstance(program.body, For)
+        assert isinstance(program.body.body, Let)
+
+    def test_where_clause(self, doc):
+        program = parse_xquery_program(
+            "for $p in part where $p/price > 10 return $p/pname"
+        )
+        (result,) = evaluate_program(program, doc)
+        assert result.own_text() == "kb"
+
+    def test_if_then_else(self, doc):
+        program = parse_xquery_program("if (empty(zzz)) then 'none' else 'some'")
+        assert evaluate_program(program, doc) == ["none"]
+
+    def test_computed_element(self, doc):
+        program = parse_xquery_program(
+            "element {'row'} { fn:string(part/pname), 'x' }"
+        )
+        (result,) = evaluate_program(program, doc)
+        assert serialize(result) == "<row>kbx</row>"
+
+    def test_some_satisfies_is(self, doc):
+        program = parse_xquery_program(
+            "if (some $x in part satisfies $x is part) then 'hit' else 'miss'"
+        )
+        assert evaluate_program(program, doc) == ["hit"]
+
+    def test_function_declaration_and_call(self, doc):
+        program = parse_xquery_program(
+            "declare function local:first($s) { for $i in $s return $i };"
+            "local:first(part/pname)"
+        )
+        assert len(program.declarations) == 1
+        (result,) = evaluate_program(program, doc)
+        assert result.own_text() == "kb"
+
+    def test_xml_literal(self, doc):
+        program = parse_xquery_program("fn:copy(<note k=\"v\">hi</note>)")
+        (result,) = evaluate_program(program, doc)
+        assert serialize(result) == '<note k="v">hi</note>'
+
+    def test_sequences_and_empty(self, doc):
+        assert evaluate_program(parse_xquery_program("('a', 'b')"), doc) == ["a", "b"]
+        assert evaluate_program(parse_xquery_program("()"), doc) == []
+
+    def test_boolean_connectives(self, doc):
+        program = parse_xquery_program(
+            "if (not(empty(part)) and (empty(zzz) or empty(part))) then 1 else 2"
+        )
+        assert evaluate_program(program, doc) == [1.0]
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "declare function local:f($a) { $a }",  # no body expression
+            "for $x in part",                        # missing return
+            "if (empty(a)) then 'x'",                # missing else
+            "element {'a'}",                         # missing content
+            "unknownfn(part)",
+            "local:undeclared() trailing 'extra'",
+            "fn:children(part)/pname",               # path after non-doc call
+        ],
+    )
+    def test_malformed(self, bad):
+        with pytest.raises(XPathSyntaxError):
+            parse_xquery_program(bad)
+
+
+class TestFig2RoundTrip:
+    @pytest.mark.parametrize(
+        "update_text",
+        [
+            "delete $a//price",
+            "insert <x>1</x> into $a/part",
+            "replace $a//pname with <name/>",
+            "rename $a/part as item",
+            "delete $a/part[pname = 'kb']",
+        ],
+    )
+    def test_text_round_trip_preserves_semantics(self, doc, update_text):
+        query = TransformQuery(parse_update(update_text))
+        program = rewrite_to_xquery(query)
+        reparsed = parse_xquery_program(str(program))
+        expected = transform_copy_update(doc, query)
+        (direct,) = evaluate_program(program, doc)
+        (via_text,) = evaluate_program(reparsed, doc)
+        assert deep_equal(direct, expected)
+        assert deep_equal(via_text, expected)
+
+    def test_reparsed_text_is_stable(self, doc):
+        query = TransformQuery(parse_update("delete $a//price"))
+        text = str(rewrite_to_xquery(query))
+        assert str(parse_xquery_program(text)) == text
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        tree=trees(),
+        query_text=xpath_queries(),
+        kind=st.sampled_from(["insert", "delete"]),
+    )
+    def test_property_round_trip(self, tree, query_text, kind):
+        target = ("$a" + query_text) if query_text.startswith("//") else f"$a/{query_text}"
+        text = f"insert <n/> into {target}" if kind == "insert" else f"delete {target}"
+        query = TransformQuery(parse_update(text))
+        program = rewrite_to_xquery(query)
+        reparsed = parse_xquery_program(str(program))
+        expected = transform_copy_update(tree, query)
+        (via_text,) = evaluate_program(reparsed, tree)
+        assert deep_equal(via_text, expected)
