@@ -71,14 +71,32 @@ from repro.streaming import (
     stream_select_file,
 )
 
+# The resident view store (documents, stacked views, commit/rollback)
+from repro.store import (
+    CompiledCache,
+    DocumentStore,
+    MaterializationPolicy,
+    StoreError,
+    UpdateLog,
+    ViewRegistry,
+    ViewStore,
+)
+
 # Workload generator
 from repro.xmark import generate as generate_xmark
 from repro.xmark import write_xmark_file
 
 __all__ = [
+    "CompiledCache",
+    "DocumentStore",
     "Element",
+    "MaterializationPolicy",
+    "StoreError",
     "Text",
     "TransformQuery",
+    "UpdateLog",
+    "ViewRegistry",
+    "ViewStore",
     "apply_update",
     "build_filtering_nfa",
     "build_selecting_nfa",

@@ -1,5 +1,5 @@
 """Command-line interface: transform documents, compose queries,
-generate workload data, and inspect automata.
+generate workload data, inspect automata, and run the view store.
 
 ::
 
@@ -8,6 +8,15 @@ generate workload data, and inspect automata.
     python -m repro compose -t '<transform query>' -u 'for $x in … return $x' -i in.xml
     python -m repro generate --factor 0.1 -o xmark.xml
     python -m repro explain -p '//part[pname = "kb"]//part'
+    python -m repro store load -n db -i catalog.xml
+    python -m repro store defview -n public -b db -t '<transform query>'
+    python -m repro store query -n public -u 'for $x in … return $x'
+    python -m repro store commit -n db -t '<transform query>'
+    python -m repro store stat
+
+Errors from user input (query syntax, unsupported paths, missing
+files, unknown store names) exit with status 2 and a one-line
+``repro: …`` message on stderr — no tracebacks at the CLI boundary.
 """
 
 from __future__ import annotations
@@ -15,9 +24,11 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import __version__
 from repro.automata import build_filtering_nfa, build_selecting_nfa
 from repro.compose import compose as compose_queries
 from repro.compose import evaluate_composed
+from repro.store.state import open_store, save_store
 from repro.transform import (
     parse_transform_query,
     transform_copy_update,
@@ -30,6 +41,9 @@ from repro.xmark.generator import write_xmark_file
 from repro.xmltree import Element, parse_file, serialize, write_file
 from repro.xpath import parse_xpath
 from repro.xquery import parse_user_query
+
+#: Default state directory for ``repro store`` commands.
+DEFAULT_STATE_DIR = ".repro-store"
 
 TREE_METHODS = {
     "topdown": transform_topdown,
@@ -93,10 +107,95 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# The view store (repro.store) commands
+# ----------------------------------------------------------------------
+
+
+def _cmd_store_load(args: argparse.Namespace) -> int:
+    store = open_store(args.state)
+    doc = store.load(args.name, args.input, replace=args.replace)
+    save_store(store, args.state)
+    print(f"loaded {doc.name!r} v{doc.version}: {doc.root.size()} nodes from {args.input}")
+    return 0
+
+
+def _cmd_store_defview(args: argparse.Namespace) -> int:
+    store = open_store(args.state)
+    view = store.define_view(args.name, args.base, args.transform)
+    doc_name, layers = store.views.stack(view.name)
+    save_store(store, args.state)
+    print(
+        f"defined view {view.name!r} over {view.base!r} "
+        f"(stack depth {len(layers)} on document {doc_name!r})"
+    )
+    return 0
+
+
+def _cmd_store_query(args: argparse.Namespace) -> int:
+    store = open_store(args.state)
+    results = store.query(args.name, args.user_query, include_staged=args.staged)
+    for item in results:
+        if isinstance(item, Element):
+            print(serialize(item))
+        else:
+            print(item)
+    print(f"({len(results)} result(s) from {args.name!r})", file=sys.stderr)
+    return 0
+
+
+def _cmd_store_stage(args: argparse.Namespace) -> int:
+    store = open_store(args.state)
+    depth = store.stage(args.name, args.transform)
+    save_store(store, args.state)
+    print(f"staged update #{depth} on {args.name!r} (hypothetical until commit)")
+    return 0
+
+
+def _cmd_store_commit(args: argparse.Namespace) -> int:
+    store = open_store(args.state)
+    version = store.commit(args.name, args.transform)
+    save_store(store, args.state)
+    print(f"committed {args.name!r}: now v{version}")
+    return 0
+
+
+def _cmd_store_rollback(args: argparse.Namespace) -> int:
+    store = open_store(args.state)
+    dropped = store.rollback(args.name, args.count)
+    save_store(store, args.state)
+    print(f"rolled back {dropped} staged update(s) on {args.name!r}")
+    return 0
+
+
+def _cmd_store_stat(args: argparse.Namespace) -> int:
+    store = open_store(args.state)
+    stats = store.stats()
+    if not stats["documents"]:
+        print(f"store at {args.state!r} is empty")
+        return 0
+    print(f"store at {args.state!r}:")
+    for name, info in stats["documents"].items():
+        print(
+            f"  document {name!r}: v{info['version']}, {info['nodes']} nodes, "
+            f"depth {info['depth']}, {info['staged']} staged, "
+            f"{info['committed']} committed"
+        )
+    for name, info in stats["views"].items():
+        print(
+            f"  view {name!r}: over {info['base']!r} "
+            f"(document {info['document']!r}, stack depth {info['depth']})"
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Transform queries for XML (SIGMOD 2007 reproduction)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -130,6 +229,74 @@ def build_parser() -> argparse.ArgumentParser:
     p_explain.add_argument("-p", "--path", required=True, help="the X expression")
     p_explain.set_defaults(func=_cmd_explain)
 
+    p_store = sub.add_parser(
+        "store", help="resident documents, stacked views, commit/rollback"
+    )
+    store_sub = p_store.add_subparsers(dest="store_command", required=True)
+
+    def _store_parser(name: str, help_text: str, func) -> argparse.ArgumentParser:
+        p = store_sub.add_parser(name, help=help_text)
+        p.add_argument(
+            "--state",
+            default=DEFAULT_STATE_DIR,
+            help=f"state directory (default {DEFAULT_STATE_DIR})",
+        )
+        p.set_defaults(func=func)
+        return p
+
+    p_load = _store_parser("load", "parse a document into the store", _cmd_store_load)
+    p_load.add_argument("-n", "--name", required=True, help="document name")
+    p_load.add_argument("-i", "--input", required=True, help="input XML file")
+    p_load.add_argument(
+        "--replace", action="store_true", help="supersede an existing document"
+    )
+
+    p_defview = _store_parser(
+        "defview", "define a view over a document or another view", _cmd_store_defview
+    )
+    p_defview.add_argument("-n", "--name", required=True, help="view name")
+    p_defview.add_argument(
+        "-b", "--base", required=True, help="base document or view name"
+    )
+    p_defview.add_argument(
+        "-t", "--transform", required=True, help="the view's transform query text"
+    )
+
+    p_query = _store_parser(
+        "query", "answer a user query against a document or view", _cmd_store_query
+    )
+    p_query.add_argument("-n", "--name", required=True, help="target document or view")
+    p_query.add_argument("-u", "--user-query", required=True, help="the FLWR query text")
+    p_query.add_argument(
+        "--staged",
+        action="store_true",
+        help="evaluate against the staged (hypothetical) state",
+    )
+
+    p_stage = _store_parser(
+        "stage", "stage a hypothetical transform against a document", _cmd_store_stage
+    )
+    p_stage.add_argument("-n", "--name", required=True, help="document name")
+    p_stage.add_argument("-t", "--transform", required=True, help="transform query text")
+
+    p_commit = _store_parser(
+        "commit", "apply staged updates destructively", _cmd_store_commit
+    )
+    p_commit.add_argument("-n", "--name", required=True, help="document name")
+    p_commit.add_argument(
+        "-t", "--transform", help="stage this transform first, then commit"
+    )
+
+    p_rollback = _store_parser(
+        "rollback", "discard staged updates", _cmd_store_rollback
+    )
+    p_rollback.add_argument("-n", "--name", required=True, help="document name")
+    p_rollback.add_argument(
+        "-c", "--count", type=int, help="drop only the last COUNT staged updates"
+    )
+
+    _store_parser("stat", "show documents, views and cache state", _cmd_store_stat)
+
     return parser
 
 
@@ -146,6 +313,13 @@ def main(argv=None) -> int:
         except BrokenPipeError:
             pass
         os._exit(0)
+    except (ValueError, OSError) as exc:
+        # Every parser/evaluator error in this codebase (XPathSyntaxError,
+        # XMLSyntaxError, UnsupportedPathError, StoreError, …) subclasses
+        # ValueError; OSError covers missing/unreadable files.  User
+        # mistakes get one line on stderr, not a traceback.
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

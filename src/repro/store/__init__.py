@@ -1,0 +1,70 @@
+"""``repro.store`` — a resident multi-document store with stacked
+virtual views, compiled-query caches, and commit/rollback.
+
+The rest of the package evaluates one query over one freshly parsed
+document; this subsystem keeps documents resident and routes queries
+through *view stacks*::
+
+    from repro import ViewStore
+
+    store = ViewStore()
+    store.put("catalog", "<db><part><pname>kb</pname>"
+                         "<supplier><sname>HP</sname><price>12</price>"
+                         "<country>A</country></supplier></part></db>")
+    store.define_view(
+        "public", "catalog",
+        'transform copy $a := doc("catalog") modify do '
+        "delete $a//supplier[country = 'A']/price return $a",
+    )
+    store.define_view(
+        "emea", "public",
+        'transform copy $a := doc("public") modify do '
+        "rename $a//sname as vendor return $a",
+    )
+    rows = store.query("emea", "for $x in part/supplier return $x")
+
+A view is its transform query — no tree is materialized for it unless
+the :class:`MaterializationPolicy` declares it hot.  Queries against a
+view are answered with the Compose Method over the stack (see
+:mod:`repro.store.store` for the exact strategy), compiled artifacts
+are cached in an LRU :class:`CompiledCache`, and results are cached per
+document version.  Staged updates commit destructively (bumping the
+version and invalidating dependent views and results) or roll back.
+
+:mod:`repro.store.state` gives the ``repro store`` CLI durable state:
+one directory with a JSON manifest plus one XML file per document.
+"""
+
+from repro.store.cache import CompiledCache, LRUCache
+from repro.store.documents import DocumentStore, StoredDocument
+from repro.store.errors import (
+    DuplicateNameError,
+    InvalidNameError,
+    NothingStagedError,
+    StoreError,
+    UnknownNameError,
+)
+from repro.store.log import StagedUpdate, UpdateLog
+from repro.store.state import open_store, save_store
+from repro.store.store import ViewStore
+from repro.store.views import MaterializationPolicy, View, ViewRegistry
+
+__all__ = [
+    "CompiledCache",
+    "DocumentStore",
+    "DuplicateNameError",
+    "InvalidNameError",
+    "LRUCache",
+    "MaterializationPolicy",
+    "NothingStagedError",
+    "StagedUpdate",
+    "StoreError",
+    "StoredDocument",
+    "UnknownNameError",
+    "UpdateLog",
+    "View",
+    "ViewRegistry",
+    "ViewStore",
+    "open_store",
+    "save_store",
+]

@@ -1,0 +1,148 @@
+"""Resident documents: named, versioned, lock-protected parse trees.
+
+A :class:`StoredDocument` owns its tree — the store parses documents
+itself (or deep-copies what callers hand in is *not* done; callers that
+keep mutating a tree after :meth:`DocumentStore.put` get what they
+asked for).  The version counter starts at 1 and is bumped by every
+committed update; caches key on it, so "invalidate" is mostly "the old
+version number never matches again".
+
+Concurrency model: one :class:`threading.Lock` per document.  Queries
+and commits against the same document serialize on it; different
+documents never contend.  The store-level dict has its own lock for
+name-table mutation only.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from typing import Optional
+
+from repro.store.errors import DuplicateNameError, InvalidNameError, UnknownNameError
+from repro.xmltree.node import Element
+from repro.xmltree.parser import parse, parse_file
+
+#: Names double as state-directory file stems, so keep them path-safe.
+_NAME_RE = re.compile(r"^[A-Za-z0-9_.-]+$")
+
+
+def validate_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise InvalidNameError(name)
+    return name
+
+
+class StoredDocument:
+    """One resident document: tree, version, and its lock."""
+
+    __slots__ = ("name", "root", "version", "lock", "source", "dirty")
+
+    def __init__(
+        self,
+        name: str,
+        root: Element,
+        version: int = 1,
+        source: Optional[str] = None,
+    ):
+        self.name = name
+        self.root = root
+        self.version = version
+        self.lock = threading.Lock()
+        self.source = source  # file path it was loaded from, informational
+        #: Tree changed since it was last persisted (commit, fresh put).
+        #: The state layer clears it after writing the document file.
+        self.dirty = True
+
+    def bump(self) -> int:
+        """Advance the version (callers hold :attr:`lock`)."""
+        self.version += 1
+        return self.version
+
+    def stats(self) -> dict:
+        return {
+            "version": self.version,
+            "nodes": self.root.size(),
+            "depth": self.root.depth(),
+            "source": self.source,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StoredDocument({self.name!r}, v{self.version})"
+
+
+class DocumentStore:
+    """The name → :class:`StoredDocument` table."""
+
+    def __init__(self):
+        self._docs: dict[str, StoredDocument] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+
+    def load(self, name: str, path: str, *, replace: bool = False) -> StoredDocument:
+        """Parse the file at *path* and store it under *name*."""
+        root = parse_file(path)
+        return self.put(name, root, source=path, replace=replace)
+
+    def put(
+        self,
+        name: str,
+        document,
+        *,
+        source: Optional[str] = None,
+        replace: bool = False,
+    ) -> StoredDocument:
+        """Store a parsed tree (or XML source text) under *name*.
+
+        With ``replace=True`` an existing document is superseded but its
+        version counter carries over (+1), so stale cache entries keyed
+        on the old version stay dead.
+        """
+        validate_name(name)
+        if isinstance(document, str):
+            document = parse(document)
+        if not isinstance(document, Element):
+            raise TypeError(f"expected an Element or XML text, got {document!r}")
+        with self._lock:
+            existing = self._docs.get(name)
+            if existing is not None and not replace:
+                raise DuplicateNameError(name)
+            version = existing.version + 1 if existing is not None else 1
+            doc = StoredDocument(name, document, version=version, source=source)
+            self._docs[name] = doc
+            return doc
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def get(self, name: str) -> StoredDocument:
+        with self._lock:
+            try:
+                return self._docs[name]
+            except KeyError:
+                raise UnknownNameError(name) from None
+
+    def drop(self, name: str) -> None:
+        with self._lock:
+            if name not in self._docs:
+                raise UnknownNameError(name)
+            del self._docs[name]
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._docs)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._docs
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._docs)
+
+    def stats(self) -> dict:
+        return {name: self.get(name).stats() for name in self.names()}

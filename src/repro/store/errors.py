@@ -1,0 +1,52 @@
+"""Store-layer exceptions.
+
+Every store error is a :class:`ValueError` subclass so the CLI boundary
+(which already maps ``ValueError``/``OSError`` to a one-line message and
+exit code 2) covers the store without special cases.
+"""
+
+from __future__ import annotations
+
+
+class StoreError(ValueError):
+    """Base class for every error raised by :mod:`repro.store`."""
+
+
+class UnknownNameError(StoreError):
+    """A document or view name that the store does not know."""
+
+    def __init__(self, name: str):
+        super().__init__(f"unknown document or view {name!r}")
+        self.name = name
+
+
+class DuplicateNameError(StoreError):
+    """A name already taken by a document or a view.
+
+    Documents and views share one namespace: a query names its target
+    without saying which kind it is, so the store keeps them disjoint.
+    """
+
+    def __init__(self, name: str):
+        super().__init__(f"name {name!r} is already in use")
+        self.name = name
+
+
+class NothingStagedError(StoreError):
+    """Commit or rollback on a document with an empty staging area."""
+
+    def __init__(self, name: str):
+        super().__init__(f"no staged updates for document {name!r}")
+        self.name = name
+
+
+class InvalidNameError(StoreError):
+    """A name the store refuses (it must be a plain identifier-ish
+    token: letters, digits, ``_``, ``.`` and ``-`` — names double as
+    state-directory file names)."""
+
+    def __init__(self, name: str):
+        super().__init__(
+            f"invalid name {name!r}: use letters, digits, '_', '.' or '-'"
+        )
+        self.name = name

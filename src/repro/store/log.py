@@ -1,0 +1,143 @@
+"""The update log: staged hypothetical transforms, commit and rollback.
+
+The paper's transform queries are *hypothetical* — they answer "what
+would the document look like if…" without touching it.  The log turns
+that into a two-phase workflow per document:
+
+* :meth:`UpdateLog.stage` records a transform against a document.  The
+  document is untouched; :meth:`UpdateLog.preview` builds the
+  hypothetical tree (a pure, structure-sharing transform chain — the
+  semantics of stacked transform queries) for what-if queries.
+* **Commit** (driven by the store facade, which owns the document lock
+  and the caches) replays the staged updates destructively via
+  :func:`repro.updates.apply.apply_update` and bumps the version.
+* **Rollback** simply discards staged entries — nothing was ever
+  applied, so there is nothing to undo.
+
+Sequential semantics: staged update *i+1* sees update *i*'s result,
+exactly like :class:`repro.transform.chain.TransformChain`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional
+
+from repro.store.errors import NothingStagedError
+from repro.transform.query import TransformQuery
+from repro.transform.topdown import transform_topdown
+from repro.xmltree.node import Element
+
+
+class StagedUpdate:
+    """One staged transform: the parsed query plus its source text."""
+
+    __slots__ = ("transform", "text")
+
+    def __init__(self, transform: TransformQuery, text: str):
+        self.transform = transform
+        self.text = text
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StagedUpdate({self.text!r})"
+
+
+class UpdateLog:
+    """Per-document staging areas and commit history."""
+
+    def __init__(self):
+        self._staged: dict[str, list[StagedUpdate]] = {}
+        self._history: dict[str, list[str]] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Staging
+    # ------------------------------------------------------------------
+
+    def stage(self, doc_name: str, transform: TransformQuery, text: str) -> int:
+        """Stage a transform against *doc_name*; returns the new depth
+        of the staging area."""
+        entry = StagedUpdate(transform, text)
+        with self._lock:
+            queue = self._staged.setdefault(doc_name, [])
+            queue.append(entry)
+            return len(queue)
+
+    def staged(self, doc_name: str) -> list[StagedUpdate]:
+        with self._lock:
+            return list(self._staged.get(doc_name, []))
+
+    def has_staged(self, doc_name: str) -> bool:
+        with self._lock:
+            return bool(self._staged.get(doc_name))
+
+    # ------------------------------------------------------------------
+    # Hypothetical evaluation
+    # ------------------------------------------------------------------
+
+    def preview(
+        self,
+        root: Element,
+        doc_name: str,
+        transform: Callable = transform_topdown,
+    ) -> Element:
+        """The tree the staged updates *would* produce.  Pure: shares
+        every untouched subtree with *root*; *root* is not modified."""
+        current = root
+        for entry in self.staged(doc_name):
+            current = transform(current, entry.transform)
+        return current
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+
+    def take(self, doc_name: str) -> list[StagedUpdate]:
+        """Remove and return every staged update (the commit path).
+
+        Raises :class:`NothingStagedError` on an empty staging area —
+        an empty commit is almost always a workflow bug.
+        """
+        with self._lock:
+            queue = self._staged.get(doc_name)
+            if not queue:
+                raise NothingStagedError(doc_name)
+            self._staged[doc_name] = []
+            return queue
+
+    def rollback(self, doc_name: str, count: Optional[int] = None) -> int:
+        """Discard the last *count* staged updates (default: all);
+        returns how many were dropped."""
+        with self._lock:
+            queue = self._staged.get(doc_name)
+            if not queue:
+                raise NothingStagedError(doc_name)
+            dropped = len(queue) if count is None else max(0, min(count, len(queue)))
+            if dropped:
+                del queue[len(queue) - dropped:]
+            return dropped
+
+    def record_commit(self, doc_name: str, entries: list[StagedUpdate]) -> None:
+        with self._lock:
+            self._history.setdefault(doc_name, []).extend(e.text for e in entries)
+
+    def history(self, doc_name: str) -> list[str]:
+        """Source texts of every committed transform, oldest first."""
+        with self._lock:
+            return list(self._history.get(doc_name, []))
+
+    def restore_history(self, doc_name: str, texts: list[str]) -> None:
+        """Replace the commit history (state-directory restore path)."""
+        with self._lock:
+            self._history[doc_name] = list(texts)
+
+    def stats(self) -> dict:
+        with self._lock:
+            names = set(self._staged) | set(self._history)
+            return {
+                name: {
+                    "staged": len(self._staged.get(name, [])),
+                    "committed": len(self._history.get(name, [])),
+                }
+                for name in sorted(names)
+            }

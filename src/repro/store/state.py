@@ -1,0 +1,110 @@
+"""Durable state for the ``repro store`` CLI: a directory holding one
+XML file per document plus a JSON manifest.
+
+Layout of a state directory::
+
+    store.json        — versions, view definitions, staged updates
+    doc-<name>.xml    — one serialized tree per document
+
+The CLI is one process per command, so each invocation rebuilds a
+:class:`~repro.store.store.ViewStore` from the directory, applies its
+command, and writes the directory back.  Compiled caches are in-memory
+only (they are cheap to rebuild and never stale); what persists is
+exactly the stateful part: documents, their versions, the view
+definitions in dependency order, and the staged-update texts.
+
+The manifest is written atomically (temp file + ``os.replace``) so an
+interrupted command never leaves a half-written manifest behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional
+
+from repro.store.store import ViewStore
+from repro.store.views import MaterializationPolicy
+from repro.xmltree.serializer import write_file
+
+MANIFEST_NAME = "store.json"
+_FORMAT = 1
+
+
+def _manifest_path(state_dir: str) -> str:
+    return os.path.join(state_dir, MANIFEST_NAME)
+
+
+def _document_file(name: str) -> str:
+    return f"doc-{name}.xml"
+
+
+def open_store(
+    state_dir: str, policy: Optional[MaterializationPolicy] = None
+) -> ViewStore:
+    """Build a :class:`ViewStore` from a state directory.
+
+    A missing directory (or one without a manifest) yields an empty
+    store — ``repro store load`` bootstraps it on first save.
+    """
+    store = ViewStore(policy=policy)
+    manifest_path = _manifest_path(state_dir)
+    if not os.path.exists(manifest_path):
+        return store
+    with open(manifest_path, "r", encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    if manifest.get("format") != _FORMAT:
+        raise ValueError(
+            f"unsupported store state format {manifest.get('format')!r} "
+            f"in {manifest_path}"
+        )
+    for name, info in manifest.get("documents", {}).items():
+        path = os.path.join(state_dir, info["file"])
+        doc = store.load(name, path)
+        doc.version = int(info.get("version", 1))
+        doc.dirty = False  # the tree came from the state file itself
+        for text in info.get("staged", []):
+            store.stage(name, text)
+        store.log.restore_history(name, info.get("history", []))
+    # Views were saved in definition order, so bases always exist.
+    for entry in manifest.get("views", []):
+        store.define_view(entry["name"], entry["base"], entry["transform"])
+    return store
+
+
+def save_store(store: ViewStore, state_dir: str) -> str:
+    """Write the store's durable state into *state_dir*; returns the
+    manifest path."""
+    os.makedirs(state_dir, exist_ok=True)
+    documents = {}
+    for name in store.documents.names():
+        doc = store.documents.get(name)
+        filename = _document_file(name)
+        path = os.path.join(state_dir, filename)
+        with doc.lock:
+            # Only rewrite trees that changed (commit / fresh load): a
+            # manifest-only command on a store of large documents must
+            # not pay — or risk — a full re-serialization of each one.
+            if doc.dirty or not os.path.exists(path):
+                temp = path + ".tmp"
+                write_file(doc.root, temp)
+                os.replace(temp, path)
+                doc.dirty = False
+            documents[name] = {
+                "file": filename,
+                "version": doc.version,
+                "staged": [entry.text for entry in store.log.staged(name)],
+                "history": store.log.history(name),
+            }
+    views = [
+        {"name": view.name, "base": view.base, "transform": view.transform_text}
+        for view in store.views.in_definition_order()
+    ]
+    manifest = {"format": _FORMAT, "documents": documents, "views": views}
+    manifest_path = _manifest_path(state_dir)
+    temp_path = manifest_path + ".tmp"
+    with open(temp_path, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(temp_path, manifest_path)
+    return manifest_path

@@ -1,0 +1,286 @@
+"""The store facade: documents + views + caches + update log.
+
+Evaluation strategy for ``query(target, q)``:
+
+* *target* is a document → evaluate ``q`` directly on its tree.
+* *target* is a view stack ``t1 … tn`` over document ``T`` → the
+  outermost transform ``tn`` is **composed** with ``q`` (Section 4's
+  Compose Method: the rewrite prunes the transform to the subtrees the
+  query visits and skips it entirely where it provably cannot matter),
+  and the composed plan is evaluated over ``t_{n-1}(… t1(T))``.  The
+  inner layers are chained as pure, structure-sharing transforms —
+  untouched subtrees are *shared* with the stored document, never
+  copied — and their trees are discarded after the query unless the
+  materialization policy has marked a layer hot, in which case its tree
+  is kept until the next commit invalidates it.  The evaluation starts
+  from the deepest still-valid materialization, so a hot middle layer
+  shortcuts the whole prefix below it.
+
+Caching: compiled artifacts (parses, NFAs, composed plans) live in a
+:class:`~repro.store.cache.CompiledCache` and never go stale; query
+*results* are cached under ``(target, document version, query text)``
+and die wholesale when a commit bumps the version.
+
+Concurrency: every evaluation and commit runs under the target
+document's lock; name-table mutations take the store lock.  Results
+are returned as-is (they may share structure with the stored tree) —
+treat them as immutable snapshots, and serialize them if they must
+survive a later commit.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.store.cache import CompiledCache, LRUCache
+from repro.store.documents import DocumentStore, StoredDocument
+from repro.store.errors import DuplicateNameError, StoreError, UnknownNameError
+from repro.store.log import UpdateLog
+from repro.store.views import MaterializationPolicy, View, ViewRegistry
+from repro.transform.topdown import transform_topdown
+from repro.updates.apply import apply_update
+from repro.xmltree.node import Element
+from repro.xquery.evaluator import evaluate_query
+
+
+class ViewStore:
+    """A resident multi-document store with stacked virtual views."""
+
+    def __init__(
+        self,
+        policy: Optional[MaterializationPolicy] = None,
+        compiled_cache_size: int = 256,
+        result_cache_size: int = 512,
+    ):
+        self.documents = DocumentStore()
+        self.views = ViewRegistry(policy)
+        self.compiled = CompiledCache(compiled_cache_size)
+        self.results = LRUCache(result_cache_size)
+        self.log = UpdateLog()
+
+    # ------------------------------------------------------------------
+    # Documents
+    # ------------------------------------------------------------------
+
+    def load(self, name: str, path: str, *, replace: bool = False) -> StoredDocument:
+        """Parse the file at *path* into the store under *name*."""
+        self._check_free(name, replace_document=replace)
+        return self.documents.load(name, path, replace=replace)
+
+    def put(
+        self,
+        name: str,
+        document: Union[Element, str],
+        *,
+        replace: bool = False,
+    ) -> StoredDocument:
+        """Store a parsed tree or XML source text under *name*."""
+        self._check_free(name, replace_document=replace)
+        return self.documents.put(name, document, replace=replace)
+
+    def _check_free(self, name: str, *, replace_document: bool = False) -> None:
+        if name in self.views:
+            raise DuplicateNameError(name)
+        if not replace_document and name in self.documents:
+            raise DuplicateNameError(name)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+
+    def define_view(self, name: str, base: str, transform_text: str) -> View:
+        """Define *name* as *base* (a document or a view) seen through
+        the given transform query."""
+        if name in self.documents or name in self.views:
+            raise DuplicateNameError(name)
+        if base not in self.documents and base not in self.views:
+            raise UnknownNameError(base)
+        transform = self.compiled.transform(transform_text)
+        return self.views.define(name, base, transform, transform_text)
+
+    def drop(self, name: str) -> None:
+        """Drop a view, or a document no view depends on."""
+        if name in self.views:
+            self.views.drop(name)
+            self.results.invalidate(lambda key: key[0] == name)
+            return
+        if name in self.documents:
+            dependents = self.views.dependents_of_document(name)
+            if dependents:
+                raise StoreError(
+                    f"cannot drop document {name!r}: views "
+                    f"{sorted(v.name for v in dependents)} are defined over it"
+                )
+            self.documents.drop(name)
+            self.results.invalidate(lambda key: key[0] == name)
+            return
+        raise UnknownNameError(name)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def query(
+        self, target: str, query_text: str, *, include_staged: bool = False
+    ) -> list:
+        """Answer a user query against a document or a view.
+
+        ``include_staged=True`` evaluates against the hypothetical tree
+        the staged-but-uncommitted updates would produce (bypassing the
+        result cache and the materializations, which reflect committed
+        state only).
+        """
+        doc, stack = self._resolve(target)
+        staged = include_staged and self.log.has_staged(doc.name)
+        with doc.lock:
+            # The version read and the cache probe happen under the
+            # document lock: a concurrent commit mutates the tree in
+            # place, so a hit must never be served mid-commit.
+            key = (target, doc.version, query_text)
+            if not staged:
+                cached = self.results.get(key)
+                if cached is not None:
+                    return cached
+            root = doc.root
+            if staged:
+                root = self.log.preview(root, doc.name)
+            result = self._answer(
+                root, stack, query_text, doc.version, use_materializations=not staged
+            )
+            if not staged:
+                self.results.put(key, result)
+        return result
+
+    def query_naive(
+        self, target: str, query_text: str, *, include_staged: bool = False
+    ) -> list:
+        """Reference evaluation: materialize every layer of the stack,
+        then run the user query — no composition, no caches.  Used by
+        tests and benchmarks as the oracle ``Q(tn(…t1(T)))``."""
+        doc, stack = self._resolve(target)
+        with doc.lock:
+            root = doc.root
+            if include_staged:
+                root = self.log.preview(root, doc.name)
+            for view in stack:
+                root = transform_topdown(root, view.transform)
+            return evaluate_query(root, self.compiled.user_query(query_text))
+
+    def _resolve(self, target: str) -> tuple[StoredDocument, list[View]]:
+        if target in self.views:
+            doc_name, stack = self.views.stack(target)
+            return self.documents.get(doc_name), stack
+        return self.documents.get(target), []
+
+    def _answer(
+        self,
+        root: Element,
+        stack: list[View],
+        query_text: str,
+        version: int,
+        use_materializations: bool = True,
+    ) -> list:
+        user_query = self.compiled.user_query(query_text)
+        if not stack:
+            return evaluate_query(root, user_query)
+        base = root
+        start = 0
+        if use_materializations:
+            # Shortcut to the deepest layer whose tree is still valid.
+            for index, view in enumerate(stack):
+                cached = view.materialization_for(version)
+                if cached is not None:
+                    base, start = cached, index + 1
+        for view in stack[start:-1]:
+            view.query_count += 1
+            tree = transform_topdown(base, view.transform)
+            if use_materializations and self.views.policy.should_materialize(view):
+                view.set_materialized(tree, version)
+            base = tree
+        outer = stack[-1]
+        if start == len(stack):
+            # The outermost view itself is materialized: query it plainly.
+            outer.query_count += 1
+            return evaluate_query(base, user_query)
+        outer.query_count += 1
+        if use_materializations and self.views.policy.should_materialize(outer):
+            tree = transform_topdown(base, outer.transform)
+            outer.set_materialized(tree, version)
+            return evaluate_query(tree, user_query)
+        composed = self.compiled.composed(query_text, outer.transform_text)
+        return evaluate_query(base, composed)
+
+    # ------------------------------------------------------------------
+    # Updates: stage / commit / rollback
+    # ------------------------------------------------------------------
+
+    def _require_document(self, name: str) -> StoredDocument:
+        """A *document* for update operations — views are read-only, so
+        point the caller at the document their stack bottoms out in."""
+        if name in self.views:
+            raise StoreError(
+                f"{name!r} is a view and cannot be updated; stage/commit/"
+                f"rollback target its document {self.views.document_of(name)!r}"
+            )
+        return self.documents.get(name)
+
+    def stage(self, doc_name: str, transform_text: str) -> int:
+        """Stage a hypothetical transform against a document; returns
+        the staging-area depth."""
+        doc = self._require_document(doc_name)  # raises on unknown names
+        transform = self.compiled.transform(transform_text)
+        return self.log.stage(doc.name, transform, transform_text)
+
+    def rollback(self, doc_name: str, count: Optional[int] = None) -> int:
+        """Discard staged updates (default: all); the document was never
+        touched.  Returns how many entries were dropped."""
+        self._require_document(doc_name)
+        return self.log.rollback(doc_name, count)
+
+    def commit(self, doc_name: str, transform_text: Optional[str] = None) -> int:
+        """Apply the staged updates destructively, in staging order.
+
+        *transform_text*, if given, is staged first (the one-shot
+        ``stage + commit`` convenience the CLI uses).  Bumps the
+        document version, drops every cached result for the document
+        and its views, and invalidates their materializations.  Returns
+        the new version.
+        """
+        doc = self._require_document(doc_name)
+        if transform_text is not None:
+            self.stage(doc_name, transform_text)
+        with doc.lock:
+            entries = self.log.take(doc_name)
+            for entry in entries:
+                apply_update(doc.root, entry.transform.update)
+            self.log.record_commit(doc_name, entries)
+            doc.dirty = True
+            version = doc.bump()
+            self._invalidate_for(doc_name)
+        return version
+
+    def _invalidate_for(self, doc_name: str) -> None:
+        self.views.invalidate_document(doc_name)
+        affected = {doc_name}
+        affected.update(v.name for v in self.views.dependents_of_document(doc_name))
+        self.results.invalidate(lambda key: key[0] in affected)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        log_stats = self.log.stats()
+        documents = {}
+        for name, info in self.documents.stats().items():
+            info = dict(info)
+            info.update(log_stats.get(name, {"staged": 0, "committed": 0}))
+            documents[name] = info
+        return {
+            "documents": documents,
+            "views": self.views.stats(),
+            "caches": {
+                "compiled": self.compiled.stats(),
+                "results": self.results.stats(),
+            },
+        }

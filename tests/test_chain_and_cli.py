@@ -205,3 +205,58 @@ class TestCLI:
         assert code == 0
         out = capsys.readouterr().out
         assert "selecting NFA" in out and "filtering NFA" in out
+
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(["--version"])
+        assert excinfo.value.code == 0
+        assert f"repro {repro.__version__}" in capsys.readouterr().out
+
+
+class TestCLIErrorBoundary:
+    """User mistakes exit 2 with one line on stderr — never a traceback."""
+
+    def _assert_clean_failure(self, capsys, code):
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: ")
+        assert "Traceback" not in err
+
+    def test_explain_attribute_final_path(self, capsys):
+        self._assert_clean_failure(capsys, cli.main(["explain", "-p", "//supplier/@id"]))
+
+    def test_compose_attribute_final_user_path(self, tmp_path, capsys):
+        in_path = str(tmp_path / "in.xml")
+        write_file(parse("<db><a k='1'/></db>"), in_path)
+        code = cli.main([
+            "compose",
+            "-t", 'transform copy $a := doc("f") modify do delete $a/zzz return $a',
+            "-u", "for $x in a/@k return $x",
+            "-i", in_path,
+        ])
+        self._assert_clean_failure(capsys, code)
+
+    def test_transform_missing_input_file(self, tmp_path, capsys):
+        code = cli.main([
+            "transform",
+            "-q", 'transform copy $a := doc("f") modify do delete $a//p return $a',
+            "-i", str(tmp_path / "missing.xml"),
+        ])
+        self._assert_clean_failure(capsys, code)
+
+    def test_compose_missing_input_file(self, tmp_path, capsys):
+        code = cli.main([
+            "compose",
+            "-t", 'transform copy $a := doc("f") modify do delete $a/x return $a',
+            "-u", "for $x in a return $x",
+            "-i", str(tmp_path / "missing.xml"),
+        ])
+        self._assert_clean_failure(capsys, code)
+
+    def test_transform_bad_query_syntax(self, tmp_path, capsys):
+        in_path = str(tmp_path / "in.xml")
+        write_file(parse("<db/>"), in_path)
+        code = cli.main(["transform", "-q", "not a transform", "-i", in_path])
+        self._assert_clean_failure(capsys, code)

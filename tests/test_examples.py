@@ -49,6 +49,14 @@ def test_virtual_view_updates(capsys):
     assert "topDown" in out  # the Q3 composed query shows the call
 
 
+def test_view_server(capsys):
+    run_example("view_server.py")
+    out = capsys.readouterr().out
+    assert "result cache" in out
+    assert "committed catalog v2" in out
+    assert "staged preview" in out
+
+
 def test_streaming_large_documents(capsys):
     run_example("streaming_large_documents.py", argv=["0.002"])
     out = capsys.readouterr().out

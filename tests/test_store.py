@@ -1,0 +1,430 @@
+"""The view store: documents, stacked views, caches, commit/rollback.
+
+The oracle throughout is ``query_naive`` — materialize every layer of
+the stack with a pure transform, then run the user query.  The store's
+composed/cached answers must agree with it on every workload here.
+"""
+
+import threading
+
+import pytest
+
+from repro import serialize
+from repro.store import (
+    DuplicateNameError,
+    InvalidNameError,
+    LRUCache,
+    MaterializationPolicy,
+    NothingStagedError,
+    StoreError,
+    UnknownNameError,
+    ViewStore,
+)
+
+CATALOG = (
+    "<db><part><pname>kb</pname>"
+    "<supplier><sname>HP</sname><price>12</price><country>A</country></supplier>"
+    "<supplier><sname>Dell</sname><price>20</price><country>B</country></supplier>"
+    "</part><part><pname>mouse</pname>"
+    "<supplier><sname>HP</sname><price>8</price><country>A</country></supplier>"
+    "</part></db>"
+)
+
+HIDE_A = (
+    'transform copy $a := doc("db") modify do '
+    "delete $a//supplier[country = 'A']/price return $a"
+)
+ANONYMIZE = (
+    'transform copy $a := doc("db") modify do '
+    "rename $a//sname as vendor return $a"
+)
+
+
+def _texts(nodes):
+    return [n if isinstance(n, str) else serialize(n) for n in nodes]
+
+
+@pytest.fixture
+def store():
+    s = ViewStore()
+    s.put("db", CATALOG)
+    return s
+
+
+@pytest.fixture
+def stacked(store):
+    store.define_view("public", "db", HIDE_A)
+    store.define_view("partners", "public", ANONYMIZE)
+    return store
+
+
+class TestLRUCache:
+    def test_eviction_order(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh a
+        cache.put("c", 3)           # evicts b
+        assert "b" not in cache and "a" in cache and "c" in cache
+        assert cache.stats()["evictions"] == 1
+
+    def test_get_or_compute_counts(self):
+        cache = LRUCache(maxsize=4)
+        calls = []
+        assert cache.get_or_compute("k", lambda: calls.append(1) or 42) == 42
+        assert cache.get_or_compute("k", lambda: calls.append(1) or 42) == 42
+        assert len(calls) == 1
+        assert cache.stats()["hits"] == 1
+
+    def test_invalidate_predicate(self):
+        cache = LRUCache(maxsize=8)
+        cache.put(("x", 1), "a")
+        cache.put(("y", 1), "b")
+        assert cache.invalidate(lambda key: key[0] == "x") == 1
+        assert ("y", 1) in cache
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            LRUCache(maxsize=0)
+
+
+class TestDocuments:
+    def test_round_trip_and_versions(self, store):
+        doc = store.documents.get("db")
+        assert doc.version == 1
+        assert doc.root.label == "db"
+
+    def test_duplicate_rejected(self, store):
+        with pytest.raises(DuplicateNameError):
+            store.put("db", "<db/>")
+
+    def test_replace_carries_version(self, store):
+        doc = store.put("db", "<db><part/></db>", replace=True)
+        assert doc.version == 2  # stale cache keys stay dead
+
+    def test_unknown_name(self, store):
+        with pytest.raises(UnknownNameError):
+            store.query("nope", "for $x in a return $x")
+
+    def test_invalid_name(self, store):
+        with pytest.raises(InvalidNameError):
+            store.put("../evil", "<db/>")
+
+    def test_load_from_file(self, tmp_path, store):
+        path = tmp_path / "cat.xml"
+        path.write_text(CATALOG, encoding="utf-8")
+        doc = store.load("disk", str(path))
+        assert doc.source == str(path)
+        assert store.query("disk", "for $x in part/pname return $x")
+
+
+class TestViewStacks:
+    QUERIES = [
+        "for $x in part/supplier return $x",
+        "for $x in part[pname = 'kb']/supplier return $x/sname",
+        "for $x in part where $x/supplier/price < 10 return $x/pname",
+        "for $x in part/supplier[country = 'B'] return $x",
+    ]
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_depth2_matches_naive(self, stacked, query):
+        assert _texts(stacked.query("partners", query)) == _texts(
+            stacked.query_naive("partners", query)
+        )
+
+    @pytest.mark.parametrize(
+        "transform",
+        [
+            'transform copy $a := doc("public") modify do '
+            "insert <audited/> into $a/part return $a",
+            'transform copy $a := doc("public") modify do '
+            "replace $a//price with <price>0</price> return $a",
+            'transform copy $a := doc("public") modify do '
+            "delete $a//country return $a",
+        ],
+    )
+    def test_all_update_kinds_stack(self, stacked, transform):
+        stacked.define_view("extra", "partners", transform)
+        for query in self.QUERIES:
+            assert _texts(stacked.query("extra", query)) == _texts(
+                stacked.query_naive("extra", query)
+            )
+
+    def test_views_are_virtual(self, stacked):
+        stacked.query("partners", self.QUERIES[0])
+        assert "price" in serialize(stacked.documents.get("db").root)
+        assert stacked.views.get("public").materialized_root is None
+
+    def test_deep_stack(self, store):
+        base = "db"
+        for depth in range(1, 6):
+            name = f"v{depth}"
+            store.define_view(
+                name,
+                base,
+                f'transform copy $a := doc("{base}") modify do '
+                f"insert <layer{depth}/> into $a/part return $a",
+            )
+            base = name
+        result = store.query("v5", "for $x in part[pname = 'mouse'] return $x")
+        (only,) = result
+        text = serialize(only)
+        assert all(f"<layer{d}/>" in text for d in range(1, 6))
+        assert _texts(result) == _texts(
+            store.query_naive("v5", "for $x in part[pname = 'mouse'] return $x")
+        )
+
+    def test_duplicate_view_name_rejected(self, stacked):
+        with pytest.raises(DuplicateNameError):
+            stacked.define_view("public", "db", HIDE_A)
+        with pytest.raises(DuplicateNameError):
+            stacked.put("public", "<db/>")
+
+    def test_view_over_unknown_base(self, store):
+        with pytest.raises(UnknownNameError):
+            store.define_view("v", "ghost", HIDE_A)
+
+    def test_drop_protects_dependents(self, stacked):
+        with pytest.raises(StoreError):
+            stacked.drop("public")   # partners stacks on it
+        with pytest.raises(StoreError):
+            stacked.drop("db")       # views bottom out in it
+        stacked.drop("partners")
+        stacked.drop("public")
+        stacked.drop("db")
+        assert len(stacked.documents) == 0
+
+
+class TestCaches:
+    def test_result_cache_hit_returns_same_list(self, stacked):
+        query = "for $x in part/supplier return $x"
+        first = stacked.query("partners", query)
+        assert stacked.query("partners", query) is first
+        assert stacked.results.stats()["hits"] == 1
+
+    def test_compiled_plan_reused_across_targets(self, stacked):
+        query = "for $x in part/supplier return $x"
+        stacked.query("partners", query)
+        built = stacked.compiled.plans.stats()["misses"]
+        stacked.results.invalidate()
+        stacked.query("partners", query)
+        assert stacked.compiled.plans.stats()["misses"] == built
+
+    def test_commit_invalidates_results(self, stacked):
+        query = "for $x in part/supplier/price return $x"
+        before = stacked.query("partners", query)
+        version = stacked.commit(
+            "db",
+            'transform copy $a := doc("db") modify do '
+            "delete $a//supplier[country = 'B']/price return $a",
+        )
+        assert version == 2
+        after = stacked.query("partners", query)
+        assert after is not before
+        assert _texts(after) == _texts(stacked.query_naive("partners", query))
+        assert len(after) < len(before)
+
+    def test_unrelated_document_results_survive_commit(self, stacked):
+        stacked.put("other", "<db><part><pname>cable</pname></part></db>")
+        query = "for $x in part/pname return $x"
+        kept = stacked.query("other", query)
+        stacked.commit("db", ANONYMIZE)
+        assert stacked.query("other", query) is kept
+
+
+class TestMaterialization:
+    def test_hot_view_materializes_and_stays_correct(self):
+        store = ViewStore(policy=MaterializationPolicy(hot_threshold=2))
+        store.put("db", CATALOG)
+        store.define_view("public", "db", HIDE_A)
+        query = "for $x in part/supplier return $x"
+        cold = _texts(store.query("public", query))
+        view = store.views.get("public")
+        assert view.materialized_root is None
+        store.results.invalidate()
+        warm = _texts(store.query("public", query))
+        assert view.materialized_root is not None
+        assert view.materialized_version == 1
+        store.results.invalidate()
+        assert _texts(store.query("public", query)) == warm == cold
+
+    def test_commit_invalidates_materialization(self):
+        store = ViewStore(policy=MaterializationPolicy(hot_threshold=1))
+        store.put("db", CATALOG)
+        store.define_view("public", "db", HIDE_A)
+        query = "for $x in part/supplier return $x"
+        store.query("public", query)
+        assert store.views.get("public").materialized_root is not None
+        store.commit(
+            "db",
+            'transform copy $a := doc("db") modify do '
+            "rename $a//sname as vendor return $a",
+        )
+        assert store.views.get("public").materialized_root is None
+        assert _texts(store.query("public", query)) == _texts(
+            store.query_naive("public", query)
+        )
+
+    def test_disabled_policy_never_materializes(self):
+        store = ViewStore(policy=MaterializationPolicy(enabled=False))
+        store.put("db", CATALOG)
+        store.define_view("public", "db", HIDE_A)
+        for _ in range(20):
+            store.results.invalidate()
+            store.query("public", "for $x in part return $x")
+        assert store.views.get("public").materialized_root is None
+
+    def test_middle_layer_materialization_shortcuts(self, store):
+        store.views.policy = MaterializationPolicy(hot_threshold=1)
+        store.define_view("public", "db", HIDE_A)
+        store.define_view("partners", "public", ANONYMIZE)
+        query = "for $x in part/supplier return $x"
+        store.query("partners", query)
+        store.results.invalidate()
+        answer = _texts(store.query("partners", query))
+        assert store.views.get("public").materialized_root is not None
+        assert answer == _texts(store.query_naive("partners", query))
+
+
+class TestCommitRollback:
+    def test_staged_preview_does_not_touch_document(self, stacked):
+        stacked.stage(
+            "db",
+            'transform copy $a := doc("db") modify do '
+            "delete $a//price return $a",
+        )
+        preview = stacked.query(
+            "partners", "for $x in part/supplier return $x", include_staged=True
+        )
+        assert "price" not in "".join(_texts(preview))
+        committed = stacked.query("partners", "for $x in part/supplier return $x")
+        assert "price" in "".join(_texts(committed))
+        assert stacked.documents.get("db").version == 1
+
+    def test_rollback_discards(self, stacked):
+        stacked.stage("db", ANONYMIZE)
+        assert stacked.rollback("db") == 1
+        with pytest.raises(NothingStagedError):
+            stacked.rollback("db")
+        with pytest.raises(NothingStagedError):
+            stacked.commit("db")
+
+    def test_commit_is_sequential_over_stages(self, store):
+        store.stage(
+            "db",
+            'transform copy $a := doc("db") modify do '
+            "rename $a//price as cost return $a",
+        )
+        store.stage(
+            "db",
+            'transform copy $a := doc("db") modify do '
+            "delete $a//cost return $a",
+        )
+        assert store.commit("db") == 2
+        assert "cost" not in serialize(store.documents.get("db").root)
+        assert "price" not in serialize(store.documents.get("db").root)
+        assert len(store.log.history("db")) == 2
+
+    def test_update_operations_reject_views(self, stacked):
+        delete_all = (
+            'transform copy $a := doc("db") modify do '
+            "delete $a//price return $a"
+        )
+        for operation in (
+            lambda: stacked.stage("partners", delete_all),
+            lambda: stacked.commit("partners", delete_all),
+            lambda: stacked.rollback("partners"),
+        ):
+            with pytest.raises(StoreError, match="is a view.*document 'db'"):
+                operation()
+
+    def test_commit_history_recorded(self, store):
+        store.commit(
+            "db",
+            'transform copy $a := doc("db") modify do '
+            "delete $a//price return $a",
+        )
+        assert len(store.log.history("db")) == 1
+
+    def test_staged_query_bypasses_result_cache(self, stacked):
+        query = "for $x in part/supplier return $x"
+        cached = stacked.query("partners", query)
+        stacked.stage(
+            "db",
+            'transform copy $a := doc("db") modify do '
+            "delete $a//supplier return $a",
+        )
+        hypothetical = stacked.query("partners", query, include_staged=True)
+        assert hypothetical == []
+        # The committed-state cache entry is untouched.
+        assert stacked.query("partners", query) is cached
+        stacked.rollback("db")
+
+
+class TestConcurrency:
+    def test_parallel_queries_agree(self, stacked):
+        query = "for $x in part/supplier return $x"
+        expected = _texts(stacked.query_naive("partners", query))
+        errors = []
+        results = []
+
+        def worker():
+            try:
+                for _ in range(20):
+                    results.append(_texts(stacked.query("partners", query)))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert all(r == expected for r in results)
+
+    def test_queries_during_commits(self):
+        store = ViewStore(policy=MaterializationPolicy(hot_threshold=3))
+        store.put("db", CATALOG)
+        store.define_view("public", "db", HIDE_A)
+        query = "for $x in part/supplier return $x"
+        errors = []
+        done = threading.Event()
+
+        def reader():
+            try:
+                while not done.is_set():
+                    got = store.query("public", query)
+                    assert isinstance(got, list)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        readers = [threading.Thread(target=reader) for _ in range(4)]
+        for t in readers:
+            t.start()
+        try:
+            for index in range(5):
+                store.commit(
+                    "db",
+                    'transform copy $a := doc("db") modify do '
+                    f"insert <tick{index}/> into $a/part return $a",
+                )
+        finally:
+            done.set()
+            for t in readers:
+                t.join()
+        assert not errors
+        assert store.documents.get("db").version == 6
+        final = _texts(store.query("public", query))
+        assert final == _texts(store.query_naive("public", query))
+
+
+class TestStats:
+    def test_stats_shape(self, stacked):
+        stacked.query("partners", "for $x in part return $x")
+        stats = stacked.stats()
+        assert stats["documents"]["db"]["version"] == 1
+        assert stats["views"]["partners"]["depth"] == 2
+        assert stats["views"]["partners"]["document"] == "db"
+        assert "plans" in stats["caches"]["compiled"]
+        assert stats["caches"]["results"]["misses"] >= 1

@@ -1,0 +1,109 @@
+"""Edge cases of the value semantics: ``compare_value``, ``eval_values``
+with attributes, and the document-order invariant of ``evaluate``.
+
+The comparison rules (module docstring of :mod:`repro.xpath.evaluator`):
+a string literal compares as a string, a number literal numerically,
+and values that do not parse as numbers never match a numeric literal —
+not even under ``!=``.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.xmltree import parse
+from repro.xpath import parse_xpath
+from repro.xpath.evaluator import compare_value, eval_values, evaluate
+from repro.xpath.lexer import XPathSyntaxError
+from repro.xpath.normalize import UnsupportedPathError
+
+from tests.strategies import trees, xpath_queries
+
+
+class TestCompareValue:
+    @pytest.mark.parametrize("op", ["=", "!=", "<", "<=", ">", ">="])
+    def test_non_numeric_text_never_matches_numeric_literal(self, op):
+        assert compare_value("abc", op, 5.0) is False
+
+    def test_numeric_literal_compares_numerically(self):
+        assert compare_value("12", ">", 5.0)       # 12 > 5, not "12" > "5"
+        assert compare_value(" 5 ", "=", 5.0)      # float() strips whitespace
+        assert compare_value("5.50", "=", 5.5)
+
+    def test_string_literal_compares_lexicographically(self):
+        assert compare_value("12", "<", "5")       # "1" < "5" as strings
+        assert not compare_value("12", "=", "12.0")
+
+    def test_empty_string_vs_numeric(self):
+        assert compare_value("", "=", 0.0) is False
+        assert compare_value("", "!=", 0.0) is False
+
+    def test_unknown_operator(self):
+        with pytest.raises(ValueError):
+            compare_value("1", "~", "1")
+
+
+class TestEvalValuesAttributes:
+    DOC = parse(
+        "<db>"
+        "<a id='1'><b/></a>"
+        "<a><b/></a>"               # no id attribute
+        "<a id='3'/>"
+        "</db>"
+    )
+
+    def test_missing_attributes_contribute_nothing(self):
+        assert eval_values(self.DOC, parse_xpath("a/@id")) == ["1", "3"]
+
+    def test_attr_on_empty_selection(self):
+        assert eval_values(self.DOC, parse_xpath("zzz/@id")) == []
+
+    def test_non_attr_path_returns_nodes(self):
+        values = eval_values(self.DOC, parse_xpath("a/b"))
+        assert [v.label for v in values] == ["b", "b"]
+
+    def test_attribute_qualifier_existence_and_comparison(self):
+        assert len(evaluate(self.DOC, parse_xpath("a[@id]"))) == 2
+        assert len(evaluate(self.DOC, parse_xpath("a[@id = '3']"))) == 1
+        # A missing attribute fails every comparison, including !=.
+        assert len(evaluate(self.DOC, parse_xpath("a[@id != '3']"))) == 1
+
+    def test_evaluate_rejects_attribute_final_selecting_path(self):
+        with pytest.raises(ValueError):
+            evaluate(self.DOC, parse_xpath("a/@id"))
+
+
+class TestDocumentOrder:
+    def _preorder_positions(self, root):
+        return {id(node): index for index, node in enumerate(root.descendants_or_self())}
+
+    def test_descendant_step_interleaving(self):
+        # After //, children of later branches must not precede earlier
+        # branches' descendants.
+        doc = parse(
+            "<r><a><b><c>1</c></b></a><a><b><c>2</c></b></a><c>3</c></r>"
+        )
+        nodes = evaluate(doc, parse_xpath("//c"))
+        texts = [n.own_text() for n in nodes]
+        assert texts == ["1", "2", "3"]
+
+    def test_no_duplicates_after_nested_descendant(self):
+        doc = parse("<r><a><a><b/></a></a></r>")
+        nodes = evaluate(doc, parse_xpath("//a//b"))
+        assert len(nodes) == 1  # reachable via both a's, reported once
+
+    @settings(max_examples=150, deadline=None)
+    @given(trees(), xpath_queries())
+    def test_evaluate_returns_document_order(self, tree, query_text):
+        try:
+            path = parse_xpath(query_text)
+            nodes = evaluate(tree, path)
+        except (XPathSyntaxError, UnsupportedPathError):
+            return  # the random query fell outside the fragment
+        positions = self._preorder_positions(tree)
+        indices = [positions[id(node)] for node in nodes]
+        assert indices == sorted(indices), (
+            f"out of document order for {query_text!r}"
+        )
+        assert len(set(indices)) == len(indices), (
+            f"duplicates returned for {query_text!r}"
+        )
