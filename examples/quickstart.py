@@ -4,15 +4,17 @@ Run with::
 
     python examples/quickstart.py
 
-Walks through the paper's running example (Fig. 1): parsing a document,
-writing transform queries for all four update kinds, evaluating them
-with different algorithms, and confirming the source is never modified.
+Walks through the paper's running example (Fig. 1) the way the engine
+API frames it: prepare a transform query once, let the cost-based
+planner pick the evaluation strategy, execute it many times — then
+peek underneath at the five equivalent algorithms the planner chooses
+among, and confirm the source document is never modified.
 """
 
 from repro import (
+    Engine,
     deep_equal,
     parse,
-    parse_transform_query,
     serialize,
     transform_sax,
     transform_topdown,
@@ -43,38 +45,54 @@ def main() -> None:
     doc = parse(DOCUMENT)
     show("original document", doc)
 
+    # The engine prepares a query once (parse + automata) and plans the
+    # evaluation strategy per input; .run() executes the plan.
+    engine = Engine()
+
     # 1. Delete: a view of the catalog without any price information.
     #    (Example 1.1 of the paper — inexpressible in plain XPath,
     #    one line as a transform query.)
-    no_prices = parse_transform_query(
+    no_prices = engine.prepare_transform(
         'transform copy $a := doc("db") modify do delete $a//price return $a'
     )
-    show("delete $a//price", transform_topdown(doc, no_prices))
+    show("delete $a//price", no_prices.run(doc))
+
+    # The plan is inspectable: the cost table and the reasons.
+    print("--- the plan ---")
+    print(no_prices.explain(doc))
+    print()
 
     # 2. Insert: add a review stub to every part.
-    add_reviews = parse_transform_query(
+    add_reviews = engine.prepare_transform(
         'transform copy $a := doc("db") modify do '
         "insert <reviews pending=\"true\"/> into $a/part return $a"
     )
-    show("insert <reviews/> into $a/part", transform_topdown(doc, add_reviews))
+    show("insert <reviews/> into $a/part", add_reviews.run(doc))
 
     # 3. Replace: hide prices of suppliers from country 'A' instead of
     #    removing them (a redaction-style security view).
-    redact = parse_transform_query(
+    redact = engine.prepare_transform(
         'transform copy $a := doc("db") modify do '
         "replace $a//supplier[country = 'A']/price with <price>hidden</price> return $a"
     )
-    show("replace qualifying prices", transform_topdown(doc, redact))
+    show("replace qualifying prices", redact.run(doc))
 
-    # 4. Rename: align vocabulary with a partner schema.
-    rename = parse_transform_query(
+    # 4. Rename: align vocabulary with a partner schema — chained onto
+    #    the redaction with .then(): stage 2 sees stage 1's result.
+    partner_view = redact.then(engine.prepare_transform(
         'transform copy $a := doc("db") modify do rename $a//sname as vendor return $a'
-    )
-    show("rename $a//sname as vendor", transform_topdown(doc, rename))
+    ))
+    show("redact, then rename (a prepared stack)", partner_view.run(doc))
 
-    # All evaluation algorithms agree, and the source is untouched.
+    # Underneath, five evaluation algorithms — all semantically
+    # identical; the planner picks one, and forcing any other gives
+    # the same tree.
+    reference = no_prices.run(doc)
+    for method in ("topdown", "twopass", "naive", "copy", "sax"):
+        assert deep_equal(no_prices.run(doc, method=method), reference)
+    # The flat functions remain available for direct calls.
     for algorithm in (transform_topdown, transform_twopass, transform_sax):
-        assert deep_equal(algorithm(doc, no_prices), transform_topdown(doc, no_prices))
+        assert deep_equal(algorithm(doc, no_prices.query), reference)
     assert "price" in serialize(doc)
     print("all algorithms agree; the stored document was never modified")
 

@@ -3,25 +3,31 @@
 
 Transform queries evaluate an XML update *hypothetically*: they return
 the tree the update would produce, without touching the stored
-document::
+document.  The front door is the prepared-statement :class:`Engine`:
+parse and compile once, let the cost-based planner pick the evaluation
+strategy per input, execute many times::
 
-    from repro import parse, parse_transform_query, transform_topdown, serialize
+    from repro import Engine, parse, serialize
 
+    engine = Engine()
     doc = parse("<db><part><price>12</price></part></db>")
-    qt = parse_transform_query(
+    strip = engine.prepare_transform(
         'transform copy $a := doc("db") modify do delete $a//price return $a'
     )
-    view = transform_topdown(doc, qt)
+    view = strip.run(doc)                   # planner-chosen strategy
     assert "price" not in serialize(view)
     assert "price" in serialize(doc)        # the source is untouched
+    print(strip.explain(doc))               # the plan and its cost table
 
-Five evaluation strategies (all semantically identical), the
+The five evaluation strategies (all semantically identical), the
 automaton machinery they are built on, and the Compose Method for
-fusing user queries with transform queries are exported here; each
-subpackage's docstring maps back to the paper's sections.
+fusing user queries with transform queries remain exported as flat
+functions — thin, stable entry points over the same machinery the
+engine plans across; each subpackage's docstring maps back to the
+paper's sections.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 # XML substrate
 from repro.xmltree import (
@@ -82,14 +88,53 @@ from repro.store import (
     ViewStore,
 )
 
+# The prepared-statement engine and its cost-based planner
+from repro.engine import (
+    Engine,
+    Plan,
+    Planner,
+    PreparedComposed,
+    PreparedQuery,
+    PreparedStack,
+    PreparedTransform,
+    default_engine,
+)
+
 # Workload generator
 from repro.xmark import generate as generate_xmark
 from repro.xmark import write_xmark_file
+
+
+def prepare_transform(text):
+    """Prepare a transform query on the process-wide default engine."""
+    return default_engine().prepare_transform(text)
+
+
+def prepare_query(text):
+    """Prepare a FLWR user query on the process-wide default engine."""
+    return default_engine().prepare_query(text)
+
+
+def prepare_composed(user, transform):
+    """Prepare a composed (user ∘ transform) plan on the default engine."""
+    return default_engine().prepare_composed(user, transform)
+
 
 __all__ = [
     "CompiledCache",
     "DocumentStore",
     "Element",
+    "Engine",
+    "Plan",
+    "Planner",
+    "PreparedComposed",
+    "PreparedQuery",
+    "PreparedStack",
+    "PreparedTransform",
+    "default_engine",
+    "prepare_composed",
+    "prepare_query",
+    "prepare_transform",
     "MaterializationPolicy",
     "StoreError",
     "Text",

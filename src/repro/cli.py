@@ -1,18 +1,30 @@
 """Command-line interface: transform documents, compose queries,
-generate workload data, inspect automata, and run the view store.
+generate workload data, inspect automata and plans, and run the view
+store.
 
 ::
 
     python -m repro transform -q 'transform copy $a := doc("f") modify \\
-        do delete $a//price return $a' -i in.xml -o out.xml --method sax
+        do delete $a//price return $a' -i in.xml -o out.xml
+    python -m repro transform -q @query.xqu -i in.xml --method sax
     python -m repro compose -t '<transform query>' -u 'for $x in … return $x' -i in.xml
     python -m repro generate --factor 0.1 -o xmark.xml
     python -m repro explain -p '//part[pname = "kb"]//part'
+    python -m repro explain -q '<transform query>' -i in.xml
     python -m repro store load -n db -i catalog.xml
     python -m repro store defview -n public -b db -t '<transform query>'
     python -m repro store query -n public -u 'for $x in … return $x'
     python -m repro store commit -n db -t '<transform query>'
     python -m repro store stat
+
+Every query-text option (``transform -q``, ``compose -t/-u``,
+``explain -q``, ``store … -t/-u``) also accepts ``@path`` to read the
+text from a file and ``-`` to read it from stdin, so long queries need
+not live on the command line.
+
+``transform`` defaults to ``--method auto``: the engine's cost-based
+planner picks the evaluation strategy from the query's shape and the
+input's size (``repro explain -q …`` shows the decision).
 
 Errors from user input (query syntax, unsupported paths, missing
 files, unknown store names) exit with status 2 and a one-line
@@ -23,63 +35,108 @@ from __future__ import annotations
 
 import argparse
 import sys
+import warnings
 
 from repro import __version__
 from repro.automata import build_filtering_nfa, build_selecting_nfa
-from repro.compose import compose as compose_queries
-from repro.compose import evaluate_composed
+from repro.engine import ALL_STRATEGIES, default_engine
 from repro.store.state import open_store, save_store
-from repro.transform import (
-    parse_transform_query,
-    transform_copy_update,
-    transform_naive,
-    transform_sax_file,
-    transform_topdown,
-    transform_twopass,
-)
 from repro.xmark.generator import write_xmark_file
-from repro.xmltree import Element, parse_file, serialize, write_file
+from repro.xmltree import Element, serialize
 from repro.xpath import parse_xpath
-from repro.xquery import parse_user_query
 
 #: Default state directory for ``repro store`` commands.
 DEFAULT_STATE_DIR = ".repro-store"
 
-TREE_METHODS = {
-    "topdown": transform_topdown,
-    "twopass": transform_twopass,
-    "naive": transform_naive,
-    "copy": transform_copy_update,
-}
+#: Fixed tree methods selectable with --method (beyond auto/sax).
+TREE_METHODS = tuple(s for s in ALL_STRATEGIES if s not in ("sax", "stream"))
+
+
+#: Guards against two query options draining stdin in one invocation
+#: (the second read would silently see an empty stream); reset by
+#: :func:`main`.
+_stdin_consumed = False
+
+
+def read_query_arg(value: str) -> str:
+    """Resolve a query-text argument: literal text, ``@path`` (read the
+    file), or ``-`` (read stdin; at most one option per invocation)."""
+    global _stdin_consumed
+    if value == "-":
+        if _stdin_consumed:
+            raise ValueError(
+                "stdin (-) can supply only one query option per invocation; "
+                "use @file for the others"
+            )
+        _stdin_consumed = True
+        text = sys.stdin.read()
+    elif value.startswith("@"):
+        with open(value[1:], "r", encoding="utf-8") as handle:
+            text = handle.read()
+    else:
+        return value
+    if not text.strip():
+        raise ValueError("empty query text (from @file or stdin)")
+    return text.strip()
 
 
 def _cmd_transform(args: argparse.Namespace) -> int:
-    query = parse_transform_query(args.query)
+    query_text = read_query_arg(args.query)
+    prepared = default_engine().prepare_transform(query_text)
+    if args.explain:
+        if args.method != "auto":
+            print(f"method forced by --method: {args.method}")
+            print("(the planner's own choice for this input would be:)")
+        print(prepared.explain(args.input))
+        return 0
     if args.method == "sax":
-        result = transform_sax_file(args.input, query, args.output)
+        # File-to-file streaming with the prepared automata.
+        if args.pretty:
+            print(
+                "repro: pretty-printing is ignored for streamed "
+                "file-to-file transforms (streaming keeps memory bounded)",
+                file=sys.stderr,
+            )
+        result = prepared.stream_file(args.input, args.output)
         if result is not None:
             sys.stdout.write(result + "\n")
         return 0
-    tree = parse_file(args.input)
-    transformed = TREE_METHODS[args.method](tree, query)
     if args.output:
-        write_file(transformed, args.output, indent="  " if args.pretty else None)
+        # Library warnings (e.g. --pretty ignored on a streamed plan)
+        # are restyled as one-line repro: messages at the CLI boundary.
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            prepared.run_to_file(
+                args.input, args.output, method=args.method, pretty=args.pretty
+            )
+        for warning in caught:
+            print(f"repro: {warning.message}", file=sys.stderr)
+    elif (
+        args.method == "auto"
+        and not args.pretty
+        and prepared.stream_if_planned(args.input, sys.stdout)
+    ):
+        # Planner chose streaming: events went straight to stdout, so
+        # memory really stayed bounded by document depth.
+        sys.stdout.write("\n")
     else:
+        transformed = prepared.run(args.input, method=args.method)
         sys.stdout.write(serialize(transformed, indent="  " if args.pretty else None))
         sys.stdout.write("\n")
     return 0
 
 
 def _cmd_compose(args: argparse.Namespace) -> int:
-    transform_query = parse_transform_query(args.transform)
-    user_query = parse_user_query(args.user_query)
-    composed = compose_queries(user_query, transform_query)
+    engine = default_engine()
+    prepared = engine.prepare_composed(
+        read_query_arg(args.user_query), read_query_arg(args.transform)
+    )
+    composed = prepared.plan
     if args.show_plan or not args.input:
         print(f"composed query: {composed}")
     if not args.input:
         return 0
-    tree = parse_file(args.input)
-    for item in evaluate_composed(tree, composed):
+    for item in prepared.run(args.input):
         if isinstance(item, Element):
             print(serialize(item))
         else:
@@ -94,6 +151,14 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
+    if not args.path and not args.query:
+        raise ValueError("explain needs -p (an X expression) or -q (a query)")
+    if args.query:
+        text = read_query_arg(args.query)
+        print(default_engine().explain(text, args.input))
+        if not args.path:
+            return 0
+        print()
     path = parse_xpath(args.path)
     print("selecting NFA (Section 3.4):")
     print(build_selecting_nfa(path).describe())
@@ -122,7 +187,7 @@ def _cmd_store_load(args: argparse.Namespace) -> int:
 
 def _cmd_store_defview(args: argparse.Namespace) -> int:
     store = open_store(args.state)
-    view = store.define_view(args.name, args.base, args.transform)
+    view = store.define_view(args.name, args.base, read_query_arg(args.transform))
     doc_name, layers = store.views.stack(view.name)
     save_store(store, args.state)
     print(
@@ -134,7 +199,9 @@ def _cmd_store_defview(args: argparse.Namespace) -> int:
 
 def _cmd_store_query(args: argparse.Namespace) -> int:
     store = open_store(args.state)
-    results = store.query(args.name, args.user_query, include_staged=args.staged)
+    results = store.query(
+        args.name, read_query_arg(args.user_query), include_staged=args.staged
+    )
     for item in results:
         if isinstance(item, Element):
             print(serialize(item))
@@ -146,7 +213,7 @@ def _cmd_store_query(args: argparse.Namespace) -> int:
 
 def _cmd_store_stage(args: argparse.Namespace) -> int:
     store = open_store(args.state)
-    depth = store.stage(args.name, args.transform)
+    depth = store.stage(args.name, read_query_arg(args.transform))
     save_store(store, args.state)
     print(f"staged update #{depth} on {args.name!r} (hypothetical until commit)")
     return 0
@@ -154,7 +221,10 @@ def _cmd_store_stage(args: argparse.Namespace) -> int:
 
 def _cmd_store_commit(args: argparse.Namespace) -> int:
     store = open_store(args.state)
-    version = store.commit(args.name, args.transform)
+    transform = args.transform
+    if transform is not None:
+        transform = read_query_arg(transform)
+    version = store.commit(args.name, transform)
     save_store(store, args.state)
     print(f"committed {args.name!r}: now v{version}")
     return 0
@@ -199,22 +269,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    query_help_suffix = " (@path reads a file, - reads stdin)"
+
     p_transform = sub.add_parser("transform", help="evaluate a transform query on a document")
-    p_transform.add_argument("-q", "--query", required=True, help="the transform query text")
+    p_transform.add_argument(
+        "-q", "--query", required=True,
+        help="the transform query text" + query_help_suffix,
+    )
     p_transform.add_argument("-i", "--input", required=True, help="input XML file")
     p_transform.add_argument("-o", "--output", help="output file (stdout if omitted)")
     p_transform.add_argument(
         "--method",
-        choices=sorted(TREE_METHODS) + ["sax"],
-        default="topdown",
-        help="evaluation algorithm (sax streams file-to-file)",
+        choices=["auto"] + sorted(TREE_METHODS) + ["sax"],
+        default="auto",
+        help="evaluation algorithm: auto lets the cost-based planner "
+        "choose (sax streams file-to-file)",
     )
     p_transform.add_argument("--pretty", action="store_true", help="indent the output")
+    p_transform.add_argument(
+        "--explain", action="store_true",
+        help="print the chosen plan instead of executing",
+    )
     p_transform.set_defaults(func=_cmd_transform)
 
     p_compose = sub.add_parser("compose", help="compose a user query with a transform query")
-    p_compose.add_argument("-t", "--transform", required=True, help="the transform query text")
-    p_compose.add_argument("-u", "--user-query", required=True, help="the FLWR user query text")
+    p_compose.add_argument(
+        "-t", "--transform", required=True,
+        help="the transform query text" + query_help_suffix,
+    )
+    p_compose.add_argument(
+        "-u", "--user-query", required=True,
+        help="the FLWR user query text" + query_help_suffix,
+    )
     p_compose.add_argument("-i", "--input", help="evaluate the composition on this XML file")
     p_compose.add_argument("--show-plan", action="store_true", help="print the composed query")
     p_compose.set_defaults(func=_cmd_compose)
@@ -225,8 +311,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_generate.add_argument("-o", "--output", required=True, help="output file")
     p_generate.set_defaults(func=_cmd_generate)
 
-    p_explain = sub.add_parser("explain", help="show the automata built for an X expression")
-    p_explain.add_argument("-p", "--path", required=True, help="the X expression")
+    p_explain = sub.add_parser(
+        "explain", help="show the plan for a query or the automata for an X expression"
+    )
+    p_explain.add_argument("-p", "--path", help="the X expression")
+    p_explain.add_argument(
+        "-q", "--query",
+        help="a transform or user query: show the engine's plan"
+        + query_help_suffix,
+    )
+    p_explain.add_argument(
+        "-i", "--input", help="plan against this XML file (with -q)"
+    )
     p_explain.set_defaults(func=_cmd_explain)
 
     p_store = sub.add_parser(
@@ -259,14 +355,16 @@ def build_parser() -> argparse.ArgumentParser:
         "-b", "--base", required=True, help="base document or view name"
     )
     p_defview.add_argument(
-        "-t", "--transform", required=True, help="the view's transform query text"
+        "-t", "--transform", required=True,
+        help="the view's transform query text" + query_help_suffix,
     )
 
     p_query = _store_parser(
         "query", "answer a user query against a document or view", _cmd_store_query
     )
     p_query.add_argument("-n", "--name", required=True, help="target document or view")
-    p_query.add_argument("-u", "--user-query", required=True, help="the FLWR query text")
+    p_query.add_argument("-u", "--user-query", required=True,
+        help="the FLWR query text" + query_help_suffix,)
     p_query.add_argument(
         "--staged",
         action="store_true",
@@ -277,14 +375,16 @@ def build_parser() -> argparse.ArgumentParser:
         "stage", "stage a hypothetical transform against a document", _cmd_store_stage
     )
     p_stage.add_argument("-n", "--name", required=True, help="document name")
-    p_stage.add_argument("-t", "--transform", required=True, help="transform query text")
+    p_stage.add_argument("-t", "--transform", required=True,
+        help="transform query text" + query_help_suffix,)
 
     p_commit = _store_parser(
         "commit", "apply staged updates destructively", _cmd_store_commit
     )
     p_commit.add_argument("-n", "--name", required=True, help="document name")
     p_commit.add_argument(
-        "-t", "--transform", help="stage this transform first, then commit"
+        "-t", "--transform",
+        help="stage this transform first, then commit" + query_help_suffix,
     )
 
     p_rollback = _store_parser(
@@ -301,6 +401,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv=None) -> int:
+    global _stdin_consumed
+    _stdin_consumed = False
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)

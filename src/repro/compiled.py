@@ -1,0 +1,116 @@
+"""The :class:`CompiledCache` of parsed queries, automata and composed
+plans, built on :class:`repro.lru.LRUCache`.
+
+Parsing a transform query, building its selecting NFA and composing a
+user query against it are all pure functions of the source text, so a
+resident engine or store should pay for them once per distinct text,
+not once per request.  Result caches (which *do* depend on document
+state) live with their owners (e.g. :class:`repro.store.store.ViewStore`,
+keyed by document version); this module only caches artifacts that
+never go stale.
+
+Like :mod:`repro.lru`, this lives at the package root: both the engine
+and the store use it, and the store already imports the engine's
+planner — shared infrastructure must live below both so the layering
+stays one-directional (store → engine → here).
+"""
+
+from __future__ import annotations
+
+from repro.automata.filtering import FilteringNFA, build_filtering_nfa
+from repro.automata.selecting import SelectingNFA, build_selecting_nfa
+from repro.compose.compose import compose
+from repro.lru import LRUCache
+from repro.transform.query import TransformQuery, parse_transform_query
+from repro.xpath.ast import Path
+from repro.xpath.parser import parse_xpath
+from repro.xquery.ast import Expr, UserQuery
+from repro.xquery.parser import parse_user_query
+
+__all__ = ["CompiledCache"]
+
+
+class CompiledCache:
+    """LRU caches for every compiled artifact the store reuses:
+
+    * parsed X paths and their selecting/filtering NFAs,
+    * parsed transform and user queries,
+    * composed plans — the Compose Method's output for one
+      (user query, transform query) pair of source texts.
+    """
+
+    def __init__(self, maxsize: int = 256):
+        self.paths = LRUCache(maxsize)
+        self.transforms = LRUCache(maxsize)
+        self.user_queries = LRUCache(maxsize)
+        self.selecting = LRUCache(maxsize)
+        self.filtering = LRUCache(maxsize)
+        self.plans = LRUCache(maxsize)
+
+    # ------------------------------------------------------------------
+    # Parsers
+    # ------------------------------------------------------------------
+
+    def xpath(self, text: str) -> Path:
+        return self.paths.get_or_compute(text, lambda: parse_xpath(text))
+
+    def transform(self, text: str) -> TransformQuery:
+        return self.transforms.get_or_compute(
+            text, lambda: parse_transform_query(text)
+        )
+
+    def user_query(self, text: str) -> UserQuery:
+        return self.user_queries.get_or_compute(
+            text, lambda: parse_user_query(text)
+        )
+
+    # ------------------------------------------------------------------
+    # Automata and plans
+    # ------------------------------------------------------------------
+
+    def selecting_nfa_for(self, path: Path) -> SelectingNFA:
+        # NFAs are keyed by the parsed Path (hashable, structural
+        # equality): rendered text does not round-trip quoted string
+        # literals, so it must never be the cache key.
+        return self.selecting.get_or_compute(
+            path, lambda: build_selecting_nfa(path)
+        )
+
+    def filtering_nfa_for(self, path: Path) -> FilteringNFA:
+        return self.filtering.get_or_compute(
+            path, lambda: build_filtering_nfa(path)
+        )
+
+    def selecting_nfa(self, path_text: str) -> SelectingNFA:
+        return self.selecting_nfa_for(self.xpath(path_text))
+
+    def filtering_nfa(self, path_text: str) -> FilteringNFA:
+        return self.filtering_nfa_for(self.xpath(path_text))
+
+    def composed(self, user_text: str, transform_text: str) -> Expr:
+        """The composed plan for the pair of source texts."""
+        return self.plans.get_or_compute(
+            (user_text, transform_text),
+            lambda: compose(
+                self.user_query(user_text), self.transform(transform_text)
+            ),
+        )
+
+    # ------------------------------------------------------------------
+
+    def clear(self) -> None:
+        for cache in self._caches().values():
+            cache.invalidate()
+
+    def _caches(self) -> dict:
+        return {
+            "paths": self.paths,
+            "transforms": self.transforms,
+            "user_queries": self.user_queries,
+            "selecting_nfas": self.selecting,
+            "filtering_nfas": self.filtering,
+            "plans": self.plans,
+        }
+
+    def stats(self) -> dict:
+        return {name: cache.stats() for name, cache in self._caches().items()}

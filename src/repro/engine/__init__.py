@@ -1,0 +1,68 @@
+"""``repro.engine`` — the prepared-statement query engine.
+
+The rest of the package exposes evaluation *mechanisms* (five transform
+strategies, the Compose Method, a streaming path); this subpackage is
+the *engine* that owns them: a facade that parses and compiles a query
+exactly once, a cost-based planner that picks the strategy per input,
+and prepared objects that execute many times::
+
+    from repro import Engine
+
+    engine = Engine()
+    strip = engine.prepare_transform(
+        'transform copy $a := doc("db") modify do delete $a//price return $a'
+    )
+    view = strip.run(doc)                  # plans, then executes
+    print(strip.explain(doc))              # the plan, with its cost table
+    redact = strip.then(engine.prepare_transform(
+        'transform copy $a := doc("db") modify do rename $a//sname as vendor return $a'
+    ))
+    view2 = redact.run(doc)                # stacked transforms, per-stage plans
+
+Layering: ``features`` summarizes query and input shape, ``planner``
+turns the summaries into a :class:`Plan`, ``executor`` runs a named
+strategy with prebuilt automata, ``prepared`` wraps all of it behind
+run/run_many/then/explain, and ``engine`` is the caching facade.  The
+view store (:mod:`repro.store`) plugs the same planner into its view
+materialization and staged-update previews.
+"""
+
+from repro.engine.engine import Engine, default_engine
+from repro.engine.executor import (
+    ALL_STRATEGIES,
+    PAPER_NAMES,
+    TREE_STRATEGIES,
+    run_tree_strategy,
+)
+from repro.engine.features import (
+    InputProfile,
+    QueryFeatures,
+    analyze_transform,
+    profile_input,
+)
+from repro.engine.planner import Plan, Planner
+from repro.engine.prepared import (
+    PreparedComposed,
+    PreparedQuery,
+    PreparedStack,
+    PreparedTransform,
+)
+
+__all__ = [
+    "ALL_STRATEGIES",
+    "Engine",
+    "InputProfile",
+    "PAPER_NAMES",
+    "Plan",
+    "Planner",
+    "PreparedComposed",
+    "PreparedQuery",
+    "PreparedStack",
+    "PreparedTransform",
+    "QueryFeatures",
+    "TREE_STRATEGIES",
+    "analyze_transform",
+    "default_engine",
+    "profile_input",
+    "run_tree_strategy",
+]

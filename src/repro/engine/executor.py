@@ -1,0 +1,79 @@
+"""Strategy execution: one uniform entry point over the five evaluation
+algorithms, threading prebuilt automata through to the ones that take
+them.
+
+The planner names strategies; this module runs them.  Keeping the
+dispatch table here (rather than in the planner) means the store, the
+prepared objects and the CLI all execute a plan the same way, and a
+strategy added to the table is immediately plannable everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from repro.automata.filtering import FilteringNFA
+from repro.automata.selecting import SelectingNFA
+from repro.transform.copy_update import transform_copy_update
+from repro.transform.naive import transform_naive
+from repro.transform.query import TransformQuery
+from repro.transform.sax_twopass import transform_sax_events
+from repro.transform.topdown import transform_topdown
+from repro.transform.twopass import transform_twopass
+from repro.xmltree.node import Element
+from repro.xmltree.sax import SAXEvent, events_to_tree, tree_to_events
+
+#: Strategy names understood by the executor (and produced by the
+#: planner).  "stream" is the file-to-file SAX path; on a resident tree
+#: it degrades to "sax" over synthesized events.
+TREE_STRATEGIES = ("topdown", "twopass", "naive", "copy", "sax")
+ALL_STRATEGIES = TREE_STRATEGIES + ("stream",)
+
+#: The paper's names for each strategy (Fig. 12 legend).
+PAPER_NAMES = {
+    "topdown": "GENTOP",
+    "twopass": "TD-BU",
+    "naive": "NAIVE",
+    "copy": "GalaXUpdate",
+    "sax": "twoPassSAX",
+    "stream": "twoPassSAX (streaming)",
+}
+
+
+def run_tree_strategy(
+    strategy: str,
+    root: Element,
+    query: TransformQuery,
+    selecting: Optional[SelectingNFA] = None,
+    filtering: Optional[FilteringNFA] = None,
+    filtering_factory: Optional[Callable[[], FilteringNFA]] = None,
+) -> Element:
+    """Evaluate *query* on a resident tree with the named strategy.
+
+    Prebuilt automata are used when given; *filtering_factory* lets a
+    caller with a compiled-artifact cache defer the filtering NFA to
+    the strategies that actually need one (twopass, sax).
+    """
+    if strategy == "topdown":
+        return transform_topdown(root, query, nfa=selecting)
+    if strategy == "twopass":
+        if filtering is None and filtering_factory is not None:
+            filtering = filtering_factory()
+        return transform_twopass(
+            root, query, selecting=selecting, filtering=filtering
+        )
+    if strategy == "naive":
+        return transform_naive(root, query)
+    if strategy == "copy":
+        return transform_copy_update(root, query)
+    if strategy in ("sax", "stream"):
+        if filtering is None and filtering_factory is not None:
+            filtering = filtering_factory()
+
+        def source() -> Iterable[SAXEvent]:
+            return tree_to_events(root)
+
+        return events_to_tree(
+            transform_sax_events(source, query, selecting, filtering)
+        )
+    raise ValueError(f"unknown strategy {strategy!r}")

@@ -1,0 +1,291 @@
+"""The cost-based strategy planner.
+
+One transform query admits many evaluation strategies with wildly
+different costs (the paper's Figures 12-14); the planner picks one from
+the query's *shape* and the input's *size* instead of making the caller
+choose.  The cost model is a handful of per-node unit costs, calibrated
+against this repository's own Fig-12 benchmark run:
+
+* ``topdown`` (GENTOP) prunes by the selecting NFA — the cheapest
+  single pass, but its *native* qualifier evaluation walks a
+  candidate's subtree for every descendant qualifier, which goes
+  quadratic when candidates are dense.
+* ``twopass`` (TD-BU) pays two full linear passes plus a per-qualifier
+  annotation cost, in exchange for O(1) qualifier checks: it wins
+  exactly when descendant qualifiers meet many candidates.
+* ``naive`` and ``copy`` are the paper's baselines (linear membership
+  scan / full snapshot) — modeled so ``explain()`` can show *why* they
+  lose, and they are never chosen on merit.
+* ``sax`` over a resident tree pays event synthesis on top of two
+  passes; ``stream`` (the file-to-file SAX path) is chosen for file
+  inputs too large to parse comfortably, where bounded memory beats
+  raw speed.
+
+Every estimate the model consumed is surfaced by :meth:`Plan.describe`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Union
+
+from repro.engine.executor import (
+    PAPER_NAMES,
+    TREE_STRATEGIES,
+    run_tree_strategy,
+)
+from repro.engine.features import (
+    PROFILE_CAP,
+    InputProfile,
+    QueryFeatures,
+    analyze_transform,
+    profile_input,
+)
+from repro.lru import LRUCache
+from repro.transform.query import TransformQuery
+from repro.xmltree.node import Element
+
+#: Files at or above this size stream file-to-file (bounded memory)
+#: instead of being parsed into a resident tree first.
+DEFAULT_STREAM_THRESHOLD = 8 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class Plan:
+    """The planner's decision for one (query, input) pair."""
+
+    strategy: str                      #: chosen strategy name
+    costs: dict = field(default_factory=dict)  #: strategy → estimated cost
+    features: Optional[QueryFeatures] = None
+    profile: Optional[InputProfile] = None
+    reasons: tuple = ()                #: human-readable justification
+
+    @property
+    def cost(self) -> float:
+        return self.costs.get(self.strategy, 0.0)
+
+    @property
+    def paper_name(self) -> str:
+        return PAPER_NAMES.get(self.strategy, self.strategy)
+
+    def describe(self) -> str:
+        lines = [f"strategy: {self.strategy} ({self.paper_name})"]
+        if self.profile is not None:
+            lines.append(f"input: {self.profile.summary()}")
+        if self.features is not None:
+            lines.append(f"query: {self.features.summary()}")
+        if self.costs:
+            lines.append("estimated costs [node-visit units]:")
+            for name, cost in sorted(self.costs.items(), key=lambda kv: kv[1]):
+                marker = "  <== chosen" if name == self.strategy else ""
+                lines.append(f"  {name:<8} {cost:>12.0f}{marker}")
+        for reason in self.reasons:
+            lines.append(f"because: {reason}")
+        return "\n".join(lines)
+
+
+class Planner:
+    """Chooses an evaluation strategy from query shape and input form.
+
+    Stateless apart from bookkeeping: :attr:`counters` tallies plans
+    made *for execution* (introspective calls like ``explain()`` pass
+    ``record=False``; memoized re-runs are not re-counted) and
+    :attr:`last_plan` keeps the most recent decision either way, both
+    for tests and ``stats()`` introspection.
+    """
+
+    def __init__(
+        self,
+        stream_threshold: int = DEFAULT_STREAM_THRESHOLD,
+        profile_cap: int = PROFILE_CAP,
+    ):
+        self.stream_threshold = stream_threshold
+        self.profile_cap = profile_cap
+        self.counters: dict[str, int] = {}
+        self.last_plan: Optional[Plan] = None
+        self._lock = threading.Lock()
+        self._features = LRUCache(1024)
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+
+    def plan(
+        self,
+        query: TransformQuery,
+        doc_or_path: Union[Element, str],
+        features: Optional[QueryFeatures] = None,
+        record: bool = True,
+    ) -> Plan:
+        """Plan *query* against a resident tree or a file path.
+
+        ``record=False`` marks an introspective call (``explain()``):
+        the decision is made identically but not tallied in
+        :attr:`counters`.
+        """
+        profile = profile_input(doc_or_path, self.profile_cap)
+        return self.plan_for_profile(query, profile, features, record=record)
+
+    def plan_for_profile(
+        self,
+        query: TransformQuery,
+        profile: InputProfile,
+        features: Optional[QueryFeatures] = None,
+        record: bool = True,
+    ) -> Plan:
+        if features is None:
+            features = self._features_for(query)
+        plan = self._choose(features, profile)
+        if record:
+            self.record(plan)
+        else:
+            with self._lock:
+                self.last_plan = plan
+        return plan
+
+    def record(self, plan: Plan) -> None:
+        """Tally *plan* as executed (callers that planned with
+        ``record=False`` and then ran the plan report it here)."""
+        with self._lock:
+            self.counters[plan.strategy] = self.counters.get(plan.strategy, 0) + 1
+            self.last_plan = plan
+
+    def transform(
+        self,
+        root: Element,
+        query: TransformQuery,
+        selecting=None,
+        filtering=None,
+        filtering_factory: Optional[Callable] = None,
+    ) -> Element:
+        """Plan and evaluate in one call (the store's entry point).
+
+        Returns the transformed tree; the decision is observable via
+        :attr:`last_plan` / :attr:`counters`.
+        """
+        plan = self.plan(query, root)
+        strategy = plan.strategy if plan.strategy != "stream" else "sax"
+        return run_tree_strategy(
+            strategy,
+            root,
+            query,
+            selecting=selecting,
+            filtering=filtering,
+            filtering_factory=filtering_factory,
+        )
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "chosen": dict(self.counters),
+                "last": self.last_plan.strategy if self.last_plan else None,
+            }
+
+    # ------------------------------------------------------------------
+    # The cost model
+    # ------------------------------------------------------------------
+
+    def _features_for(self, query: TransformQuery) -> QueryFeatures:
+        # Keyed structurally (kind + parsed Path): rendered path text is
+        # lossy (float %g, quoted literals) and must never be a key.
+        key = (query.update.kind, query.path)
+        return self._features.get_or_compute(
+            key, lambda: analyze_transform(query)
+        )
+
+    def _choose(self, f: QueryFeatures, profile: InputProfile) -> Plan:
+        reasons: list[str] = []
+        if profile.form == "file" and profile.size_bytes >= self.stream_threshold:
+            # Memory, not time: twoPassSAX keeps memory bounded by
+            # document depth regardless of file size (Fig. 14).
+            reasons.append(
+                f"file is {profile.size_bytes} bytes "
+                f"(>= stream threshold {self.stream_threshold}); "
+                "streaming keeps memory bounded by document depth "
+                "(callers that require a full result tree still "
+                "materialize the output)"
+            )
+            costs = self._tree_costs(f, profile)
+            costs["stream"] = 3.5 * profile.nodes
+            return Plan("stream", costs, f, profile, tuple(reasons))
+
+        costs = self._tree_costs(f, profile)
+        if profile.form == "file":
+            reasons.append(
+                "file fits below the stream threshold: parse once, "
+                "then evaluate on the tree"
+            )
+        best = min(
+            (name for name in TREE_STRATEGIES if name in costs),
+            key=lambda name: costs[name],
+        )
+        reasons.extend(self._reasons_for(best, f))
+        return Plan(best, costs, f, profile, tuple(reasons))
+
+    def _tree_costs(self, f: QueryFeatures, profile: InputProfile) -> dict:
+        """Estimated cost per strategy, in node-visit units.
+
+        Constants are calibrated against this repository's Fig-12 run
+        (12k-node XMark tree): GENTOP's pruned pass costs ~0.9 units per
+        touched node, TD-BU's annotation pass ~0.8 units per node per
+        qualifier, and a native descendant-qualifier check walks the
+        candidate's subtree — whose mean size is the tree's mean node
+        depth, the term that makes GENTOP quadratic on deep documents.
+        """
+        n = max(1, profile.nodes)
+        # Structural candidates: nodes the NFA reports as matches of the
+        # path skeleton, before qualifiers filter them.
+        candidates = max(1.0, f.selectivity * n)
+        # Matches after qualifiers (each qualifier keeps ~40%).
+        matches = max(1.0, candidates * (0.4 ** min(f.quals, 4)))
+        # topDown visits the whole tree once a descendant gap appears;
+        # a child-only path touches just its prefix levels.
+        touched = 1.0 if f.has_descendant else min(1.0, 0.12 + 0.1 * f.steps)
+
+        qual_native = 0.0
+        if f.quals:
+            per_candidate = 0.2 + 0.15 * max(1, f.qual_steps)
+            if f.qual_dos:
+                # The subtree walk: mean subtree size ≈ mean node depth.
+                per_candidate += 0.035 * profile.avg_depth * f.qual_dos
+            qual_native = candidates * per_candidate
+
+        topdown = 0.9 * touched * n + qual_native
+        if f.quals == 0:
+            # twopass delegates to topdown when there is nothing to
+            # annotate; a hair more for the delegation check.
+            twopass = topdown + 1.0
+        else:
+            twopass = 0.9 * touched * n + n * (0.2 + 0.8 * f.quals)
+        return {
+            "topdown": topdown,
+            "twopass": twopass,
+            # naive and copy both evaluate the embedded path with the
+            # same native qualifier checks topdown pays (naive for its
+            # $xp node list, copy inside apply_update), so they inherit
+            # qual_native on top of their rebuild/snapshot costs.  Only
+            # the annotation-based strategies (twopass, sax) escape it.
+            "naive": 2.2 * n + 0.002 * n * matches + qual_native,
+            "copy": 3.2 * n + qual_native,
+            "sax": 4.5 * n,
+        }
+
+    def _reasons_for(self, strategy: str, f: QueryFeatures) -> list[str]:
+        if strategy == "twopass":
+            return [
+                "descendant qualifiers meet many candidates: annotating "
+                "every qualifier once (bottomUp) beats re-walking each "
+                "candidate's subtree natively"
+            ]
+        if strategy == "topdown":
+            if f.quals == 0:
+                return [
+                    "no qualifiers: a single NFA-pruned pass is optimal "
+                    "(twopass would delegate here anyway)"
+                ]
+            return [
+                "qualifiers are cheap to check natively at the few "
+                "candidate nodes; a second full pass would cost more"
+            ]
+        return [f"{strategy} estimated cheapest for this shape"]

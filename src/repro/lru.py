@@ -1,0 +1,94 @@
+"""A thread-safe LRU cache with zero package dependencies.
+
+Shared by the store's compiled-artifact caches and the engine's
+planner/prepared layers.  It lives at the package root (rather than in
+``repro.store.cache``, which re-exports it for compatibility) to keep
+the layering one-directional: the store imports the engine's planner,
+so shared infrastructure the engine needs must never live inside the
+store package.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, Optional
+
+_MISSING = object()
+
+
+class LRUCache:
+    """A bounded mapping with least-recently-used eviction.
+
+    Thread-safe: lookups and insertions take an internal lock, and
+    :meth:`get_or_compute` runs the factory *outside* the lock so a slow
+    parse never blocks unrelated readers (two threads may then compute
+    the same value once each; the cache stays consistent either way).
+    """
+
+    def __init__(self, maxsize: int = 128):
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be positive, got {maxsize}")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._data: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, key, default=None):
+        with self._lock:
+            value = self._data.get(key, _MISSING)
+            if value is _MISSING:
+                self.misses += 1
+                return default
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key, value) -> None:
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self.evictions += 1
+
+    def get_or_compute(self, key, factory: Callable):
+        value = self.get(key, _MISSING)
+        if value is _MISSING:
+            value = factory()
+            self.put(key, value)
+        return value
+
+    def invalidate(self, predicate: Optional[Callable] = None) -> int:
+        """Drop every entry (or those whose *key* satisfies *predicate*);
+        returns the number of entries removed."""
+        with self._lock:
+            if predicate is None:
+                dropped = len(self._data)
+                self._data.clear()
+                return dropped
+            doomed = [key for key in self._data if predicate(key)]
+            for key in doomed:
+                del self._data[key]
+            return len(doomed)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "size": len(self._data),
+                "maxsize": self.maxsize,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }

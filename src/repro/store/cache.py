@@ -1,181 +1,12 @@
-"""Compiled-artifact caches: a thread-safe LRU and the store's
-:class:`CompiledCache` of parsed queries, automata and composed plans.
-
-Parsing a transform query, building its selecting NFA and composing a
-user query against it are all pure functions of the source text, so a
-resident store should pay for them once per distinct text, not once per
-request.  The result cache (which *does* depend on document state) lives
-in :class:`repro.store.store.ViewStore` and is keyed by document
-version; this module only caches artifacts that never go stale.
+"""Compatibility re-exports: the compiled-artifact cache machinery now
+lives at the package root (:mod:`repro.compiled`, :mod:`repro.lru`) so
+the engine can use it without importing from the store package (which
+itself imports the engine's planner — the layering stays
+one-directional).  This module keeps the historical import path
+``repro.store.cache`` working.
 """
 
-from __future__ import annotations
+from repro.compiled import CompiledCache
+from repro.lru import LRUCache
 
-import threading
-from collections import OrderedDict
-from typing import Callable, Optional
-
-from repro.automata.filtering import FilteringNFA, build_filtering_nfa
-from repro.automata.selecting import SelectingNFA, build_selecting_nfa
-from repro.compose.compose import compose
-from repro.transform.query import TransformQuery, parse_transform_query
-from repro.xpath.ast import Path
-from repro.xpath.parser import parse_xpath
-from repro.xquery.ast import Expr, UserQuery
-from repro.xquery.parser import parse_user_query
-
-_MISSING = object()
-
-
-class LRUCache:
-    """A bounded mapping with least-recently-used eviction.
-
-    Thread-safe: lookups and insertions take an internal lock, and
-    :meth:`get_or_compute` runs the factory *outside* the lock so a slow
-    parse never blocks unrelated readers (two threads may then compute
-    the same value once each; the cache stays consistent either way).
-    """
-
-    def __init__(self, maxsize: int = 128):
-        if maxsize < 1:
-            raise ValueError(f"maxsize must be positive, got {maxsize}")
-        self.maxsize = maxsize
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self._data: OrderedDict = OrderedDict()
-        self._lock = threading.Lock()
-
-    def get(self, key, default=None):
-        with self._lock:
-            value = self._data.get(key, _MISSING)
-            if value is _MISSING:
-                self.misses += 1
-                return default
-            self._data.move_to_end(key)
-            self.hits += 1
-            return value
-
-    def put(self, key, value) -> None:
-        with self._lock:
-            if key in self._data:
-                self._data.move_to_end(key)
-            self._data[key] = value
-            while len(self._data) > self.maxsize:
-                self._data.popitem(last=False)
-                self.evictions += 1
-
-    def get_or_compute(self, key, factory: Callable):
-        value = self.get(key, _MISSING)
-        if value is _MISSING:
-            value = factory()
-            self.put(key, value)
-        return value
-
-    def invalidate(self, predicate: Optional[Callable] = None) -> int:
-        """Drop every entry (or those whose *key* satisfies *predicate*);
-        returns the number of entries removed."""
-        with self._lock:
-            if predicate is None:
-                dropped = len(self._data)
-                self._data.clear()
-                return dropped
-            doomed = [key for key in self._data if predicate(key)]
-            for key in doomed:
-                del self._data[key]
-            return len(doomed)
-
-    def __len__(self) -> int:
-        with self._lock:
-            return len(self._data)
-
-    def __contains__(self, key) -> bool:
-        with self._lock:
-            return key in self._data
-
-    def stats(self) -> dict:
-        with self._lock:
-            return {
-                "size": len(self._data),
-                "maxsize": self.maxsize,
-                "hits": self.hits,
-                "misses": self.misses,
-                "evictions": self.evictions,
-            }
-
-
-class CompiledCache:
-    """LRU caches for every compiled artifact the store reuses:
-
-    * parsed X paths and their selecting/filtering NFAs,
-    * parsed transform and user queries,
-    * composed plans — the Compose Method's output for one
-      (user query, transform query) pair of source texts.
-    """
-
-    def __init__(self, maxsize: int = 256):
-        self.paths = LRUCache(maxsize)
-        self.transforms = LRUCache(maxsize)
-        self.user_queries = LRUCache(maxsize)
-        self.selecting = LRUCache(maxsize)
-        self.filtering = LRUCache(maxsize)
-        self.plans = LRUCache(maxsize)
-
-    # ------------------------------------------------------------------
-    # Parsers
-    # ------------------------------------------------------------------
-
-    def xpath(self, text: str) -> Path:
-        return self.paths.get_or_compute(text, lambda: parse_xpath(text))
-
-    def transform(self, text: str) -> TransformQuery:
-        return self.transforms.get_or_compute(
-            text, lambda: parse_transform_query(text)
-        )
-
-    def user_query(self, text: str) -> UserQuery:
-        return self.user_queries.get_or_compute(
-            text, lambda: parse_user_query(text)
-        )
-
-    # ------------------------------------------------------------------
-    # Automata and plans
-    # ------------------------------------------------------------------
-
-    def selecting_nfa(self, path_text: str) -> SelectingNFA:
-        return self.selecting.get_or_compute(
-            path_text, lambda: build_selecting_nfa(self.xpath(path_text))
-        )
-
-    def filtering_nfa(self, path_text: str) -> FilteringNFA:
-        return self.filtering.get_or_compute(
-            path_text, lambda: build_filtering_nfa(self.xpath(path_text))
-        )
-
-    def composed(self, user_text: str, transform_text: str) -> Expr:
-        """The composed plan for the pair of source texts."""
-        return self.plans.get_or_compute(
-            (user_text, transform_text),
-            lambda: compose(
-                self.user_query(user_text), self.transform(transform_text)
-            ),
-        )
-
-    # ------------------------------------------------------------------
-
-    def clear(self) -> None:
-        for cache in self._caches().values():
-            cache.invalidate()
-
-    def _caches(self) -> dict:
-        return {
-            "paths": self.paths,
-            "transforms": self.transforms,
-            "user_queries": self.user_queries,
-            "selecting_nfas": self.selecting,
-            "filtering_nfas": self.filtering,
-            "plans": self.plans,
-        }
-
-    def stats(self) -> dict:
-        return {name: cache.stats() for name, cache in self._caches().items()}
+__all__ = ["CompiledCache", "LRUCache"]

@@ -7,7 +7,11 @@ that into a two-phase workflow per document:
 * :meth:`UpdateLog.stage` records a transform against a document.  The
   document is untouched; :meth:`UpdateLog.preview` builds the
   hypothetical tree (a pure, structure-sharing transform chain — the
-  semantics of stacked transform queries) for what-if queries.
+  semantics of stacked transform queries) for what-if queries.  Each
+  chain stage is evaluated by the cost-based
+  :class:`~repro.engine.planner.Planner`, which picks a strategy from
+  the staged query's shape and the current tree — no strategy is
+  hardcoded here.
 * **Commit** (driven by the store facade, which owns the document lock
   and the caches) replays the staged updates destructively via
   :func:`repro.updates.apply.apply_update` and bumps the version.
@@ -23,9 +27,9 @@ from __future__ import annotations
 import threading
 from typing import Callable, Optional
 
+from repro.engine.planner import Planner
 from repro.store.errors import NothingStagedError
 from repro.transform.query import TransformQuery
-from repro.transform.topdown import transform_topdown
 from repro.xmltree.node import Element
 
 
@@ -45,10 +49,13 @@ class StagedUpdate:
 class UpdateLog:
     """Per-document staging areas and commit history."""
 
-    def __init__(self):
+    def __init__(self, planner: Optional[Planner] = None):
         self._staged: dict[str, list[StagedUpdate]] = {}
         self._history: dict[str, list[str]] = {}
         self._lock = threading.Lock()
+        #: Chooses the evaluation strategy for preview chains; shared
+        #: with the owning store when one exists.
+        self.planner = planner if planner is not None else Planner()
 
     # ------------------------------------------------------------------
     # Staging
@@ -79,13 +86,21 @@ class UpdateLog:
         self,
         root: Element,
         doc_name: str,
-        transform: Callable = transform_topdown,
+        transform: Optional[Callable] = None,
     ) -> Element:
         """The tree the staged updates *would* produce.  Pure: shares
-        every untouched subtree with *root*; *root* is not modified."""
+        every untouched subtree with *root*; *root* is not modified.
+
+        Each stage's evaluation strategy is chosen by the planner from
+        the query's shape and the current tree; pass *transform* (a
+        ``(root, query) -> root`` callable) to force one instead.
+        """
         current = root
         for entry in self.staged(doc_name):
-            current = transform(current, entry.transform)
+            if transform is not None:
+                current = transform(current, entry.transform)
+            else:
+                current = self.planner.transform(current, entry.transform)
         return current
 
     # ------------------------------------------------------------------

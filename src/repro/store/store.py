@@ -16,6 +16,12 @@ Evaluation strategy for ``query(target, q)``:
   from the deepest still-valid materialization, so a hot middle layer
   shortcuts the whole prefix below it.
 
+Strategy choice: every transform evaluation (view layers, staged-update
+previews, the reference path) goes through the store's cost-based
+:class:`~repro.engine.planner.Planner`, which picks among the five
+algorithms per (query shape, current tree) — nothing here hardcodes a
+strategy, and a custom planner can be injected at construction.
+
 Caching: compiled artifacts (parses, NFAs, composed plans) live in a
 :class:`~repro.store.cache.CompiledCache` and never go stale; query
 *results* are cached under ``(target, document version, query text)``
@@ -32,15 +38,18 @@ from __future__ import annotations
 
 from typing import Optional, Union
 
+from repro.engine.planner import Planner
 from repro.store.cache import CompiledCache, LRUCache
 from repro.store.documents import DocumentStore, StoredDocument
 from repro.store.errors import DuplicateNameError, StoreError, UnknownNameError
 from repro.store.log import UpdateLog
 from repro.store.views import MaterializationPolicy, View, ViewRegistry
-from repro.transform.topdown import transform_topdown
+from repro.transform.naive import transform_naive
+from repro.transform.query import TransformQuery
 from repro.updates.apply import apply_update
 from repro.xmltree.node import Element
 from repro.xquery.evaluator import evaluate_query
+from repro.xquery.parser import parse_user_query
 
 
 class ViewStore:
@@ -51,12 +60,30 @@ class ViewStore:
         policy: Optional[MaterializationPolicy] = None,
         compiled_cache_size: int = 256,
         result_cache_size: int = 512,
+        planner: Optional[Planner] = None,
     ):
         self.documents = DocumentStore()
         self.views = ViewRegistry(policy)
         self.compiled = CompiledCache(compiled_cache_size)
         self.results = LRUCache(result_cache_size)
-        self.log = UpdateLog()
+        self.planner = planner if planner is not None else Planner()
+        self.log = UpdateLog(planner=self.planner)
+
+    def _transform(self, root: Element, transform: TransformQuery) -> Element:
+        """Evaluate one transform layer with the planner-chosen
+        strategy, reusing compiled automata.
+
+        The NFAs are built from (and cached under) the parsed path
+        itself — rendering the AST to text does not round-trip string
+        literals containing quotes, so the text form is never re-parsed.
+        """
+        path = transform.path
+        return self.planner.transform(
+            root,
+            transform,
+            selecting=self.compiled.selecting_nfa_for(path),
+            filtering_factory=lambda: self.compiled.filtering_nfa_for(path),
+        )
 
     # ------------------------------------------------------------------
     # Documents
@@ -143,7 +170,9 @@ class ViewStore:
                     return cached
             root = doc.root
             if staged:
-                root = self.log.preview(root, doc.name)
+                # Route the preview chain through _transform so each
+                # staged layer reuses the compiled automata.
+                root = self.log.preview(root, doc.name, transform=self._transform)
             result = self._answer(
                 root, stack, query_text, doc.version, use_materializations=not staged
             )
@@ -154,17 +183,19 @@ class ViewStore:
     def query_naive(
         self, target: str, query_text: str, *, include_staged: bool = False
     ) -> list:
-        """Reference evaluation: materialize every layer of the stack,
-        then run the user query — no composition, no caches.  Used by
-        tests and benchmarks as the oracle ``Q(tn(…t1(T)))``."""
+        """Reference evaluation: materialize every layer of the stack
+        with :func:`transform_naive`, then run the user query — no
+        composition, no caches, no planner.  Deliberately independent
+        of every production code path so tests and benchmarks can use
+        it as the oracle ``Q(tn(…t1(T)))``."""
         doc, stack = self._resolve(target)
         with doc.lock:
             root = doc.root
             if include_staged:
-                root = self.log.preview(root, doc.name)
+                root = self.log.preview(root, doc.name, transform=transform_naive)
             for view in stack:
-                root = transform_topdown(root, view.transform)
-            return evaluate_query(root, self.compiled.user_query(query_text))
+                root = transform_naive(root, view.transform)
+            return evaluate_query(root, parse_user_query(query_text))
 
     def _resolve(self, target: str) -> tuple[StoredDocument, list[View]]:
         if target in self.views:
@@ -193,7 +224,7 @@ class ViewStore:
                     base, start = cached, index + 1
         for view in stack[start:-1]:
             view.query_count += 1
-            tree = transform_topdown(base, view.transform)
+            tree = self._transform(base, view.transform)
             if use_materializations and self.views.policy.should_materialize(view):
                 view.set_materialized(tree, version)
             base = tree
@@ -204,7 +235,7 @@ class ViewStore:
             return evaluate_query(base, user_query)
         outer.query_count += 1
         if use_materializations and self.views.policy.should_materialize(outer):
-            tree = transform_topdown(base, outer.transform)
+            tree = self._transform(base, outer.transform)
             outer.set_materialized(tree, version)
             return evaluate_query(tree, user_query)
         composed = self.compiled.composed(query_text, outer.transform_text)
@@ -283,4 +314,5 @@ class ViewStore:
                 "compiled": self.compiled.stats(),
                 "results": self.results.stats(),
             },
+            "planner": self.planner.stats(),
         }

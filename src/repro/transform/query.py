@@ -57,10 +57,12 @@ def parse_transform_query(source: str) -> TransformQuery:
     if not sep:
         raise XPathSyntaxError("expected 'return' in transform query", len(header))
     body = body.strip()
-    if body.startswith("do "):
-        body = body[3:]
-    elif body == "do":
+    if body == "do":
         body = ""
+    elif body.startswith("do") and body[2:3].isspace():
+        # "do" may be followed by any whitespace — multi-line queries
+        # (read from files or stdin) put the update on its own line.
+        body = body[3:].lstrip()
     update = parse_update(body)
     tail_tokens = TokenStream(tokenize(tail))
     tail_tokens.expect(lx.DOLLAR)

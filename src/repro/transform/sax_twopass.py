@@ -293,16 +293,19 @@ def transform_sax_file(
     query: TransformQuery,
     out_path: Optional[str] = None,
     strip_whitespace: bool = True,
+    selecting: Optional[SelectingNFA] = None,
+    filtering: Optional[FilteringNFA] = None,
 ) -> Optional[str]:
     """``twoPassSAX`` from file to file (or to a returned string).
 
     This is the configuration of Fig. 14: memory stays bounded by
-    document depth regardless of file size.
+    document depth regardless of file size.  Prebuilt automata may be
+    supplied (e.g. by a prepared statement) to skip reconstruction.
     """
     def source() -> Iterable[SAXEvent]:
         return iter_sax_file(in_path, strip_whitespace=strip_whitespace)
 
-    result_events = transform_sax_events(source, query)
+    result_events = transform_sax_events(source, query, selecting, filtering)
     if out_path is None:
         return events_to_text(result_events)
     with open(out_path, "w", encoding="utf-8") as handle:

@@ -1,0 +1,452 @@
+"""The prepared-statement Engine: preparation caching, strategy
+round-trips, planning, chaining, composition, and the engine-backed
+CLI surface."""
+
+import io
+import sys
+
+import pytest
+
+from repro import (
+    Engine,
+    Planner,
+    deep_equal,
+    parse,
+    parse_file,
+    parse_transform_query,
+    prepare_transform,
+    serialize,
+    transform_naive,
+    write_file,
+)
+from repro.cli import main as cli_main
+from repro.engine import ALL_STRATEGIES
+from repro.engine.features import analyze_transform, estimate_nodes, profile_input
+from repro.xmltree.node import Element, Text
+
+DOC = (
+    "<db>"
+    "<part><pname>kb</pname>"
+    "<supplier><sname>HP</sname><price>12</price><country>US</country></supplier>"
+    "<supplier><sname>Dell</sname><price>20</price><country>A</country></supplier>"
+    "</part>"
+    "<part><pname>mouse</pname>"
+    "<supplier><sname>HP</sname><price>8</price><country>A</country></supplier>"
+    "</part>"
+    "</db>"
+)
+
+DELETE = 'transform copy $a := doc("db") modify do delete $a//price return $a'
+RENAME = 'transform copy $a := doc("db") modify do rename $a//sname as vendor return $a'
+INSERT = (
+    'transform copy $a := doc("db") modify do '
+    "insert <flag/> into $a/part[pname = 'kb'] return $a"
+)
+QUAL_DOS = (
+    'transform copy $a := doc("db") modify do '
+    "delete $a//part[.//country = 'A']/pname return $a"
+)
+
+
+@pytest.fixture()
+def doc():
+    return parse(DOC)
+
+
+@pytest.fixture()
+def engine():
+    return Engine()
+
+
+class TestPreparation:
+    def test_prepare_is_memoized_by_text(self, engine):
+        assert engine.prepare_transform(DELETE) is engine.prepare_transform(DELETE)
+        assert engine.prepare_query(
+            "for $x in part return $x"
+        ) is engine.prepare_query("for $x in part return $x")
+
+    def test_prepare_parses_exactly_once(self, engine):
+        for _ in range(5):
+            engine.prepare_transform(DELETE)
+        assert engine.cache.transforms.stats()["misses"] == 1
+
+    def test_prepared_accepts_parsed_and_prepared_inputs(self, engine):
+        prepared = engine.prepare_transform(DELETE)
+        assert engine.prepare_transform(prepared) is prepared
+        from_query = engine.prepare_transform(parse_transform_query(DELETE))
+        assert from_query.query.update.kind == "delete"
+
+    def test_parsed_queries_with_lossy_rendering_never_share_prepared(self, engine):
+        """Regression: str(query) renders float literals with %g, so
+        1.0000001 and 1 render identically — parsed-query inputs must
+        not be memoized under their rendered text."""
+        doc = parse("<db><part><price>1</price></part></db>")
+        q_loose = parse_transform_query(
+            'transform copy $a := doc("db") modify do '
+            "delete $a//part[price = 1.0000001]/price return $a"
+        )
+        q_exact = parse_transform_query(
+            'transform copy $a := doc("db") modify do '
+            "delete $a//part[price = 1]/price return $a"
+        )
+        p_loose = engine.prepare_transform(q_loose)
+        p_exact = engine.prepare_transform(q_exact)
+        assert "price" in serialize(p_loose.run(doc))   # no match: kept
+        assert "price" not in serialize(p_exact.run(doc))  # match: deleted
+
+    def test_automata_shared_across_prepared_texts(self, engine):
+        # Two texts with the same embedded path share the compiled NFA.
+        engine.prepare_transform(DELETE)
+        engine.prepare_transform(
+            'transform copy $a := doc("other") modify do delete $a//price return $a'
+        )
+        assert engine.cache.selecting.stats()["misses"] == 1
+
+
+class TestRoundTrip:
+    """`Engine.prepare_*` round-trips all five strategies with
+    identical results (the acceptance criterion)."""
+
+    @pytest.mark.parametrize("text", [DELETE, RENAME, INSERT, QUAL_DOS])
+    def test_all_strategies_agree_with_naive(self, engine, doc, text):
+        prepared = engine.prepare_transform(text)
+        oracle = transform_naive(doc, prepared.query)
+        for method in ALL_STRATEGIES + ("auto",):
+            result = prepared.run(doc, method=method)
+            assert deep_equal(result, oracle), method
+
+    def test_source_document_is_never_touched(self, engine, doc):
+        before = serialize(doc)
+        engine.prepare_transform(DELETE).run(doc)
+        assert serialize(doc) == before
+
+    def test_unknown_method_is_rejected(self, engine, doc):
+        with pytest.raises(ValueError, match="unknown method"):
+            engine.prepare_transform(DELETE).run(doc, method="galax")
+
+    def test_run_many_plans_once_and_agrees(self, engine, doc):
+        prepared = engine.prepare_transform(DELETE)
+        other = parse("<db><part><price>1</price></part></db>")
+        results = prepared.run_many([doc, other])
+        assert len(results) == 2
+        assert deep_equal(results[0], transform_naive(doc, prepared.query))
+        assert deep_equal(results[1], transform_naive(other, prepared.query))
+
+    def test_run_many_streams_oversized_files_in_mixed_batches(
+        self, doc, tmp_path
+    ):
+        """The batch reuses the first input's tree plan, but each file
+        keeps its own stream safeguard — one oversized file must stream
+        rather than be parsed whole with the batch method."""
+        engine = Engine(planner=Planner(stream_threshold=200))
+        big = parse("<db>" + "<part><price>2</price></part>" * 20 + "</db>")
+        path = tmp_path / "big.xml"
+        write_file(big, str(path))
+        prepared = engine.prepare_transform(DELETE)
+        small = parse("<db><part><price>1</price></part></db>")
+        results = prepared.run_many([small, str(path)])
+        assert deep_equal(results[1], transform_naive(big, prepared.query))
+        assert engine.planner.stats()["chosen"].get("stream", 0) == 1
+
+
+class TestPlanner:
+    def test_explain_names_a_real_strategy(self, engine, doc):
+        for text in (DELETE, QUAL_DOS):
+            prepared = engine.prepare_transform(text)
+            plan = prepared.plan_for(doc)
+            assert plan.strategy in ALL_STRATEGIES
+            explained = prepared.explain(doc)
+            # Header names the chosen strategy (every name is in the
+            # cost table, so matching the bare name would be vacuous).
+            assert f"strategy: {plan.strategy}" in explained
+            assert "estimated costs" in explained
+
+    def test_no_qualifiers_prefers_single_pass(self, engine, doc):
+        assert engine.prepare_transform(DELETE).plan_for(doc).strategy == "topdown"
+
+    def test_deep_descendant_qualifier_prefers_twopass(self, engine):
+        node = Element("b", {}, [Text("x")])
+        for _ in range(200):
+            node = Element("a", {}, [node])
+        root = Element("r", {}, [node])
+        text = (
+            'transform copy $a := doc("d") modify do '
+            "rename $a//*[.//b] as seen return $a"
+        )
+        prepared = engine.prepare_transform(text)
+        assert prepared.plan_for(root).strategy == "twopass"
+        assert deep_equal(prepared.run(root), transform_naive(root, prepared.query))
+
+    def test_naive_inherits_qualifier_cost_on_deep_documents(self, engine):
+        """Regression: naive pays the same native qualifier walks as
+        topdown, so stacking descendant qualifiers on a deep document
+        must never make naive the 'cheap' choice."""
+        node = Element("b", {}, [Text("x")])
+        for _ in range(200):
+            node = Element("a", {}, [node, Element("c", {}, [])])
+        root = Element("r", {}, [node])
+        text = (
+            'transform copy $a := doc("d") modify do '
+            "rename $a//*[.//b][.//a][.//c] as seen return $a"
+        )
+        plan = engine.prepare_transform(text).plan_for(root)
+        assert plan.strategy == "twopass"
+
+    def test_file_input_replans_on_the_parsed_tree(self, engine, tmp_path):
+        """A deep document arriving as a file: the byte-size profile
+        can't see the depth, but run() parses anyway and must re-plan
+        on the real tree (twopass, not a native-qualifier walk)."""
+        node = Element("b", {}, [Text("x")])
+        for _ in range(200):
+            node = Element("a", {}, [node])
+        path = tmp_path / "deep.xml"
+        write_file(Element("r", {}, [node]), str(path))
+        prepared = engine.prepare_transform(
+            'transform copy $a := doc("d") modify do '
+            "rename $a//*[.//b][.//a] as seen return $a"
+        )
+        # explain mirrors run: both refine on the parsed tree.
+        assert "strategy: twopass" in prepared.explain(str(path))
+        prepared.run(str(path))
+        assert engine.planner.last_plan.strategy == "twopass"
+
+    def test_large_file_plans_streaming(self, engine, doc, tmp_path):
+        path = tmp_path / "doc.xml"
+        write_file(doc, str(path))
+        small = Engine(planner=Planner(stream_threshold=1))
+        plan = small.prepare_transform(DELETE).plan_for(str(path))
+        assert plan.strategy == "stream"
+        assert "stream" in small.prepare_transform(DELETE).explain(str(path))
+        # ...and the streamed result matches the tree result.
+        streamed = small.prepare_transform(DELETE).run(str(path))
+        assert deep_equal(streamed, engine.prepare_transform(DELETE).run(doc))
+
+    def test_run_to_file_stream_and_tree_agree(self, engine, doc, tmp_path):
+        src = tmp_path / "in.xml"
+        write_file(doc, str(src))
+        out_stream = tmp_path / "out_stream.xml"
+        out_tree = tmp_path / "out_tree.xml"
+        small = Engine(planner=Planner(stream_threshold=1))
+        small.prepare_transform(DELETE).run_to_file(str(src), str(out_stream))
+        engine.prepare_transform(DELETE).run_to_file(
+            str(src), str(out_tree), method="topdown"
+        )
+        assert deep_equal(parse_file(str(out_stream)), parse_file(str(out_tree)))
+
+    def test_run_to_file_stream_ignores_pretty_with_warning(
+        self, engine, doc, tmp_path
+    ):
+        src = tmp_path / "in.xml"
+        write_file(doc, str(src))
+        out = tmp_path / "out.xml"
+        small = Engine(planner=Planner(stream_threshold=1))
+        with pytest.warns(UserWarning, match="pretty"):
+            small.prepare_transform(DELETE).run_to_file(
+                str(src), str(out), pretty=True
+            )
+        # Streamed anyway: the result is correct, just not indented.
+        assert deep_equal(
+            parse_file(str(out)), engine.prepare_transform(DELETE).run(doc)
+        )
+
+    def test_planner_counters_record_choices(self, engine, doc):
+        engine.prepare_transform(DELETE).run(doc)
+        stats = engine.planner.stats()
+        assert stats["last"] in ALL_STRATEGIES
+        assert sum(stats["chosen"].values()) >= 1
+
+    def test_profile_caps_the_walk(self):
+        wide = Element("r", {}, [Element("a", {}, []) for _ in range(5000)])
+        nodes, exact, _depth = estimate_nodes(wide, cap=100)
+        assert nodes == 100 and not exact
+        profile = profile_input(wide, cap=100)
+        assert not profile.exact
+
+    def test_features_summarize_shape(self):
+        features = analyze_transform(parse_transform_query(QUAL_DOS))
+        assert features.kind == "delete"
+        assert features.has_descendant
+        assert features.has_descendant_qualifier
+        assert features.quals == 1
+
+
+class TestChaining:
+    def test_then_matches_sequential_runs(self, engine, doc):
+        first = engine.prepare_transform(DELETE)
+        second = engine.prepare_transform(RENAME)
+        stack = first.then(second)
+        expected = second.run(first.run(doc))
+        assert deep_equal(stack.run(doc), expected)
+        assert len(stack) == 2
+
+    def test_then_with_raw_text_reuses_the_engine_caches(self, engine, doc):
+        engine.prepare_transform(DELETE).then(RENAME)
+        # The chained text is now prepared in the engine: preparing it
+        # again is a cache hit, not a reparse.
+        misses = engine.cache.transforms.stats()["misses"]
+        engine.prepare_transform(RENAME)
+        assert engine.cache.transforms.stats()["misses"] == misses
+
+    def test_then_accepts_raw_text(self, engine, doc):
+        stack = engine.prepare_transform(DELETE).then(RENAME)
+        assert deep_equal(
+            stack.run(doc),
+            engine.prepare_transform(RENAME).run(
+                engine.prepare_transform(DELETE).run(doc)
+            ),
+        )
+
+    def test_prepare_stack_and_explain(self, engine, doc):
+        stack = engine.prepare_stack(DELETE, RENAME, INSERT)
+        explained = stack.explain(doc)
+        assert "3 stage(s)" in explained
+        assert explained.count("strategy:") == 3
+
+
+class TestComposition:
+    def test_composed_matches_materialize_then_query(self, engine, doc):
+        user = "for $x in part/supplier return $x"
+        composed = engine.prepare_composed(user, DELETE)
+        direct = composed.run(doc)
+        oracle = composed.run_naive(doc)
+        assert [serialize(x) if isinstance(x, Element) else x for x in direct] == [
+            serialize(x) if isinstance(x, Element) else x for x in oracle
+        ]
+
+    def test_composed_is_memoized_per_pair(self, engine):
+        user = "for $x in part return $x"
+        assert engine.prepare_composed(user, DELETE) is engine.prepare_composed(
+            user, DELETE
+        )
+
+    def test_composed_from_parsed_queries_with_lossy_rendering(self, engine):
+        """Regression: two parsed transforms whose float literals render
+        identically under %g must not share a composed plan."""
+        doc = parse("<db><part><price>1234567.9</price></part></db>")
+        user = "for $x in part/price return $x"
+        q_a = parse_transform_query(
+            'transform copy $a := doc("db") modify do '
+            "delete $a//part[price = 1234567.8]/price return $a"
+        )
+        q_b = parse_transform_query(
+            'transform copy $a := doc("db") modify do '
+            "delete $a//part[price = 1234567.9]/price return $a"
+        )
+        assert str(q_a) == str(q_b)  # the rendering really is lossy
+        kept = engine.prepare_composed(user, q_a).run(doc)
+        deleted = engine.prepare_composed(user, q_b).run(doc)
+        assert len(kept) == 1 and deleted == []
+
+    def test_composed_explain_shows_the_plan(self, engine):
+        explained = engine.prepare_composed(
+            "for $x in part return $x", DELETE
+        ).explain()
+        assert "composed plan" in explained
+        assert "never materialized" in explained
+
+
+class TestModuleShims:
+    def test_prepare_transform_uses_default_engine(self, doc):
+        prepared = prepare_transform(DELETE)
+        assert prepare_transform(DELETE) is prepared
+        assert deep_equal(prepared.run(doc), transform_naive(doc, prepared.query))
+
+
+class TestEngineCLI:
+    def _write(self, tmp_path, name, text):
+        target = tmp_path / name
+        target.write_text(text, encoding="utf-8")
+        return str(target)
+
+    def test_transform_method_auto_is_default(self, tmp_path, capsys):
+        src = self._write(tmp_path, "in.xml", DOC)
+        assert cli_main(["transform", "-q", DELETE, "-i", src]) == 0
+        assert "price" not in capsys.readouterr().out
+
+    def test_query_from_file(self, tmp_path, capsys):
+        src = self._write(tmp_path, "in.xml", DOC)
+        qfile = self._write(
+            tmp_path,
+            "q.xqu",
+            'transform copy $a := doc("db") modify do\n'
+            "  delete $a//price\nreturn $a\n",
+        )
+        assert cli_main(["transform", "-q", f"@{qfile}", "-i", src]) == 0
+        assert "price" not in capsys.readouterr().out
+
+    def test_query_from_stdin(self, tmp_path, capsys, monkeypatch):
+        src = self._write(tmp_path, "in.xml", DOC)
+        monkeypatch.setattr(sys, "stdin", io.StringIO(DELETE + "\n"))
+        assert cli_main(["transform", "-q", "-", "-i", src]) == 0
+        assert "price" not in capsys.readouterr().out
+
+    def test_two_stdin_query_options_fail_clearly(self, tmp_path, capsys, monkeypatch):
+        src = self._write(tmp_path, "in.xml", DOC)
+        monkeypatch.setattr(sys, "stdin", io.StringIO(DELETE + "\n"))
+        assert cli_main(
+            ["compose", "-t", "-", "-u", "-", "-i", src]
+        ) == 2
+        assert "only one query option" in capsys.readouterr().err
+
+    def test_empty_query_file_is_a_user_error(self, tmp_path, capsys):
+        src = self._write(tmp_path, "in.xml", DOC)
+        qfile = self._write(tmp_path, "empty.xqu", "  \n")
+        assert cli_main(["transform", "-q", f"@{qfile}", "-i", src]) == 2
+        assert "repro:" in capsys.readouterr().err
+
+    def test_transform_explain_flag_prints_plan(self, tmp_path, capsys):
+        src = self._write(tmp_path, "in.xml", DOC)
+        assert cli_main(["transform", "-q", DELETE, "-i", src, "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "strategy:" in out and "estimated costs" in out
+
+    def test_explain_with_forced_method_says_so_and_does_not_execute(
+        self, tmp_path, capsys
+    ):
+        src = self._write(tmp_path, "in.xml", DOC)
+        out = tmp_path / "out.xml"
+        for method in ("twopass", "sax"):
+            assert cli_main(
+                ["transform", "-q", DELETE, "-i", src, "--explain",
+                 "--method", method, "-o", str(out)]
+            ) == 0
+            printed = capsys.readouterr().out
+            assert f"method forced by --method: {method}" in printed
+            assert not out.exists()  # --explain is a dry run
+
+    def test_explain_command_plans_a_transform(self, tmp_path, capsys):
+        src = self._write(tmp_path, "in.xml", DOC)
+        assert cli_main(["explain", "-q", DELETE, "-i", src]) == 0
+        out = capsys.readouterr().out
+        assert "strategy:" in out
+
+    def test_explain_command_still_shows_automata(self, capsys):
+        assert cli_main(["explain", "-p", "//part[pname = 'kb']"]) == 0
+        assert "selecting NFA" in capsys.readouterr().out
+
+    def test_explain_requires_path_or_query(self, capsys):
+        assert cli_main(["explain"]) == 2
+        assert "repro:" in capsys.readouterr().err
+
+    def test_store_stage_from_file(self, tmp_path, capsys):
+        state = str(tmp_path / "state")
+        src = self._write(tmp_path, "in.xml", DOC)
+        qfile = self._write(tmp_path, "q.xqu", DELETE)
+        assert cli_main(["store", "load", "-n", "db", "-i", src, "--state", state]) == 0
+        assert cli_main(
+            ["store", "stage", "-n", "db", "-t", f"@{qfile}", "--state", state]
+        ) == 0
+        assert cli_main(
+            ["store", "query", "-n", "db", "-u",
+             "for $x in part/supplier/price return $x", "--staged", "--state", state]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "12" not in out.splitlines()[-1]
+
+    def test_fixed_methods_still_available(self, tmp_path, capsys):
+        src = self._write(tmp_path, "in.xml", DOC)
+        for method in ("topdown", "twopass", "naive", "copy", "sax"):
+            assert cli_main(
+                ["transform", "-q", DELETE, "-i", src, "--method", method]
+            ) == 0
+            assert "price" not in capsys.readouterr().out

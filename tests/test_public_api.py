@@ -12,7 +12,7 @@ class TestSurface:
             assert hasattr(repro, name), f"repro.{name} missing"
 
     def test_version(self):
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
 
     def test_readme_quickstart(self):
         doc = repro.parse("<db><part><pname>kb</pname><price>12</price></part></db>")
@@ -42,6 +42,24 @@ class TestSurface:
         view = repro.transform_topdown(doc, qt)
         assert "price" not in repro.serialize(view)
         assert "price" in repro.serialize(doc)
+
+    def test_readme_engine_api(self):
+        # The "Engine API" README section.
+        engine = repro.Engine()
+        doc = repro.parse("<db><part><price>12</price></part></db>")
+        strip = engine.prepare_transform(
+            'transform copy $a := doc("db") modify do delete $a//price return $a'
+        )
+        view = strip.run(doc)
+        assert "price" not in repro.serialize(view)
+        assert "strategy:" in strip.explain(doc)
+        audit = strip.then(engine.prepare_transform(
+            'transform copy $a := doc("db") modify do '
+            "insert <audited/> into $a/part return $a"
+        ))
+        assert "<audited/>" in repro.serialize(audit.run(doc))
+        rows = engine.prepare_composed("for $x in part return $x", strip).run(doc)
+        assert len(rows) == 1
 
 
 class TestEdgeSemantics:

@@ -428,3 +428,80 @@ class TestStats:
         assert stats["views"]["partners"]["document"] == "db"
         assert "plans" in stats["caches"]["compiled"]
         assert stats["caches"]["results"]["misses"] >= 1
+
+
+class TestPlannerIntegration:
+    """The store delegates every transform evaluation to the cost-based
+    planner — no strategy is hardcoded in the store paths."""
+
+    def test_store_modules_do_not_import_topdown_directly(self):
+        import repro.store.log as log_mod
+        import repro.store.store as store_mod
+
+        assert not hasattr(store_mod, "transform_topdown")
+        assert not hasattr(log_mod, "transform_topdown")
+
+    def test_deep_descendant_heavy_stage_picks_non_naive_plan(self):
+        """Regression for the UpdateLog default: a deep ``//``-heavy
+        staged update must be previewed with a planner-chosen strategy,
+        never the naive rewriting (and, on a document this deep, the
+        planner should reach for the annotation-based twopass)."""
+        spine = "<b>leaf</b>"
+        for _ in range(60):
+            spine = f"<a>{spine}</a>"
+        store = ViewStore()
+        store.put("deep", f"<db>{spine}</db>")
+        store.stage(
+            "deep",
+            'transform copy $a := doc("deep") modify do '
+            "rename $a//*[.//b] as seen return $a",
+        )
+        rows = store.query("deep", "for $x in //seen return $x", include_staged=True)
+        assert rows  # the staged rename is visible
+        plan = store.planner.last_plan
+        assert plan is not None
+        # twopass implies the ISSUE's regression contract (non-naive).
+        assert plan.strategy == "twopass"
+        assert store.planner.counters.get("naive", 0) == 0
+
+    def test_view_layers_go_through_the_planner(self, stacked):
+        # A depth-2 stack: the inner layer is materialized via the
+        # planner (the outer is composed); query_naive stays off-planner.
+        before = sum(stacked.planner.counters.values())
+        stacked.query("partners", "for $x in part/pname return $x")
+        assert sum(stacked.planner.counters.values()) > before
+        after = sum(stacked.planner.counters.values())
+        stacked.query_naive("partners", "for $x in part/pname return $x")
+        assert sum(stacked.planner.counters.values()) == after
+
+    def test_staged_preview_handles_quoted_string_literals(self):
+        """Regression: NFAs are built from the parsed path, never from
+        its rendered text — a qualifier literal containing a quote does
+        not round-trip through str()."""
+        store = ViewStore()
+        store.put(
+            "db",
+            "<db><part><sname>O'Neil</sname><price>5</price></part></db>",
+        )
+        store.stage(
+            "db",
+            'transform copy $a := doc("db") modify do '
+            'delete $a//part[sname = "O\'Neil"]/price return $a',
+        )
+        rows = store.query(
+            "db", "for $x in part/price return $x", include_staged=True
+        )
+        assert rows == []  # the staged delete removed the price
+
+    def test_staged_previews_reuse_compiled_automata(self, stacked):
+        stacked.stage(
+            "db",
+            'transform copy $a := doc("db") modify do '
+            "rename $a//sname as vendor return $a",
+        )
+        query = "for $x in part return $x"
+        stacked.query("db", query, include_staged=True)
+        built = stacked.compiled.selecting.stats()["misses"]
+        for _ in range(3):
+            stacked.query("db", query, include_staged=True)
+        assert stacked.compiled.selecting.stats()["misses"] == built
