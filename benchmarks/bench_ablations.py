@@ -21,7 +21,7 @@ from repro.transform.ablations import (
     transform_naive_indexed,
     transform_topdown_no_pruning,
 )
-from repro.bench.harness import dataset
+from repro.bench.harness import DATASET_SEED, dataset, smoke_factor, smoke_rounds
 from repro.xmark.queries import insert_transform
 
 VARIANTS = {
@@ -40,7 +40,10 @@ QUERIES = ["U1", "U2", "U4", "U9"]
 @pytest.mark.parametrize("variant", sorted(VARIANTS))
 @pytest.mark.parametrize("uid", QUERIES)
 def test_ablation(benchmark, uid, variant):
-    tree = dataset(0.01)
+    tree = dataset(smoke_factor(0.01), seed=DATASET_SEED)
     query = insert_transform(uid)
     benchmark.group = f"ablation-{uid}"
-    benchmark.pedantic(VARIANTS[variant], args=(tree, query), rounds=3, iterations=1)
+    benchmark.pedantic(
+        VARIANTS[variant], args=(tree, query),
+        rounds=smoke_rounds(3, 1), iterations=1,
+    )

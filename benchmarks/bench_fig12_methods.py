@@ -9,7 +9,7 @@ snapshot cost on every query.
 
 import pytest
 
-from repro.bench.harness import METHOD_ORDER, METHODS
+from repro.bench.harness import METHOD_ORDER, METHODS, smoke_rounds
 from repro.xmark.queries import QUERY_IDS, insert_transform
 
 
@@ -19,5 +19,6 @@ def test_fig12(benchmark, small_tree, uid, method):
     query = insert_transform(uid)
     benchmark.group = f"fig12-{uid}"
     benchmark.pedantic(
-        METHODS[method], args=(small_tree, query), rounds=3, iterations=1
+        METHODS[method], args=(small_tree, query),
+        rounds=smoke_rounds(3, 1), iterations=1,
     )

@@ -8,10 +8,17 @@ a larger constant.
 
 import pytest
 
-from repro.bench.harness import METHOD_ORDER, METHODS, dataset
+from repro.bench.harness import (
+    DATASET_SEED,
+    METHOD_ORDER,
+    METHODS,
+    dataset,
+    smoke_factor,
+    smoke_rounds,
+)
 from repro.xmark.queries import insert_transform
 
-FACTORS = [0.002, 0.008, 0.02]
+FACTORS = sorted({smoke_factor(f) for f in (0.002, 0.008, 0.02)})
 QUERIES = ["U2", "U4", "U7", "U10"]
 
 
@@ -19,7 +26,10 @@ QUERIES = ["U2", "U4", "U7", "U10"]
 @pytest.mark.parametrize("factor", FACTORS)
 @pytest.mark.parametrize("uid", QUERIES)
 def test_fig13(benchmark, uid, factor, method):
-    tree = dataset(factor)
+    tree = dataset(factor, seed=DATASET_SEED)
     query = insert_transform(uid)
     benchmark.group = f"fig13-{uid}-factor{factor}"
-    benchmark.pedantic(METHODS[method], args=(tree, query), rounds=2, iterations=1)
+    benchmark.pedantic(
+        METHODS[method], args=(tree, query),
+        rounds=smoke_rounds(2, 1), iterations=1,
+    )

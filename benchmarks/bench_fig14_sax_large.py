@@ -10,11 +10,12 @@ short with two sizes per query.
 
 import pytest
 
+from repro.bench.harness import DATASET_SEED, smoke_factor
 from repro.transform.sax_twopass import transform_sax_file
 from repro.xmark.generator import write_xmark_file
 from repro.xmark.queries import insert_transform
 
-FACTORS = [0.05, 0.1]
+FACTORS = sorted({smoke_factor(f) for f in (0.05, 0.1)})
 QUERIES = ["U2", "U7"]
 
 _files: dict = {}
@@ -25,7 +26,7 @@ def xmark_file(tmp_path_factory):
     def get(factor: float) -> str:
         if factor not in _files:
             path = tmp_path_factory.mktemp("fig14") / f"xmark-{factor}.xml"
-            write_xmark_file(str(path), factor)
+            write_xmark_file(str(path), factor, seed=DATASET_SEED)
             _files[factor] = str(path)
         return _files[factor]
 

@@ -9,11 +9,11 @@ entirely); both methods linear in document size.
 
 import pytest
 
-from repro.bench.harness import dataset
+from repro.bench.harness import DATASET_SEED, dataset, smoke_factor, smoke_rounds
 from repro.compose import compose, evaluate_composed, naive_compose
 from repro.xmark.queries import composition_pairs
 
-FACTORS = [0.005, 0.02]
+FACTORS = sorted({smoke_factor(f) for f in (0.005, 0.02)})
 PAIRS = {f"{t}-{u}": (tq, uq) for t, u, tq, uq in composition_pairs()}
 
 
@@ -21,11 +21,11 @@ PAIRS = {f"{t}-{u}": (tq, uq) for t, u, tq, uq in composition_pairs()}
 @pytest.mark.parametrize("pair_id", sorted(PAIRS))
 def test_fig15_naive_composition(benchmark, pair_id, factor):
     transform_query, user_query = PAIRS[pair_id]
-    tree = dataset(factor)
+    tree = dataset(factor, seed=DATASET_SEED)
     benchmark.group = f"fig15-{pair_id}-factor{factor}"
     benchmark.pedantic(
         naive_compose, args=(tree, user_query, transform_query),
-        rounds=3, iterations=1,
+        rounds=smoke_rounds(3, 1), iterations=1,
     )
 
 
@@ -33,9 +33,10 @@ def test_fig15_naive_composition(benchmark, pair_id, factor):
 @pytest.mark.parametrize("pair_id", sorted(PAIRS))
 def test_fig15_compose_method(benchmark, pair_id, factor):
     transform_query, user_query = PAIRS[pair_id]
-    tree = dataset(factor)
+    tree = dataset(factor, seed=DATASET_SEED)
     composed = compose(user_query, transform_query)
     benchmark.group = f"fig15-{pair_id}-factor{factor}"
     benchmark.pedantic(
-        evaluate_composed, args=(tree, composed), rounds=3, iterations=1
+        evaluate_composed, args=(tree, composed),
+        rounds=smoke_rounds(3, 1), iterations=1,
     )

@@ -21,11 +21,18 @@ import time
 
 import pytest
 
-from repro.bench.harness import dataset, format_table
+from repro.bench.harness import (
+    DATASET_SEED,
+    SMOKE,
+    dataset,
+    format_table,
+    smoke_factor,
+    smoke_rounds,
+)
 from repro.store import MaterializationPolicy, ViewStore
 from repro.xmark.queries import delete_transform, insert_transform, rename_transform
 
-FACTOR = 0.005
+FACTOR = smoke_factor(0.005)
 
 #: The request mix: user queries U1/U4/U8 in FLWR form.
 REQUESTS = [
@@ -34,12 +41,12 @@ REQUESTS = [
     "for $x in open_auctions/open_auction[initial > 10] return $x/bidder",
 ]
 
-ROUNDS = 4
+ROUNDS = smoke_rounds(4, 2)
 
 
 def _fresh_store(policy=None) -> ViewStore:
     store = ViewStore(policy=policy)
-    store.put("xmark", dataset(FACTOR))
+    store.put("xmark", dataset(FACTOR, seed=DATASET_SEED))
     store.define_view("nodesc", "xmark", str(delete_transform("U5")))
     store.define_view("flagged", "nodesc", str(insert_transform("U9")))
     return store
@@ -70,8 +77,10 @@ def test_cold_vs_warm_cache():
     ))
     stats = store.results.stats()
     assert stats["hits"] >= len(REQUESTS) * ROUNDS
-    # The acceptance bar: warm-cache serving is at least 5x faster.
-    assert warm * 5 <= cold, f"warm {warm:.4f}s not 5x faster than cold {cold:.4f}s"
+    # The acceptance bar: warm-cache serving is at least 5x faster
+    # (informational in smoke mode, where everything is tiny).
+    if not SMOKE:
+        assert warm * 5 <= cold, f"warm {warm:.4f}s not 5x faster than cold {cold:.4f}s"
 
 
 def test_compiled_plans_reused_across_result_misses():
@@ -94,7 +103,7 @@ def test_compiled_plans_reused_across_result_misses():
 @pytest.mark.parametrize("max_depth", [6])
 def test_view_stack_depth_scaling(max_depth):
     store = ViewStore(policy=MaterializationPolicy(enabled=False))
-    store.put("xmark", dataset(FACTOR))
+    store.put("xmark", dataset(FACTOR, seed=DATASET_SEED))
     # The bidder query: none of the stacked transforms touch auctions,
     # so the answer stays non-empty at every depth.
     request = REQUESTS[2]

@@ -15,13 +15,14 @@ same trade-off as Fig. 12 vs Fig. 14 for the plain transform.
 
 import pytest
 
+from repro.bench.harness import DATASET_SEED, smoke_factor, smoke_rounds
 from repro.compose import compose, evaluate_composed, naive_compose
 from repro.streaming import stream_compose_file
 from repro.xmark.generator import write_xmark_file
 from repro.xmark.queries import composition_pairs
 from repro.xmltree import parse_file
 
-FACTOR = 0.02
+FACTOR = smoke_factor(0.02)
 
 PAIRS = {f"{t}-{u}": (tq, uq) for t, u, tq, uq in composition_pairs()}
 
@@ -29,7 +30,7 @@ PAIRS = {f"{t}-{u}": (tq, uq) for t, u, tq, uq in composition_pairs()}
 @pytest.fixture(scope="session")
 def on_disk(tmp_path_factory):
     path = tmp_path_factory.mktemp("streaming") / "xmark.xml"
-    write_xmark_file(str(path), FACTOR)
+    write_xmark_file(str(path), FACTOR, seed=DATASET_SEED)
     return str(path)
 
 
@@ -41,7 +42,7 @@ def test_streaming_pipeline(benchmark, on_disk, pair_id):
     def run():
         return list(stream_compose_file(on_disk, user_query, transform_query))
 
-    benchmark.pedantic(run, rounds=2, iterations=1)
+    benchmark.pedantic(run, rounds=smoke_rounds(2, 1), iterations=1)
 
 
 @pytest.mark.parametrize("pair_id", sorted(PAIRS))
@@ -54,7 +55,7 @@ def test_tree_composed(benchmark, on_disk, pair_id):
         tree = parse_file(on_disk)
         return evaluate_composed(tree, composed)
 
-    benchmark.pedantic(run, rounds=2, iterations=1)
+    benchmark.pedantic(run, rounds=smoke_rounds(2, 1), iterations=1)
 
 
 @pytest.mark.parametrize("pair_id", sorted(PAIRS))
@@ -66,4 +67,4 @@ def test_tree_naive(benchmark, on_disk, pair_id):
         tree = parse_file(on_disk)
         return naive_compose(tree, user_query, transform_query)
 
-    benchmark.pedantic(run, rounds=2, iterations=1)
+    benchmark.pedantic(run, rounds=smoke_rounds(2, 1), iterations=1)

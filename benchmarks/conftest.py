@@ -2,10 +2,10 @@
 
 import pytest
 
-from repro.bench.harness import dataset
+from repro.bench.harness import DATASET_SEED, dataset, smoke_factor
 
 
 @pytest.fixture(scope="session")
 def small_tree():
     """The Fig. 12 dataset (one factor, all queries)."""
-    return dataset(0.005)
+    return dataset(smoke_factor(0.005), seed=DATASET_SEED)

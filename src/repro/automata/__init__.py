@@ -17,9 +17,11 @@ child or descendant-or-self-then-child move away from the root.
 
 from repro.automata.selecting import SelectingNFA, build_selecting_nfa
 from repro.automata.filtering import FilteringNFA, build_filtering_nfa
+from repro.automata.dfa import LazyDFA
 
 __all__ = [
     "FilteringNFA",
+    "LazyDFA",
     "SelectingNFA",
     "build_filtering_nfa",
     "build_selecting_nfa",

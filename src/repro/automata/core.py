@@ -14,6 +14,16 @@ the construction of Section 3.4 (cf. Fig. 5):
 * a ``dos`` state is entered from its predecessor by ε and carries a
   ``*`` self-loop (it consumes any label and stays);
 * ε-closure therefore only ever adds ``dos`` states.
+
+The frozenset machinery below is the *reference* runner (and the form
+the paper's figures describe).  The hot strategies run the same
+automaton through :meth:`Automaton.dfa` — a lazily-determinized view
+(:mod:`repro.automata.dfa`) with interned state sets and memoized
+``(set, symbol)`` transitions.  That compilation is only affordable
+because of the construction the paper proves: the NFA has O(|p|)
+states and its only cycles are the ``*`` self-loops, so the reachable
+subset space stays tiny (no exponential subset blow-up) and the lazy
+tables converge after a handful of distinct transitions.
 """
 
 from __future__ import annotations
@@ -66,6 +76,21 @@ class Automaton:
 
     def __init__(self):
         self.states: list[State] = []
+        self._dfa = None
+
+    def dfa(self):
+        """The shared lazy-DFA view of this automaton.
+
+        Built on first use and cached for the automaton's lifetime, so
+        every strategy (and every re-run through a prepared statement
+        or the store's compiled caches) steps through the same warm
+        transition tables.
+        """
+        if self._dfa is None:
+            from repro.automata.dfa import LazyDFA
+
+            self._dfa = LazyDFA(self)
+        return self._dfa
 
     def add_state(self, test: str, name: Optional[str], qual: Qual) -> State:
         state = State(len(self.states), test, name, qual)

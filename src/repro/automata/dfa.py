@@ -1,0 +1,404 @@
+"""Lazy subset construction over the semi-linear NFAs — the compiled
+runtime every strategy steps through.
+
+The paper's ``nextStates(Mp, S, n)`` (Fig. 4) recomputes, at every node,
+which states the set ``S`` reaches on the node's label: follow consuming
+edges, filter qualifier-bearing entries, ε-close.  That work depends
+only on ``(S, label)`` (plus the qualifiers' truth at the node), so the
+same transition is recomputed millions of times over a large document.
+This module compiles the automaton the classic way — lazily
+determinize:
+
+* every distinct state set is **interned** to a dense ``set_id``;
+* element labels are interned ints (:mod:`repro.xmltree.symbols`);
+* the transition for ``(set_id, symbol)`` is **memoized** on first use
+  as a :class:`_Move`: the unconditionally-entered states, the
+  qualifier-bearing entered states (with their qualifiers compiled once
+  to closures by :mod:`repro.xpath.compiler`), and a table from the
+  qualifier outcome bitmask to the resulting ``set_id``;
+* ε-closures are precomputed once per NFA state at construction.
+
+Because the NFAs are semi-linear (O(|p|) states, Section 3.4), the
+reachable subset space is tiny — typically a few dozen sets even on
+multi-million-node documents — so the lazy tables stop growing almost
+immediately and the steady-state cost of a transition is one dict hit.
+
+Three run modes cover every consumer:
+
+* :meth:`LazyDFA.step` — the filtered transition of Fig. 4 used by
+  ``topDown`` (compiled-closure qualifiers by default, or any
+  ``checkp`` strategy such as the ``bottomUp`` annotations);
+* :meth:`LazyDFA.step_all` — the unfiltered transition (``check=None``)
+  used by ``bottomUp`` and the SAX pass 1 over the filtering NFA;
+* :meth:`LazyDFA.tracked_move` — the compiled form of the SAX pass-2 /
+  streaming "tracked alive flags" discipline: per ``(set_id, symbol)``
+  a feeder bitmask per target state, the cursor positions of
+  qualifier-bearing entered states (in the exact sorted-sid order the
+  pass-1 cursor assigned), and the ε-propagation pairs, so one
+  transition is a handful of int ops on an alive bitmask.
+
+The frozenset entry points on :class:`~repro.automata.core.Automaton`
+remain (thin adapters and the reference the property tests compare
+against); ``Automaton.dfa()`` hands out one shared ``LazyDFA`` per
+automaton, which is what lets prepared statements and the store's
+compiled caches reuse fully-warm transition tables across runs.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional
+
+from repro.xmltree.node import Element
+from repro.xmltree.symbols import SymbolTable, global_symbols
+from repro.xpath.ast import Qual
+from repro.xpath.compiler import compile_qualifier
+from repro.automata.core import TEST_DOS, TEST_LABEL, Automaton
+
+__all__ = ["LazyDFA"]
+
+#: checkp signature accepted by :meth:`LazyDFA.step`.
+CheckP = Callable[[Qual, Element], bool]
+
+
+class _Move:
+    """Compiled transition for one ``(set_id, symbol)`` pair."""
+
+    __slots__ = ("cond_sids", "cond_quals", "cond_checks", "base", "targets", "target0")
+
+    def __init__(self, cond_sids, cond_quals, cond_checks, base, targets):
+        self.cond_sids = cond_sids      # entered states with qualifiers (sorted)
+        self.cond_quals = cond_quals    # their Qual ASTs (for checkp strategies)
+        self.cond_checks = cond_checks  # their compiled closures
+        self.base = base                # unconditionally entered states (frozenset)
+        self.targets = targets          # qualifier-outcome mask -> set_id
+        self.target0 = targets[0]       # the no-qualifier-passes target (hot slot)
+
+
+class _TrackedMove:
+    """Compiled SAX pass-2 / streaming transition (alive-bitmask form)."""
+
+    __slots__ = ("target", "feeds", "qual_positions", "eps_pairs", "final_mask")
+
+    def __init__(self, target, feeds, qual_positions, eps_pairs, final_mask):
+        self.target = target                # unfiltered target set_id
+        self.feeds = feeds                  # per target member: source-position bitmask
+        self.qual_positions = qual_positions  # cursor-consuming member positions
+        self.eps_pairs = eps_pairs          # (src_pos, dst_pos) ε edges, sid order
+        self.final_mask = final_mask        # bitmask of final members in target
+
+
+class LazyDFA:
+    """Lazily-materialized DFA over an :class:`Automaton`.
+
+    One instance per automaton (obtained via ``automaton.dfa()``); its
+    interned sets and memoized moves are shared by every strategy that
+    runs the automaton, and survive as long as the automaton does —
+    i.e. as long as the compiled caches keep it.
+    """
+
+    def __init__(self, automaton: Automaton, symbols: Optional[SymbolTable] = None):
+        self.nfa = automaton
+        self.symbols = symbols if symbols is not None else global_symbols()
+        states = automaton.states
+        count = len(states)
+        # Per-NFA-state facts, computed once.
+        self._closure = [
+            tuple(sorted(automaton.epsilon_closure([sid]))) for sid in range(count)
+        ]
+        self._is_dos = [s.test == TEST_DOS for s in states]
+        self._label_sym = [
+            self.symbols.intern(s.name) if s.test == TEST_LABEL else -1
+            for s in states
+        ]
+        self._has_qual = [s.has_qualifier for s in states]
+        self._checks = [
+            compile_qualifier(s.qual) if s.has_qualifier else None for s in states
+        ]
+        self._quals = [s.qual for s in states]
+        self._final = [s.is_final for s in states]
+        self._nq = [s.nq_id for s in states]
+        # Interned state sets and their per-set facts.
+        self._sets: list[tuple] = []          # set_id -> sorted member tuple
+        self._ids: dict[frozenset, int] = {}
+        self.final_flags: list[bool] = []     # set_id -> contains a final state
+        self.set_nq: list[tuple] = []         # set_id -> nq ids in sorted-sid order
+        self.set_qual_positions: list[tuple] = []  # member positions w/ qualifiers
+        self._final_masks: list[int] = []     # set_id -> bitmask of final members
+        self._moves: list[dict] = []          # set_id -> {symbol: _Move}
+        self._tracked: list[dict] = []        # set_id -> {symbol: _TrackedMove}
+        # Direct view of the symbol table's label -> id dict (grow-only,
+        # so sharing the reference is safe): the hot loops resolve a
+        # label with one dict hit instead of a method call.
+        self._sym_ids = self.symbols._ids
+        # Guards the parallel per-set tables: one automaton (and hence
+        # one LazyDFA) is shared by every strategy and every store
+        # query, and the store runs queries concurrently.  Reads stay
+        # lock-free — a set_id is published into _ids only after all of
+        # its per-set facts are in place.
+        self._grow_lock = threading.Lock()
+        self.moves_compiled = 0
+        self.tracked_compiled = 0
+        self.empty_id = self.intern_set(frozenset())
+        self.initial_id = self.intern_set(automaton.initial_states())
+
+    # ------------------------------------------------------------------
+    # State-set interning
+    # ------------------------------------------------------------------
+
+    def intern_set(self, members) -> int:
+        """The dense id of a state set (interning it on first sight)."""
+        key = members if isinstance(members, frozenset) else frozenset(members)
+        found = self._ids.get(key)
+        if found is not None:
+            return found
+        with self._grow_lock:
+            found = self._ids.get(key)
+            if found is not None:
+                return found
+            set_id = len(self._sets)
+            ordered = tuple(sorted(key))
+            self._sets.append(ordered)
+            self.final_flags.append(any(self._final[sid] for sid in ordered))
+            self.set_nq.append(
+                tuple(self._nq[sid] for sid in ordered if self._nq[sid] is not None)
+            )
+            self.set_qual_positions.append(
+                tuple(pos for pos, sid in enumerate(ordered) if self._has_qual[sid])
+            )
+            self._final_masks.append(
+                sum(1 << pos for pos, sid in enumerate(ordered) if self._final[sid])
+            )
+            self._moves.append({})
+            self._tracked.append({})
+            # Publish last: readers that see the id find complete facts.
+            self._ids[key] = set_id
+        return set_id
+
+    def members(self, set_id: int) -> tuple:
+        """The NFA state ids of the set, sorted ascending."""
+        return self._sets[set_id]
+
+    def frozen(self, set_id: int) -> frozenset:
+        """The set as the frozenset the NFA entry points expect."""
+        return frozenset(self._sets[set_id])
+
+    def is_final(self, set_id: int) -> bool:
+        """Does the set contain a final state (``selects`` of Fig. 4)?"""
+        return self.final_flags[set_id]
+
+    def final_mask(self, set_id: int) -> int:
+        return self._final_masks[set_id]
+
+    # ------------------------------------------------------------------
+    # Transitions
+    # ------------------------------------------------------------------
+
+    def _compile_move(self, set_id: int, sym: int) -> _Move:
+        """Materialize the transition table entry for ``(set_id, sym)``."""
+        states = self.nfa.states
+        label_sym = self._label_sym
+        entered: set = set()
+        for sid in self._sets[set_id]:
+            if self._is_dos[sid]:
+                entered.add(sid)  # the '*' self-loop consumes any label
+            for target in states[sid].out_consume:
+                target_sym = label_sym[target]
+                if target_sym == sym or target_sym == -1:
+                    entered.add(target)  # label match, wildcard, or dos
+        cond = tuple(sorted(sid for sid in entered if self._has_qual[sid]))
+        base = frozenset(sid for sid in entered if not self._has_qual[sid])
+        move = _Move(
+            cond,
+            tuple(self._quals[sid] for sid in cond),
+            tuple(self._checks[sid] for sid in cond),
+            base,
+            {0: self._close_and_intern(base)},
+        )
+        self._moves[set_id][sym] = move
+        self.moves_compiled += 1
+        return move
+
+    def _close_and_intern(self, keep) -> int:
+        result: set = set()
+        closure = self._closure
+        for sid in keep:
+            result.update(closure[sid])
+        return self.intern_set(frozenset(result))
+
+    def _target_for_mask(self, move: _Move, mask: int) -> int:
+        target = move.targets.get(mask)
+        if target is None:
+            passing = [sid for bit, sid in enumerate(move.cond_sids) if mask >> bit & 1]
+            target = self._close_and_intern(move.base.union(passing))
+            move.targets[mask] = target
+        return target
+
+    def apply_move(self, move: _Move, node: Element, checkp: Optional[CheckP]) -> int:
+        """Decide a qualifier-bearing move at *node* (the slow half of
+        :meth:`step`, exposed so hot loops can inline the fast half)."""
+        mask = 0
+        if checkp is None:
+            for bit, check in enumerate(move.cond_checks):
+                if check(node):
+                    mask |= 1 << bit
+        else:
+            for bit, qual in enumerate(move.cond_quals):
+                if checkp(qual, node):
+                    mask |= 1 << bit
+        if not mask:
+            return move.target0
+        return self._target_for_mask(move, mask)
+
+    def step(
+        self,
+        set_id: int,
+        label: str,
+        node: Element,
+        checkp: Optional[CheckP] = None,
+    ) -> int:
+        """``nextStates`` with qualifier filtering at *node* (Fig. 4).
+
+        With ``checkp=None`` qualifiers are decided by the compiled
+        closures (the native engine); otherwise ``checkp(qual, node)``
+        is consulted per qualifier-bearing entered state — the hook the
+        TD-BU annotations plug into.
+        """
+        # An unseen label resolves to sym None, misses the move table,
+        # and takes the compile path (which interns it properly).
+        move = self._moves[set_id].get(self._sym_ids.get(label))
+        if move is None:
+            move = self._compile_move(set_id, self.symbols.intern(label))
+        if not move.cond_sids:
+            return move.target0
+        return self.apply_move(move, node, checkp)
+
+    def hot_path(self) -> tuple:
+        """The ``(resolve_symbol, move_tables, compile_move)`` triple
+        for consumers that inline :meth:`step`'s fast half in a
+        per-node loop (see ``topdown_subtree``): resolve the label,
+        index the move table, fall back to ``compile_move(set_id,
+        symbols.intern(label))`` on a miss.  Owning this tuple here
+        keeps the internal representation private to this module.
+        """
+        return self._sym_ids.get, self._moves, self._compile_move
+
+    def step_all(self, set_id: int, label: str) -> int:
+        """The unfiltered transition (``check=None``): qualifiers kept."""
+        move = self._moves[set_id].get(self._sym_ids.get(label))
+        if move is None:
+            move = self._compile_move(set_id, self.symbols.intern(label))
+        if not move.cond_sids:
+            return move.target0
+        return self._target_for_mask(move, (1 << len(move.cond_sids)) - 1)
+
+    # ------------------------------------------------------------------
+    # The tracked-alive mode (SAX pass 2, streaming select)
+    # ------------------------------------------------------------------
+
+    def tracked_move(self, set_id: int, label: str) -> _TrackedMove:
+        """The compiled pass-2 transition for ``(set_id, label)``.
+
+        The caller holds ``(set_id, alive-bitmask)``; applying the move
+        is: OR the feeder masks, AND the cursor values into the
+        qualifier positions, propagate ε pairs, test ``final_mask``.
+        """
+        move = self._tracked[set_id].get(self._sym_ids.get(label))
+        if move is None:
+            sym = self.symbols.intern(label)
+            move = self._compile_tracked(set_id, sym)
+            self._tracked[set_id][sym] = move
+        return move
+
+    def _compile_tracked(self, set_id: int, sym: int) -> _TrackedMove:
+        states = self.nfa.states
+        label_sym = self._label_sym
+        source = self._sets[set_id]
+        target_id = self.step_all(set_id, self.symbols.strings[sym])
+        target = self._sets[target_id]
+        dst_pos = {sid: pos for pos, sid in enumerate(target)}
+        feeds = [0] * len(target)
+        entered: set = set()
+        for src_pos, sid in enumerate(source):
+            if self._is_dos[sid]:
+                feeds[dst_pos[sid]] |= 1 << src_pos
+                entered.add(sid)
+            for tgt in states[sid].out_consume:
+                tgt_sym = label_sym[tgt]
+                if tgt_sym == sym or tgt_sym == -1:
+                    feeds[dst_pos[tgt]] |= 1 << src_pos
+                    entered.add(tgt)
+        qual_positions = tuple(
+            dst_pos[sid] for sid in sorted(entered) if self._has_qual[sid]
+        )
+        eps_pairs = tuple(
+            (dst_pos[sid], dst_pos[tgt])
+            for sid in target
+            for tgt in states[sid].out_eps
+            if tgt in dst_pos
+        )
+        move = _TrackedMove(
+            target_id, tuple(feeds), qual_positions, eps_pairs,
+            self._final_masks[target_id],
+        )
+        self.tracked_compiled += 1
+        return move
+
+    def full_mask(self, set_id: int) -> int:
+        """The all-alive bitmask for a set (the root's initial state)."""
+        return (1 << len(self._sets[set_id])) - 1
+
+    def root_tracked(self, ld: list, cursor: int) -> tuple:
+        """The tracked state at the document root (which consumes no
+        symbol): all initial members alive, with qualifier-bearing ones
+        consuming their pass-1 cursor ids.  Returns
+        ``(set_id, alive, cursor)``."""
+        set_id = self.initial_id
+        alive = (1 << len(self._sets[set_id])) - 1
+        for pos in self.set_qual_positions[set_id]:
+            if not ld[cursor]:
+                alive &= ~(1 << pos)
+            cursor += 1
+        return set_id, alive, cursor
+
+    def advance_tracked(
+        self, set_id: int, alive: int, label: str, ld: list, cursor: int
+    ) -> tuple:
+        """One full pass-2 transition: feeds, cursor-qualifier clearing
+        (consuming ids exactly as pass 1 assigned them), ε propagation.
+
+        Returns ``(set_id, alive, cursor, selected)`` — the single
+        entry point both the SAX pass 2 and the streaming selector run
+        on, so the alive/cursor discipline lives in one place.
+        """
+        move = self.tracked_move(set_id, label)
+        new_alive = 0
+        bit = 1
+        for feed in move.feeds:
+            if alive & feed:
+                new_alive |= bit
+            bit <<= 1
+        for pos in move.qual_positions:
+            if not ld[cursor]:
+                new_alive &= ~(1 << pos)
+            cursor += 1
+        for src, dst in move.eps_pairs:
+            if new_alive >> src & 1:
+                new_alive |= 1 << dst
+        return move.target, new_alive, cursor, bool(new_alive & move.final_mask)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Table sizes — what ``explain()`` surfaces as the compiled
+        runtime's footprint (and what the zero-recompilation assertions
+        in ``benchmarks/bench_dfa.py`` watch)."""
+        return {
+            "nfa_states": len(self.nfa.states),
+            "sets": len(self._sets),
+            "moves": self.moves_compiled,
+            "tracked_moves": self.tracked_compiled,
+            "symbols": len(self.symbols),
+        }

@@ -75,9 +75,36 @@ class SelectingNFA(Automaton):
 
         Mostly a testing/verification entry point — the transform
         algorithms interleave this run with output construction instead
-        — but also a fine standalone XPath evaluator.
+        — but also a fine standalone XPath evaluator.  Runs on the
+        shared lazy DFA (:meth:`~repro.automata.core.Automaton.dfa`);
+        :meth:`run_select_nfa` is the frozenset reference.
         Returns nodes in document order.
         """
+        selected: list = []
+        initial = self.initial_states_for(root)
+        if not initial:
+            return selected
+        dfa = self.dfa()
+        step = dfa.step
+        empty_id = dfa.empty_id
+        final_flags = dfa.final_flags
+        initial_id = dfa.intern_set(initial)
+        stack: list[tuple] = [(child, initial_id) for child in reversed(list(root.child_elements()))]
+        while stack:
+            node, parent_id = stack.pop()
+            set_id = step(parent_id, node.label, node)
+            if set_id == empty_id:
+                continue
+            if final_flags[set_id]:
+                selected.append(node)
+            stack.extend(
+                (child, set_id) for child in reversed(list(node.child_elements()))
+            )
+        return selected
+
+    def run_select_nfa(self, root: Element) -> list:
+        """The seed's frozenset run of :meth:`run_select` — the
+        reference the DFA property tests compare against."""
         selected: list = []
         initial = self.initial_states_for(root)
         if not initial:

@@ -25,6 +25,7 @@ import tracemalloc
 from pathlib import Path
 
 from repro.bench.harness import (
+    DATASET_SEED,
     METHOD_ORDER,
     METHODS,
     clear_datasets,
@@ -54,7 +55,7 @@ FIG15_FACTORS = [0.002, 0.005, 0.01, 0.02, 0.04]
 
 def fig12(factor: float = FIG12_FACTOR, repeat: int = 3) -> dict:
     """Fig. 12: execution time of the five methods on U1-U10."""
-    tree = dataset(factor)
+    tree = dataset(factor, seed=DATASET_SEED)
     stats = dataset_stats(factor)
     results: dict = {"factor": factor, "elements": stats["elements"], "times": {}}
     for uid in QUERY_IDS:
@@ -87,7 +88,7 @@ def fig13(
         query = insert_transform(uid)
         results["times"][uid] = {method: [] for method in METHOD_ORDER}
         for factor in factors:
-            tree = dataset(factor)
+            tree = dataset(factor, seed=DATASET_SEED)
             for method in METHOD_ORDER:
                 seconds = time_call(METHODS[method], tree, query, repeat=repeat)
                 results["times"][uid][method].append(seconds)
@@ -126,7 +127,7 @@ def fig14(
     for factor in factors:
         in_path = base / f"xmark-{factor}.xml"
         if not in_path.exists():
-            write_xmark_file(str(in_path), factor)
+            write_xmark_file(str(in_path), factor, seed=DATASET_SEED)
         size_mb = in_path.stat().st_size / (1024 * 1024)
         results["sizes"][factor] = size_mb
         results["times"][factor] = {}
@@ -168,7 +169,7 @@ def fig15(factors: list = FIG15_FACTORS, repeat: int = 3) -> dict:
         composed = compose(user_query, transform_query)
         naive_times, compose_times = [], []
         for factor in factors:
-            tree = dataset(factor)
+            tree = dataset(factor, seed=DATASET_SEED)
             naive_times.append(time_call(
                 naive_compose, tree, user_query, transform_query, repeat=repeat
             ))

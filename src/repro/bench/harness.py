@@ -1,8 +1,22 @@
-"""Shared benchmarking machinery for the Section-7 experiments."""
+"""Shared benchmarking machinery for the Section-7 experiments.
+
+Two cross-cutting policies every benchmark routes through:
+
+* **Explicit seeds** — all XMark generation in ``benchmarks/`` passes
+  :data:`DATASET_SEED` explicitly, so perf numbers are run-to-run
+  comparable (same bytes, same tree shape, same match counts).
+* **Smoke mode** — with ``REPRO_BENCH_SMOKE=1`` in the environment,
+  :func:`smoke_factor` caps document sizes and :func:`smoke_rounds`
+  caps repetition counts, and the acceptance-bar assertions in the
+  benchmark suites are relaxed.  CI runs the whole ``benchmarks/``
+  directory this way on every push: the perf-path code is executed end
+  to end (so it cannot silently rot) without paying benchmark time.
+"""
 
 from __future__ import annotations
 
 import gc
+import os
 import time
 from typing import Callable, Optional
 
@@ -15,6 +29,23 @@ from repro.transform import (
 )
 from repro.xmark.generator import generate, document_stats
 from repro.xmltree.node import Element
+
+#: True when the benchmarks should run tiny (see module docstring).
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+#: The seed all benchmark document generation passes explicitly.
+DATASET_SEED = 42
+
+
+def smoke_factor(factor: float, cap: float = 0.002) -> float:
+    """Cap an XMark factor in smoke mode; identity otherwise."""
+    return min(factor, cap) if SMOKE else factor
+
+
+def smoke_rounds(rounds: int, cap: int = 2) -> int:
+    """Cap a repetition count in smoke mode; identity otherwise."""
+    return min(rounds, cap) if SMOKE else rounds
+
 
 #: The five evaluation methods, keyed by the paper's names (Fig. 12).
 METHODS: dict[str, Callable] = {

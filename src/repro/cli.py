@@ -256,6 +256,14 @@ def _cmd_store_stat(args: argparse.Namespace) -> int:
             f"  view {name!r}: over {info['base']!r} "
             f"(document {info['document']!r}, stack depth {info['depth']})"
         )
+    print("  caches [hits/misses/evictions]:")
+    cache_rows = dict(stats["caches"]["compiled"])
+    cache_rows["results"] = stats["caches"]["results"]
+    for name, cache in cache_rows.items():
+        print(
+            f"    {name:<14} {cache['hits']}/{cache['misses']}"
+            f"/{cache['evictions']} (size {cache['size']}/{cache['maxsize']})"
+        )
     return 0
 
 

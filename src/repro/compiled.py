@@ -17,6 +17,7 @@ stays one-directional (store → engine → here).
 
 from __future__ import annotations
 
+from repro.automata.dfa import LazyDFA
 from repro.automata.filtering import FilteringNFA, build_filtering_nfa
 from repro.automata.selecting import SelectingNFA, build_selecting_nfa
 from repro.compose.compose import compose
@@ -27,7 +28,46 @@ from repro.xpath.parser import parse_xpath
 from repro.xquery.ast import Expr, UserQuery
 from repro.xquery.parser import parse_user_query
 
-__all__ = ["CompiledCache"]
+__all__ = ["CompiledCache", "CompiledPath"]
+
+
+class CompiledPath:
+    """Everything compiled from one ``X`` path, bundled: the selecting
+    and filtering NFAs plus their lazy DFAs (which carry the interned
+    state sets, memoized transitions and per-state qualifier closures).
+
+    This is the artifact a prepared statement holds and the caches key
+    by parsed :class:`Path`: a second preparation — or a second run of
+    the same prepared statement — finds the DFA tables already warm and
+    pays zero recompilation (``benchmarks/bench_dfa.py`` asserts this
+    via :meth:`stats`).
+    """
+
+    __slots__ = ("path", "selecting", "filtering")
+
+    def __init__(self, path: Path, selecting: SelectingNFA, filtering: FilteringNFA):
+        self.path = path
+        self.selecting = selecting
+        self.filtering = filtering
+
+    @property
+    def selecting_dfa(self) -> LazyDFA:
+        return self.selecting.dfa()
+
+    @property
+    def filtering_dfa(self) -> LazyDFA:
+        return self.filtering.dfa()
+
+    def stats(self) -> dict:
+        """Compiled-table sizes for both automata (see
+        :meth:`repro.automata.dfa.LazyDFA.stats`)."""
+        return {
+            "selecting_dfa": self.selecting.dfa().stats(),
+            "filtering_dfa": self.filtering.dfa().stats(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CompiledPath({self.path})"
 
 
 class CompiledCache:
@@ -45,6 +85,7 @@ class CompiledCache:
         self.user_queries = LRUCache(maxsize)
         self.selecting = LRUCache(maxsize)
         self.filtering = LRUCache(maxsize)
+        self.compiled_paths = LRUCache(maxsize)
         self.plans = LRUCache(maxsize)
 
     # ------------------------------------------------------------------
@@ -87,14 +128,36 @@ class CompiledCache:
     def filtering_nfa(self, path_text: str) -> FilteringNFA:
         return self.filtering_nfa_for(self.xpath(path_text))
 
-    def composed(self, user_text: str, transform_text: str) -> Expr:
-        """The composed plan for the pair of source texts."""
-        return self.plans.get_or_compute(
-            (user_text, transform_text),
-            lambda: compose(
-                self.user_query(user_text), self.transform(transform_text)
+    def compiled_path_for(self, path: Path) -> CompiledPath:
+        """The :class:`CompiledPath` bundle for a parsed path — shares
+        the NFA caches, so the bundle is pure bookkeeping on top."""
+        return self.compiled_paths.get_or_compute(
+            path,
+            lambda: CompiledPath(
+                path, self.selecting_nfa_for(path), self.filtering_nfa_for(path)
             ),
         )
+
+    def compiled_path(self, path_text: str) -> CompiledPath:
+        return self.compiled_path_for(self.xpath(path_text))
+
+    def composed(self, user_text: str, transform_text: str) -> Expr:
+        """The composed plan for the pair of source texts.
+
+        The transform's cached selecting NFA is threaded into the
+        composer, so the plan's spliced ``topDown`` calls run on the
+        same warm DFA tables every other strategy uses.
+        """
+
+        def build() -> Expr:
+            transform = self.transform(transform_text)
+            return compose(
+                self.user_query(user_text),
+                transform,
+                nfa=self.selecting_nfa_for(transform.path),
+            )
+
+        return self.plans.get_or_compute((user_text, transform_text), build)
 
     # ------------------------------------------------------------------
 
@@ -109,6 +172,7 @@ class CompiledCache:
             "user_queries": self.user_queries,
             "selecting_nfas": self.selecting,
             "filtering_nfas": self.filtering,
+            "compiled_paths": self.compiled_paths,
             "plans": self.plans,
         }
 

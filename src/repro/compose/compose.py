@@ -104,11 +104,20 @@ class _Ctx:
 class Composer:
     """Builds the composed query for one (user query, transform) pair."""
 
-    def __init__(self, user_query: UserQuery, transform_query: TransformQuery):
+    def __init__(
+        self,
+        user_query: UserQuery,
+        transform_query: TransformQuery,
+        nfa: Optional[SelectingNFA] = None,
+    ):
         self.query = user_query
         self.transform = transform_query
         self.update = transform_query.update
-        self.nfa: SelectingNFA = build_selecting_nfa(transform_query.path)
+        # A prebuilt (cached) NFA carries its warm lazy-DFA tables into
+        # every TransformedSubtree the composed plan splices in.
+        self.nfa: SelectingNFA = nfa if nfa is not None else build_selecting_nfa(
+            transform_query.path
+        )
         self.user_ctx_qual, self.user_steps = normalize_steps(user_query.path)
         self._counter = 0
 
@@ -578,10 +587,20 @@ def _norm_to_step(norm: NormStep) -> Step:
     return Step("dos", None, quals)
 
 
-def compose(user_query: UserQuery, transform_query: TransformQuery) -> Expr:
+def compose(
+    user_query: UserQuery,
+    transform_query: TransformQuery,
+    nfa: Optional[SelectingNFA] = None,
+) -> Expr:
     """Compose ``Q`` with ``Qt`` into a single query over the original
-    document: ``evaluate_composed(T, compose(Q, Qt)) == Q(Qt(T))``."""
-    return Composer(user_query, transform_query).compose()
+    document: ``evaluate_composed(T, compose(Q, Qt)) == Q(Qt(T))``.
+
+    *nfa*, when supplied, must be the selecting NFA of
+    ``transform_query.path`` (typically the compiled cache's instance):
+    the composed plan's localized ``topDown`` splices then run on its
+    already-warm DFA tables.
+    """
+    return Composer(user_query, transform_query, nfa=nfa).compose()
 
 
 def evaluate_composed(root: Element, composed: Expr) -> list:

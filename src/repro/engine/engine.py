@@ -81,13 +81,18 @@ class Engine:
     def _build_transform(
         self, query: TransformQuery, text: Optional[str] = None
     ) -> PreparedTransform:
+        # The CompiledPath bundle is keyed by the parsed Path: two
+        # transform texts embedding the same path share one pair of
+        # automata — and therefore one set of warm lazy-DFA tables.
+        compiled = self.cache.compiled_path_for(query.path)
         return PreparedTransform(
             text if text is not None else str(query),
             query,
-            self.cache.selecting_nfa_for(query.path),
-            self.cache.filtering_nfa_for(query.path),
+            compiled.selecting,
+            compiled.filtering,
             self.planner,
             engine=self,
+            compiled=compiled,
         )
 
     def prepare_query(

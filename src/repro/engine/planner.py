@@ -207,7 +207,7 @@ class Planner:
                 "materialize the output)"
             )
             costs = self._tree_costs(f, profile)
-            costs["stream"] = 3.5 * profile.nodes
+            costs["stream"] = 3.0 * profile.nodes
             return Plan("stream", costs, f, profile, tuple(reasons))
 
         costs = self._tree_costs(f, profile)
@@ -227,11 +227,18 @@ class Planner:
         """Estimated cost per strategy, in node-visit units.
 
         Constants are calibrated against this repository's Fig-12 run
-        (12k-node XMark tree): GENTOP's pruned pass costs ~0.9 units per
-        touched node, TD-BU's annotation pass ~0.8 units per node per
-        qualifier, and a native descendant-qualifier check walks the
-        candidate's subtree — whose mean size is the tree's mean node
-        depth, the term that makes GENTOP quadratic on deep documents.
+        (12k-node XMark tree) *on the compiled runtime*: the NFA-driven
+        passes (GENTOP, TD-BU's topDown half, the SAX automaton work)
+        step through the lazy DFA — interned state sets, memoized
+        ``(set, symbol)`` transitions — which cut their per-node unit
+        from ~0.9 to ~0.55.  Native qualifier checks run as closures
+        compiled once from the ASTs (cheaper per candidate than the old
+        interpretive dispatch), but a descendant qualifier still walks
+        the candidate's subtree — whose mean size is the tree's mean
+        node depth, the term that makes GENTOP quadratic on deep
+        documents.  ``QualDP``'s annotation pass and the baselines
+        (naive's membership scan, copy's snapshot) are not DFA-driven
+        and keep their seed constants.
         """
         n = max(1, profile.nodes)
         # Structural candidates: nodes the NFA reports as matches of the
@@ -245,19 +252,24 @@ class Planner:
 
         qual_native = 0.0
         if f.quals:
-            per_candidate = 0.2 + 0.15 * max(1, f.qual_steps)
+            per_candidate = 0.1 + 0.09 * max(1, f.qual_steps)
             if f.qual_dos:
                 # The subtree walk: mean subtree size ≈ mean node depth.
-                per_candidate += 0.035 * profile.avg_depth * f.qual_dos
+                # Measured on deep chains, the compiled walk reaches
+                # cost parity with the annotation pass at mean depth
+                # ~17 and loses quadratically beyond it.
+                per_candidate += 0.05 * profile.avg_depth * f.qual_dos
             qual_native = candidates * per_candidate
 
-        topdown = 0.9 * touched * n + qual_native
+        topdown = 0.55 * touched * n + qual_native
         if f.quals == 0:
             # twopass delegates to topdown when there is nothing to
             # annotate; a hair more for the delegation check.
             twopass = topdown + 1.0
         else:
-            twopass = 0.9 * touched * n + n * (0.2 + 0.8 * f.quals)
+            # The annotation pass folds QualDP vectors per node (not
+            # DFA work); only its NFA stepping got cheaper.
+            twopass = 0.55 * touched * n + n * (0.15 + 0.8 * f.quals)
         return {
             "topdown": topdown,
             "twopass": twopass,
@@ -268,7 +280,9 @@ class Planner:
             # the annotation-based strategies (twopass, sax) escape it.
             "naive": 2.2 * n + 0.002 * n * matches + qual_native,
             "copy": 3.2 * n + qual_native,
-            "sax": 4.5 * n,
+            # Event synthesis dominates sax-over-a-tree; its automaton
+            # half rides the same DFA tables.
+            "sax": 3.8 * n,
         }
 
     def _reasons_for(self, strategy: str, f: QueryFeatures) -> list[str]:

@@ -58,7 +58,7 @@ class PreparedTransform:
 
     __slots__ = (
         "text", "query", "features", "selecting", "filtering", "planner",
-        "engine", "_plan_memo",
+        "engine", "compiled", "_plan_memo",
     )
 
     def __init__(
@@ -70,6 +70,7 @@ class PreparedTransform:
         planner: Planner,
         features: Optional[QueryFeatures] = None,
         engine=None,
+        compiled=None,
     ):
         self.text = text
         self.query = query
@@ -79,6 +80,10 @@ class PreparedTransform:
         #: The owning Engine, when prepared through one: lets ``then``
         #: route raw query text through the engine's caches.
         self.engine = engine
+        #: The CompiledPath bundle (NFAs + lazy DFAs), when prepared
+        #: through an engine's compiled cache; None for hand-built
+        #: instances (the automata still carry their own DFAs).
+        self.compiled = compiled
         self.features = features or analyze_transform(query)
         self._plan_memo = LRUCache(_PLAN_MEMO_SIZE)
 
@@ -126,8 +131,25 @@ class PreparedTransform:
         plan = self.plan_for(doc_or_path)
         header = [
             f"prepared transform: {self.query.update}",
-            "compiled once: parse + selecting NFA + filtering NFA",
+            "compiled once: parse + selecting NFA + filtering NFA + lazy DFA",
         ]
+        dfa = self.selecting.dfa()
+        stats = dfa.stats()
+        header.append(
+            "selecting DFA: "
+            f"{stats['sets']} interned state sets, "
+            f"{stats['moves']} memoized transitions, "
+            f"{stats['tracked_moves']} tracked moves "
+            f"(over {stats['nfa_states']} NFA states)"
+        )
+        if self.engine is not None:
+            header.append("engine caches [hits/misses/evictions]:")
+            for name, cache_stats in self.engine.cache.stats().items():
+                header.append(
+                    f"  {name:<14} {cache_stats['hits']}/{cache_stats['misses']}"
+                    f"/{cache_stats['evictions']} "
+                    f"(size {cache_stats['size']}/{cache_stats['maxsize']})"
+                )
         return "\n".join(header) + "\n" + plan.describe()
 
     # ------------------------------------------------------------------
@@ -405,7 +427,9 @@ class PreparedComposed:
     def __init__(self, user: PreparedQuery, transform: PreparedTransform):
         self.user = user
         self.transform = transform
-        self.plan = compose(user.query, transform.query)
+        # The prepared transform's selecting NFA (with its warm DFA
+        # tables) backs the plan's spliced topDown calls.
+        self.plan = compose(user.query, transform.query, nfa=transform.selecting)
 
     def run(self, doc_or_path: Input) -> list:
         from repro.compose.compose import evaluate_composed

@@ -6,7 +6,7 @@ one-directional).  This module keeps the historical import path
 ``repro.store.cache`` working.
 """
 
-from repro.compiled import CompiledCache
+from repro.compiled import CompiledCache, CompiledPath
 from repro.lru import LRUCache
 
-__all__ = ["CompiledCache", "LRUCache"]
+__all__ = ["CompiledCache", "CompiledPath", "LRUCache"]

@@ -6,10 +6,22 @@ Section-6 two-pass discipline: pass 1 records qualifier truths in the
 cursor-indexed ``Ld`` list, pass 2 runs the selecting NFA and already
 knows, at each ``startElement``, whether the node is selected).
 
+Because the discipline *requires* two reads, the event source must be
+replayable: ``source()`` is called once per pass and must return a
+fresh iterator each time.  A one-shot source (e.g. ``lambda: events``
+around an existing generator) would silently feed pass 2 an exhausted
+stream; :func:`stream_select` detects that and raises a ``ValueError``
+naming the requirement instead.
+
 Memory is bounded by document depth plus the size of the *currently
 open* matches: only subtrees that are being captured are materialized.
 A selected node nested inside another selected node yields its own
 tree; emission is deferred just enough to preserve document order.
+
+The automaton state per open element is an interned DFA set id plus an
+alive bitmask (see :meth:`repro.automata.dfa.LazyDFA.tracked_move`) —
+the same compiled tracked moves the SAX pass 2 of
+:mod:`repro.transform.sax_twopass` runs on.
 """
 
 from __future__ import annotations
@@ -18,13 +30,16 @@ from typing import Callable, Iterable, Iterator, Optional
 
 from repro.automata.filtering import FilteringNFA, build_filtering_nfa
 from repro.automata.selecting import SelectingNFA, build_selecting_nfa
-from repro.transform.sax_twopass import (
-    _advance_tracked,
-    _close_epsilon,
-    pass1_collect_ld,
-)
+from repro.transform.sax_twopass import pass1_collect_ld
 from repro.xmltree.node import Element, Text
-from repro.xmltree.sax import EndElement, SAXEvent, StartElement, TextEvent, iter_sax_file
+from repro.xmltree.sax import (
+    EndElement,
+    SAXEvent,
+    StartElement,
+    TextEvent,
+    TwoPassSource,
+    iter_sax_file,
+)
 from repro.xpath.ast import Path
 
 EventSource = Callable[[], Iterable[SAXEvent]]
@@ -60,39 +75,45 @@ def stream_select(
     selecting: Optional[SelectingNFA] = None,
     filtering: Optional[FilteringNFA] = None,
 ) -> Iterator[Element]:
-    """Yield ``r[[p]]`` subtrees from a two-pass streaming run."""
+    """Yield ``r[[p]]`` subtrees from a two-pass streaming run.
+
+    Raises ``ValueError`` if *source* is not replayable (see the module
+    docstring): the Section-6 discipline reads the document twice.
+    """
     if selecting is None:
         selecting = build_selecting_nfa(path)
     if filtering is None:
         filtering = build_filtering_nfa(path)
-    ld = pass1_collect_ld(source(), filtering)
+    two_pass = TwoPassSource(source, "stream_select")
+    ld = pass1_collect_ld(two_pass.pass1(), filtering)
+    return _select_pass2(two_pass.pass2(), selecting, ld)
 
+
+def _select_pass2(
+    events: Iterable[SAXEvent],
+    selecting: SelectingNFA,
+    ld: list,
+) -> Iterator[Element]:
+    dfa = selecting.dfa()
+    advance = dfa.advance_tracked
     cursor = 0
-    stack: list[dict] = []          # tracked alive_by_state per open element
+    stack: list = []                # (set_id, alive) per open element
     captures: list[_Capture] = []   # in start order (document order)
-    for event in source():
+    for event in events:
         if isinstance(event, StartElement):
             if not stack:
-                initial = {sid: True for sid in selecting.initial_states()}
-                for sid in sorted(initial):
-                    if selecting.states[sid].has_qualifier:
-                        initial[sid] = bool(ld[cursor])
-                        cursor += 1
-                stack.append(initial)
+                set_id, alive, cursor = dfa.root_tracked(ld, cursor)
+                stack.append((set_id, alive))
                 # The root itself is never selected in this fragment.
                 continue
-            tracked, to_check = _advance_tracked(selecting, stack[-1], event.name)
-            for sid in to_check:
-                value = ld[cursor]
-                cursor += 1
-                if not value:
-                    tracked[sid] = False
-            _close_epsilon(selecting, tracked)
-            stack.append(tracked)
+            set_id, alive, cursor, selected = advance(
+                stack[-1][0], stack[-1][1], event.name, ld, cursor
+            )
+            stack.append((set_id, alive))
             for capture in captures:
                 if not capture.done:
                     capture.start(event.name, event.attrs)
-            if tracked.get(selecting.final_id, False):
+            if selected:
                 captures.append(_Capture(event.name, event.attrs))
         elif isinstance(event, EndElement):
             if len(stack) > 1:  # the root entry has no capture scope
@@ -108,6 +129,7 @@ def stream_select(
                 if not capture.done:
                     capture.text(event.value)
     # All captures close with their end tags; nothing can remain open.
+    # (TwoPassSource raises before we get here if pass 2 was starved.)
 
 
 def stream_select_file(path_on_disk: str, path: Path) -> Iterator[Element]:

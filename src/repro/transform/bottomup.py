@@ -57,7 +57,9 @@ def bottom_up_annotate(root: Element, nfa: FilteringNFA = None, path=None) -> An
     """Run ``bottomUp`` over the tree; returns the annotations.
 
     Iterative post-order traversal (explicit frames), so document depth
-    is not limited by the interpreter's recursion limit.
+    is not limited by the interpreter's recursion limit.  The unfiltered
+    ``nextStates`` runs on the filtering NFA's lazy DFA: the per-child
+    transition is a memoized ``(set id, label)`` table hit.
     """
     if nfa is None:
         nfa = build_filtering_nfa(path)
@@ -66,9 +68,12 @@ def bottom_up_annotate(root: Element, nfa: FilteringNFA = None, path=None) -> An
     size = len(space)
     if size == 0:
         return annotations  # no qualifiers anywhere: nothing to compute
+    dfa = nfa.dfa()
+    step_all = dfa.step_all
+    empty_id = dfa.empty_id
 
-    # Frame: [node, state-set, csat, dsat, child-cursor].
-    frames: list[list] = [[root, nfa.initial_states(), [False] * size, [False] * size, 0]]
+    # Frame: [node, DFA set id, csat, dsat, child-cursor].
+    frames: list[list] = [[root, dfa.initial_id, [False] * size, [False] * size, 0]]
     while frames:
         frame = frames[-1]
         node, states, csat, dsat, _ = frame
@@ -80,8 +85,8 @@ def bottom_up_annotate(root: Element, nfa: FilteringNFA = None, path=None) -> An
         frame[4] = cursor + 1
         if cursor < len(children):
             child = children[cursor]
-            child_states = nfa.next_states(states, child.label, check=None)
-            if child_states:
+            child_states = step_all(states, child.label)
+            if child_states != empty_id:
                 frames.append([child, child_states, [False] * size, [False] * size, 0])
             # Pruned subtrees contribute all-false — sound because every
             # qualifier expression that could hold below them is gated by

@@ -50,6 +50,7 @@ from repro.xmltree.sax import (
     StartDocument,
     StartElement,
     TextEvent,
+    TwoPassSource,
     events_to_text,
     events_to_tree,
     iter_sax_file,
@@ -71,7 +72,7 @@ class _Pass1Entry:
     __slots__ = ("states", "csat", "dsat", "texts", "attrs", "label", "qual_ids")
 
     def __init__(self, states, size, label, attrs):
-        self.states = states            # filtering-NFA state set (None = pruned)
+        self.states = states            # filtering-NFA DFA set id
         self.csat = [False] * size
         self.dsat = [False] * size
         self.texts: list[str] = []
@@ -82,9 +83,19 @@ class _Pass1Entry:
 
 def pass1_collect_ld(events: Iterable[SAXEvent], nfa: FilteringNFA) -> list:
     """Run the SAX bottomUp pass; returns ``Ld`` as a list indexed by
-    cursor id (the disk file of the paper, kept in memory)."""
+    cursor id (the disk file of the paper, kept in memory).
+
+    The state sets live as interned ids in the filtering NFA's lazy
+    DFA; each set's needed qualifier ids (``LQ(S)``, in the sorted
+    state order pass 2 mirrors) are precomputed per set, so the per-
+    element work is one table hit plus the cursor bookkeeping.
+    """
     space = nfa.space
     size = len(space)
+    dfa = nfa.dfa()
+    step_all = dfa.step_all
+    empty_id = dfa.empty_id
+    set_nq = dfa.set_nq
     ld: list = []
     stack: list[_Pass1Entry] = []
     prune_depth = 0  # >0 while inside a pruned subtree
@@ -94,20 +105,18 @@ def pass1_collect_ld(events: Iterable[SAXEvent], nfa: FilteringNFA) -> list:
                 prune_depth += 1
                 continue
             if not stack:
-                states = nfa.initial_states()  # the root consumes no symbol
+                states = dfa.initial_id  # the root consumes no symbol
             else:
-                states = nfa.next_states(stack[-1].states, event.name, check=None)
-                if not states:
+                states = step_all(stack[-1].states, event.name)
+                if states == empty_id:
                     prune_depth = 1  # Fig. 9 line 6: skip the subtree
                     continue
             entry = _Pass1Entry(states, size, event.name, event.attrs)
             # Cursor discipline: one id per top-level qualifier needed
             # here, in sorted state order (mirrored exactly by pass 2).
-            for sid in sorted(states):
-                nq_id = nfa.states[sid].nq_id
-                if nq_id is not None:
-                    entry.qual_ids.append((len(ld), nq_id))
-                    ld.append(None)  # reserved; filled at endElement
+            for nq_id in set_nq[states]:
+                entry.qual_ids.append((len(ld), nq_id))
+                ld.append(None)  # reserved; filled at endElement
             stack.append(entry)
         elif isinstance(event, EndElement):
             if prune_depth:
@@ -142,13 +151,14 @@ def pass1_collect_ld(events: Iterable[SAXEvent], nfa: FilteringNFA) -> list:
 
 
 class _Pass2Entry:
-    """Stack entry of the SAX topDown pass: tracked states with alive
-    flags, plus the output decision taken at startElement."""
+    """Stack entry of the SAX topDown pass: the tracked DFA set id and
+    alive bitmask, plus the output decision taken at startElement."""
 
-    __slots__ = ("alive_by_state", "out_label", "insert_after")
+    __slots__ = ("set_id", "alive", "out_label", "insert_after")
 
-    def __init__(self, alive_by_state, out_label, insert_after):
-        self.alive_by_state = alive_by_state  # dict sid -> bool (tracked set)
+    def __init__(self, set_id, alive, out_label, insert_after):
+        self.set_id = set_id                  # unfiltered DFA set id
+        self.alive = alive                    # bitmask over the set's members
         self.out_label = out_label            # label to emit at endElement (rename)
         self.insert_after = insert_after      # emit content before endElement
 
@@ -156,7 +166,10 @@ class _Pass2Entry:
 def _advance_tracked(
     nfa: SelectingNFA, current: dict, label: str
 ) -> tuple[dict, list]:
-    """One unfiltered transition on the tracked set.
+    """One unfiltered transition on the tracked set — the original
+    frozenset/dict reference of the compiled tracked move
+    (:meth:`repro.automata.dfa.LazyDFA.tracked_move`); kept for the
+    equivalence property tests.
 
     Returns ``(tracked, to_check)``: the new ``sid -> alive`` mapping
     (alive propagated from predecessors, qualifiers not yet applied)
@@ -177,7 +190,8 @@ def _advance_tracked(
 
 
 def _close_epsilon(nfa: SelectingNFA, tracked: dict) -> None:
-    """Propagate alive flags over ε edges (into dos states), in place."""
+    """Propagate alive flags over ε edges (into dos states), in place —
+    reference counterpart of the compiled move's ``eps_pairs``."""
     states = nfa.states
     # ε edges go from state i to the dos state i+1: increasing-id order
     # reaches a fixpoint in one sweep over the semi-linear automaton.
@@ -193,7 +207,14 @@ def pass2_transform(
     query: TransformQuery,
     ld: list,
 ) -> Iterator[SAXEvent]:
-    """Run the SAX topDown pass; yields the transformed event stream."""
+    """Run the SAX topDown pass; yields the transformed event stream.
+
+    The tracked set runs as ``(DFA set id, alive bitmask)``: one
+    compiled :meth:`~repro.automata.dfa.LazyDFA.tracked_move` per
+    ``(set, label)`` replaces the per-node dict rebuild of the seed —
+    the cursor discipline (and hence ``Ld`` alignment with pass 1) is
+    byte-for-byte the same.
+    """
     update = query.update
     is_insert = isinstance(update, Insert)
     is_delete = isinstance(update, Delete)
@@ -203,6 +224,8 @@ def pass2_transform(
     if is_insert or is_replace:
         content_events = list(tree_to_events(update.content, document=False))
 
+    dfa = nfa.dfa()
+    advance = dfa.advance_tracked
     cursor = 0
     stack: list[_Pass2Entry] = []
     suppress_depth = 0  # >0 inside a deleted/replaced subtree
@@ -213,46 +236,35 @@ def pass2_transform(
                 # The root consumes no symbol and is never selected; a
                 # context qualifier (.[q]/…) consumes its cursor id here,
                 # mirroring pass 1's root entry.
-                initial = {sid: True for sid in nfa.initial_states()}
-                for sid in sorted(initial):
-                    if nfa.states[sid].has_qualifier:
-                        initial[sid] = bool(ld[cursor])
-                        cursor += 1
-                stack.append(_Pass2Entry(initial, event.name, False))
+                set_id, alive, cursor = dfa.root_tracked(ld, cursor)
+                stack.append(_Pass2Entry(set_id, alive, event.name, False))
                 yield event
                 continue
-            tracked, to_check = _advance_tracked(
-                nfa, stack[-1].alive_by_state, event.name
+            parent = stack[-1]
+            set_id, alive, cursor, selected = advance(
+                parent.set_id, parent.alive, event.name, ld, cursor
             )
-            # Consume cursor ids exactly as pass 1 assigned them; a
-            # false qualifier only clears the alive flag.
-            for sid in to_check:
-                value = ld[cursor]
-                cursor += 1
-                if not value:
-                    tracked[sid] = False
-            _close_epsilon(nfa, tracked)
-            selected = (not suppress_depth) and tracked.get(nfa.final_id, False)
+            selected = selected and not suppress_depth
             out_label = event.name
             insert_after = False
             if selected and is_delete:
                 suppress_depth = 1
-                stack.append(_Pass2Entry(tracked, out_label, False))
+                stack.append(_Pass2Entry(set_id, alive, out_label, False))
                 continue
             if selected and is_replace:
                 yield from content_events
                 suppress_depth = 1
-                stack.append(_Pass2Entry(tracked, out_label, False))
+                stack.append(_Pass2Entry(set_id, alive, out_label, False))
                 continue
             if suppress_depth:
                 suppress_depth += 1
-                stack.append(_Pass2Entry(tracked, out_label, False))
+                stack.append(_Pass2Entry(set_id, alive, out_label, False))
                 continue
             if selected and is_rename:
                 out_label = update.new_label
             if selected and is_insert:
                 insert_after = True
-            stack.append(_Pass2Entry(tracked, out_label, insert_after))
+            stack.append(_Pass2Entry(set_id, alive, out_label, insert_after))
             yield StartElement(out_label, event.attrs)
         elif isinstance(event, EndElement):
             entry = stack.pop()
@@ -279,13 +291,19 @@ def transform_sax_events(
     selecting: Optional[SelectingNFA] = None,
     filtering: Optional[FilteringNFA] = None,
 ) -> Iterator[SAXEvent]:
-    """``twoPassSAX`` over an event source (called once per pass)."""
+    """``twoPassSAX`` over an event source (called once per pass).
+
+    Like :func:`repro.streaming.select.stream_select`, the source must
+    be replayable; :class:`repro.xmltree.sax.TwoPassSource` raises a
+    ``ValueError`` naming the two-pass requirement when it is not.
+    """
     if selecting is None:
         selecting = build_selecting_nfa(query.path)
     if filtering is None:
         filtering = build_filtering_nfa(query.path)
-    ld = pass1_collect_ld(source(), filtering)
-    return pass2_transform(source(), selecting, query, ld)
+    two_pass = TwoPassSource(source, "twoPassSAX")
+    ld = pass1_collect_ld(two_pass.pass1(), filtering)
+    return pass2_transform(two_pass.pass2(), selecting, query, ld)
 
 
 def transform_sax_file(

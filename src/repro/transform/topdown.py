@@ -11,9 +11,18 @@ A single recursive traversal driven by the selecting NFA:
 * otherwise recurse into the children with ``S'``.
 
 ``checkp`` is a strategy (see DESIGN.md): the default evaluates
-qualifiers with the reference evaluator at the node ("native engine",
-GENTOP in the experiments); ``transform_twopass`` substitutes O(1)
-lookups into the ``bottomUp`` annotations (TD-BU).
+qualifiers natively ("native engine", GENTOP in the experiments) —
+through closures compiled once from the qualifier ASTs; —
+``transform_twopass`` substitutes O(1) lookups into the ``bottomUp``
+annotations (TD-BU).
+
+Since the compiled-runtime refactor the traversal steps through the
+automaton's lazy DFA (:mod:`repro.automata.dfa`): state sets are dense
+interned ids and each ``(set, label)`` transition is a memoized table
+hit instead of a recomputed ``nextStates``.  The original frozenset
+runner is kept verbatim as :func:`topdown_subtree_nfa` — it is the
+reference the property tests and ``benchmarks/bench_dfa.py`` compare
+the compiled runtime against.
 """
 
 from __future__ import annotations
@@ -33,7 +42,12 @@ CheckP = Callable[[Qual, Element], bool]
 
 def native_checkp(qual: Qual, node: Element) -> bool:
     """Evaluate the qualifier directly (the host engine's job in the
-    paper's GENTOP configuration)."""
+    paper's GENTOP configuration).
+
+    When this exact function is the ``checkp``, the DFA runner swaps in
+    its per-state closures compiled from the same ASTs — identical
+    semantics, no per-call AST dispatch.
+    """
     return eval_qualifier(node, qual)
 
 
@@ -47,7 +61,8 @@ def transform_topdown(
 
     The result shares unchanged subtrees with the input (both are to be
     treated as immutable).  A pre-built NFA may be supplied to amortize
-    construction, e.g. across benchmark iterations.
+    construction, e.g. across benchmark iterations — its lazy DFA
+    tables come along with it.
     """
     if nfa is None:
         nfa = build_selecting_nfa(query.path)
@@ -67,18 +82,142 @@ def topdown_subtree(
     node: Node,
     checkp: CheckP = native_checkp,
 ) -> list[Node]:
-    """``topDown(Mp, S, Qt, n)`` of Fig. 3: transform the subtree at
-    *node* given the automaton states *states* reached at its parent.
+    """``topDown(Mp, S, Qt, n)`` of Fig. 3 on the compiled runtime:
+    transform the subtree at *node* given the automaton states *states*
+    reached at its parent.
 
     Returns the node list that replaces *node* in its parent — empty
     for a deleted node, the replacement for replace, and a single
     (possibly rebuilt) node otherwise.  Exposed separately because the
     Compose Method splices exactly this call into composed queries
-    (Section 4, Example 4.3/Q3).
+    (Section 4, Example 4.3/Q3).  *states* stays a ``frozenset`` at the
+    boundary (the adapter contract); internally the walk runs on
+    interned DFA set ids.
 
     Iterative (explicit frames), so document depth is not limited by
     the interpreter's recursion limit.
     """
+    dfa = nfa.dfa()
+    # native_checkp (by identity) means: use the closures the DFA
+    # compiled from the very same qualifier ASTs.
+    plugged = None if checkp is native_checkp else checkp
+    # The transition fast path is inlined (resolve symbol, hit the move
+    # table, take the no-qualifier target) — this loop runs once per
+    # document node and the call overhead of LazyDFA.step is measurable.
+    sym_get, moves, compile_move = dfa.hot_path()
+    apply_move = dfa.apply_move
+    intern_label = dfa.symbols.intern
+    empty_id = dfa.empty_id
+    final_flags = dfa.final_flags
+    recurses_into_match = update.recurses_into_match
+    result_for_match = update.result_for_match
+    result: list[Node] = []
+    # Frame: [node, set-id, matched, rebuilt-children, cursor, out,
+    #         children, child-count] — children/count cached so resumes
+    #         after each child cost no len()/attribute reloads.
+    frames: list[list] = [[node, dfa.intern_set(states), None, None, 0, result, None, 0]]
+    while frames:
+        frame = frames[-1]
+        if frame[2] is None:  # first visit: run the automaton step
+            current = frame[0]
+            if not current.is_element:
+                frame[5].append(current)
+                frames.pop()
+                continue
+            label = current.label
+            set_id = frame[1]
+            move = moves[set_id].get(sym_get(label))
+            if move is None:
+                move = compile_move(set_id, intern_label(label))
+            if not move.cond_sids:
+                next_id = move.target0
+            else:
+                next_id = apply_move(move, current, plugged)
+            if next_id == empty_id:
+                # Untouched: share, do not copy (Fig. 3 lines 2-3).
+                frame[5].append(current)
+                frames.pop()
+                continue
+            matched = final_flags[next_id]
+            if matched and not recurses_into_match:
+                # delete/replace: prune the subtree without visiting it.
+                frame[5].extend(
+                    result_for_match(
+                        Element(current.label, dict(current.attrs), [])
+                    )
+                )
+                frames.pop()
+                continue
+            frame[1] = next_id
+            frame[2] = matched
+            attrs = current.attrs
+            rebuilt = Element(label, dict(attrs) if attrs else {}, [])
+            frame[3] = rebuilt
+            children = current.children
+            frame[6] = children
+            frame[7] = len(children)
+        else:
+            rebuilt = frame[3]
+            children = frame[6]
+        cursor = frame[4]
+        count = frame[7]
+        out_children = rebuilt.children
+        # Fast-forward over consecutive text children.
+        while cursor < count and not children[cursor].is_element:
+            out_children.append(children[cursor])
+            cursor += 1
+        frame[4] = cursor + 1
+        if cursor < count:
+            frames.append([children[cursor], frame[1], None, None, 0, out_children, None, 0])
+            continue
+        # All children processed: finish this node.
+        if frame[2]:
+            frame[5].extend(result_for_match(rebuilt))
+        else:
+            frame[5].append(rebuilt)
+        frames.pop()
+    return result
+
+
+# ----------------------------------------------------------------------
+# The frozenset reference runner (the seed implementation)
+# ----------------------------------------------------------------------
+
+
+def transform_topdown_nfa(
+    root: Element,
+    query: TransformQuery,
+    checkp: CheckP = native_checkp,
+    nfa: Optional[SelectingNFA] = None,
+) -> Element:
+    """``topDown`` on the original frozenset ``nextStates`` runner.
+
+    Semantically identical to :func:`transform_topdown`; kept as the
+    baseline the compiled runtime is validated and benchmarked against
+    (``tests/test_dfa_properties.py``, ``benchmarks/bench_dfa.py``).
+    """
+    if nfa is None:
+        nfa = build_selecting_nfa(query.path)
+    initial = nfa.initial_states_for(root)
+    if not initial:
+        return root
+    fresh = Element(root.label, dict(root.attrs), [])
+    for child in root.children:
+        fresh.children.extend(
+            topdown_subtree_nfa(nfa, initial, query.update, child, checkp)
+        )
+    return fresh
+
+
+def topdown_subtree_nfa(
+    nfa: SelectingNFA,
+    states: frozenset,
+    update: Update,
+    node: Node,
+    checkp: CheckP = native_checkp,
+) -> list[Node]:
+    """The seed's frozenset ``topDown(Mp, S, Qt, n)`` — see
+    :func:`transform_topdown_nfa`."""
     result: list[Node] = []
     # Frame: [node, states-at-node, matched, rebuilt, child-cursor, out].
     frames: list[list] = [[node, states, None, None, 0, result]]

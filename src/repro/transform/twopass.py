@@ -6,6 +6,11 @@ Pass 1 annotates the tree with every qualifier's truth value
 annotation lookup.  Total cost O(|T|·|p|²) combined / linear data
 complexity — and optimal: two passes are necessary for the embedded
 XPath evaluation alone (Koch, VLDB'03, as cited by the paper).
+
+Both passes run on the compiled runtime: ``bottomUp`` steps the
+filtering NFA's lazy DFA unfiltered, and ``topDown`` steps the
+selecting NFA's DFA with the annotation ``checkp`` plugged into the
+qualifier positions of each memoized move.
 """
 
 from __future__ import annotations

@@ -19,6 +19,13 @@ Design notes (see DESIGN.md §4):
   Section 6, whose stack entries store "the PCDATA of text children" of
   the current element, and is applied consistently by every evaluator so
   cross-algorithm equivalence holds.
+* Labels are plain ``str`` attributes, but the parsers canonicalize
+  them through the process-wide symbol table
+  (:mod:`repro.xmltree.symbols`): identical labels share one interned
+  string object and a dense int id.  The compiled automaton runtime
+  (:mod:`repro.automata.dfa`) keys its memoized transition tables by
+  those ids — viable precisely because the paper's NFAs are O(|p|)
+  semi-linear, so the per-label transition space stays tiny.
 """
 
 from __future__ import annotations

@@ -20,6 +20,14 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.xmltree.node import Element, Node, Text
+from repro.xmltree.symbols import global_symbols
+
+#: Labels are canonicalized through the process-wide symbol table as
+#: they are parsed: identical labels share one interned string (a large
+#: XMark document has millions of label occurrences but a few dozen
+#: distinct labels), and the compiled runtime's automata find their
+#: whole alphabet pre-interned.
+_SYMBOLS = global_symbols()
 
 
 class XMLSyntaxError(ValueError):
@@ -227,7 +235,7 @@ class _Parser:
     def _parse_root(self) -> Element:
         self._expect("<")
         name, attrs, self_closing = self._read_open_tag()
-        root = Element(name, attrs, [])
+        root = Element(_SYMBOLS.canonical(name), attrs, [])
         if self_closing:
             return root
         stack: list[Element] = [root]
@@ -261,7 +269,7 @@ class _Parser:
             else:
                 self.pos += 1
                 name, attrs, self_closing = self._read_open_tag()
-                child = Element(name, attrs, [])
+                child = Element(_SYMBOLS.canonical(name), attrs, [])
                 stack[-1].children.append(child)
                 if not self_closing:
                     stack.append(child)

@@ -19,11 +19,18 @@ document depth.  This module provides the substrate:
 
 from __future__ import annotations
 
-from typing import IO, Iterable, Iterator, Optional, Union
+from typing import IO, Callable, Iterable, Iterator, Optional, Union
 
 from repro.xmltree.node import Element, Node, Text
 from repro.xmltree.parser import XMLSyntaxError, decode_entities
 from repro.xmltree.serializer import escape_attr, escape_text
+from repro.xmltree.symbols import global_symbols
+
+#: Element names are canonicalized through the process-wide symbol
+#: table as events are produced (see :mod:`repro.xmltree.symbols`):
+#: the streaming passes then run the compiled automata over labels
+#: whose symbol ids are already interned.
+_SYMBOLS = global_symbols()
 
 
 class SAXEvent:
@@ -274,7 +281,7 @@ def _parse_tag_body(raw: str, base: int) -> tuple[str, dict]:
     if " " not in raw:  # fast path: no attributes (the common case)
         if not raw or "\t" in raw or "\n" in raw or "\r" in raw:
             return _parse_tag_body_slow(raw, base)
-        return raw, {}
+        return _SYMBOLS.canonical(raw), {}
     return _parse_tag_body_slow(raw, base)
 
 
@@ -286,6 +293,7 @@ def _parse_tag_body_slow(raw: str, base: int) -> tuple[str, dict]:
     name = raw[:i]
     if not name:
         raise XMLSyntaxError("empty tag name", base)
+    name = _SYMBOLS.canonical(name)
     attrs: dict[str, str] = {}
     while i < n:
         while i < n and raw[i] in " \t\r\n":
@@ -326,6 +334,58 @@ def iter_sax_string(source: str, strip_whitespace: bool = True) -> Iterator[SAXE
 
 
 # ----------------------------------------------------------------------
+# Two-pass source discipline
+# ----------------------------------------------------------------------
+
+
+class TwoPassSource:
+    """Replays an event-source factory for the Section-6 two-pass
+    algorithms, enforcing that it really is replayable.
+
+    ``pass1()`` streams the first read; ``pass2()`` calls the factory
+    again and raises ``ValueError`` if it hands back the same — now
+    exhausted — iterator, or if the second read produces no events at
+    all although the first one did (a shared underlying iterator hiding
+    behind fresh wrapper objects).  Both ``stream_select`` and
+    ``transform_sax_events`` run on this one guard so the detection
+    criteria cannot drift apart.
+    """
+
+    __slots__ = ("source", "algorithm", "pass1_saw", "_pass1")
+
+    def __init__(self, source: Callable[[], Iterable[SAXEvent]], algorithm: str):
+        self.source = source
+        self.algorithm = algorithm
+        self.pass1_saw = False
+        self._pass1 = source()
+
+    def pass1(self) -> Iterator[SAXEvent]:
+        for event in self._pass1:
+            self.pass1_saw = True
+            yield event
+
+    def pass2(self) -> Iterator[SAXEvent]:
+        events = self.source()
+        if iter(events) is iter(self._pass1):
+            raise ValueError(
+                f"{self.algorithm} reads the document twice (the Section-6 "
+                "two-pass discipline), but the event source returned the "
+                "same — now exhausted — iterator for the second pass; pass "
+                "a factory that produces a fresh event iterator per call"
+            )
+        saw = False
+        for event in events:
+            saw = True
+            yield event
+        if self.pass1_saw and not saw:
+            raise ValueError(
+                f"{self.algorithm} reads the document twice, but the event "
+                "source produced no events on the second pass — it appears "
+                "to wrap a shared, already-exhausted iterator"
+            )
+
+
+# ----------------------------------------------------------------------
 # Tree <-> events adapters
 # ----------------------------------------------------------------------
 
@@ -361,7 +421,7 @@ def events_to_tree(events: Iterable[SAXEvent]) -> Element:
     stack: list[Element] = []
     for event in events:
         if isinstance(event, StartElement):
-            node = Element(event.name, dict(event.attrs), [])
+            node = Element(_SYMBOLS.canonical(event.name), dict(event.attrs), [])
             if stack:
                 stack[-1].children.append(node)
             elif root is None:
