@@ -1,0 +1,308 @@
+"""The columnar arena's acceptance bars: the arena backend vs the PR-3
+DFA runner on the Fig-12 select/query workloads, plus the resident-
+memory and snapshot contracts.
+
+Workload, over an XMark document of at least 10 MB serialized (factor
+0.25 ≈ 10.4 MB, ~500k nodes):
+
+* **select** — the descendant-heavy Fig-12 embedded paths (U4, U5,
+  U9, U10) run through ``run_select``: the PR-3 lazy-DFA walk over
+  ``Element`` objects vs the arena walk over int columns
+  (:func:`repro.automata.arena_run.select_indices`).  Both runners
+  share one prebuilt selecting NFA per query — the same automaton,
+  the same memoized move tables — so the comparison isolates exactly
+  this PR's claim: dense pre-order columns vs Python object traversal.
+* **query** — the Fig-11 user queries ``for $x in Ui return $x`` for
+  the qualifier-bearing shapes: ``evaluate_query`` on the tree vs the
+  arena evaluator's zero-thaw reference run (both identify the same
+  result items; neither serializes).
+
+Bars (relaxed in smoke mode, which only exercises the code paths):
+
+* geometric-mean speedup >= 2x across the select+query suite;
+* resident bytes per loaded document (tracemalloc): the arena load
+  path must be >= 3x smaller than the Node parse — in smoke mode the
+  regression guard still asserts arena <= Node bytes;
+* **zero recompilation** — re-running a select on the warm arena adds
+  no DFA state sets and no transitions (table counters stable);
+* **zero-copy snapshots** — N store reads of one committed version
+  share one frozen arena object (``arena_builds`` stays 1, the object
+  is identical), and a commit rebuilds it exactly once.
+
+Run standalone (prints the tables, exits non-zero if a bar fails)::
+
+    PYTHONPATH=src python benchmarks/bench_arena.py            # full, 10 MB
+    PYTHONPATH=src python benchmarks/bench_arena.py --smoke    # tiny
+
+or via pytest (the CI smoke job sets REPRO_BENCH_SMOKE=1)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_arena.py -q -s
+"""
+
+from __future__ import annotations
+
+import gc
+import math
+import time
+import tracemalloc
+
+from repro.automata.arena_run import select_indices
+from repro.automata.selecting import build_selecting_nfa
+from repro.bench.harness import DATASET_SEED, SMOKE, dataset, format_table, smoke_rounds
+from repro.store.store import ViewStore
+from repro.xmark.queries import EMBEDDED_PATHS, delete_transform, user_query_for
+from repro.xmltree.arena import freeze
+from repro.xmltree.serializer import write_file
+from repro.xpath.parser import parse_xpath
+from repro.xquery.arena_eval import ArenaEvaluator
+from repro.xquery.evaluator import evaluate_query
+
+#: Factor 0.25 serializes to ~10.4 MB — the bar's minimum document size.
+FULL_FACTOR = 0.25
+SMOKE_FACTOR = 0.002
+
+#: The Fig-12 embedded paths containing ``//`` (descendant-heavy).
+SELECT_SUITE = ["U4", "U5", "U9", "U10"]
+
+#: The qualifier-bearing Fig-11 user-query shapes.
+QUERY_SUITE = ["U2", "U3", "U7", "U8", "U9", "U10"]
+
+REPEAT = smoke_rounds(3, 1)
+
+#: The acceptance bars.
+SPEEDUP_BAR = 2.0
+MEMORY_BAR = 3.0
+
+
+def _factor() -> float:
+    return SMOKE_FACTOR if SMOKE else FULL_FACTOR
+
+
+def _best_of(fn, repeat: int = REPEAT) -> float:
+    best = float("inf")
+    for _ in range(repeat):
+        gc.collect()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        finally:
+            gc.enable()
+    return best
+
+
+def run_speedup_table(factor: float) -> tuple[list, float]:
+    """Time node vs arena per workload entry; returns (rows, geomean)."""
+    tree = dataset(factor, seed=DATASET_SEED)
+    arena = freeze(tree)
+    rows = []
+    ratios = []
+    for uid in SELECT_SUITE:
+        nfa = build_selecting_nfa(parse_xpath(EMBEDDED_PATHS[uid]))
+        nfa.run_select(tree)            # warm the DFA tables
+        select_indices(nfa, arena)      # ... and the arena closures
+        node_time = _best_of(lambda: nfa.run_select(tree))
+        arena_time = _best_of(lambda: select_indices(nfa, arena))
+        ratio = node_time / arena_time
+        ratios.append(ratio)
+        rows.append((
+            f"select-{uid}", f"{node_time * 1000:.1f}",
+            f"{arena_time * 1000:.1f}", f"{ratio:.2f}x",
+        ))
+    for uid in QUERY_SUITE:
+        query = user_query_for(uid)
+        evaluator = ArenaEvaluator(arena)
+        evaluate_query(tree, query)          # warm both paths
+        evaluator.evaluate_refs(query)
+        node_time = _best_of(lambda: evaluate_query(tree, query))
+        arena_time = _best_of(lambda: evaluator.evaluate_refs(query))
+        ratio = node_time / arena_time
+        ratios.append(ratio)
+        rows.append((
+            f"query-{uid}", f"{node_time * 1000:.1f}",
+            f"{arena_time * 1000:.1f}", f"{ratio:.2f}x",
+        ))
+    geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+    return rows, geomean
+
+
+def run_memory_table(factor: float, tmp_path: str) -> tuple[list, float]:
+    """Resident bytes of the two load paths; returns (rows, ratio)."""
+    from repro.xmltree.parser import parse_file, parse_file_to_arena
+
+    write_file(dataset(factor, seed=DATASET_SEED), tmp_path)
+    tracemalloc.start()
+    tree = parse_file(tmp_path)
+    node_bytes, _ = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    nodes = tree.size()
+    del tree
+    tracemalloc.start()
+    arena = parse_file_to_arena(tmp_path)
+    arena_bytes, _ = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    assert len(arena) == nodes
+    ratio = node_bytes / max(1, arena_bytes)
+    rows = [
+        ("node tree", f"{node_bytes}", f"{node_bytes / nodes:.0f}"),
+        ("arena", f"{arena_bytes}", f"{arena_bytes / nodes:.0f}"),
+    ]
+    return rows, ratio
+
+
+def test_arena_speedup_bar():
+    factor = _factor()
+    rows, geomean = run_speedup_table(factor)
+    print()
+    print(format_table(
+        f"arena backend vs PR-3 DFA runner (xmark factor {factor}, "
+        f"best of {REPEAT})",
+        ["workload", "node ms", "arena ms", "speedup"],
+        rows,
+    ))
+    print(f"geometric mean speedup: {geomean:.2f}x (bar: {SPEEDUP_BAR}x)")
+    if SMOKE:
+        return  # smoke mode exercises the code paths, not the bar
+    assert geomean >= SPEEDUP_BAR, (
+        f"arena backend only {geomean:.2f}x over the Node runners "
+        f"(bar {SPEEDUP_BAR}x)"
+    )
+
+
+def test_arena_memory_bar(tmp_path="/tmp/bench_arena_doc.xml"):
+    factor = _factor()
+    import os
+
+    if not isinstance(tmp_path, str):  # pytest passes a Path fixture
+        tmp_path = str(tmp_path / "doc.xml")
+    rows, ratio = run_memory_table(factor, tmp_path)
+    print()
+    print(format_table(
+        f"resident bytes per loaded document (xmark factor {factor}, "
+        "tracemalloc)",
+        ["load path", "bytes", "bytes/node"],
+        rows,
+    ))
+    print(f"node/arena ratio: {ratio:.2f}x (bar: {MEMORY_BAR}x)")
+    if os.path.exists(tmp_path):
+        os.unlink(tmp_path)
+    if SMOKE:
+        # The smoke-mode regression guard: the columnar load path must
+        # never allocate more than the Node tree, at any size.
+        assert ratio >= 1.0, (
+            f"arena resident bytes regressed above the Node tree "
+            f"({ratio:.2f}x)"
+        )
+        return
+    assert ratio >= MEMORY_BAR, (
+        f"arena only {ratio:.2f}x smaller than the Node tree "
+        f"(bar {MEMORY_BAR}x)"
+    )
+
+
+def test_zero_recompilation_on_warm_arena():
+    """A warm re-run adds no DFA state sets, moves or arena closures."""
+    tree = dataset(SMOKE_FACTOR if SMOKE else 0.01, seed=DATASET_SEED)
+    arena = freeze(tree)
+    nfa = build_selecting_nfa(parse_xpath(EMBEDDED_PATHS["U9"]))
+    first = select_indices(nfa, arena)
+    tables_before = nfa.dfa().stats()
+    again = select_indices(nfa, arena)
+    assert again == first
+    tables_after = nfa.dfa().stats()
+    assert tables_after == tables_before, (
+        f"warm arena re-run recompiled DFA tables: "
+        f"{tables_before} -> {tables_after}"
+    )
+    print()
+    print(f"warm arena re-run: DFA tables stable at {tables_after}")
+
+
+def test_zero_copy_snapshots():
+    """N reads of one committed version share one frozen arena object."""
+    store = ViewStore()
+    store.put("db", dataset(SMOKE_FACTOR if SMOKE else 0.01, seed=DATASET_SEED))
+    doc = store.documents.get("db")
+    queries = [
+        "for $x in regions//item[location = 'United States'] return $x",
+        "for $x in people/person return $x/name",
+        "for $x in //keyword return $x",
+    ]
+    for _ in range(3):
+        for text in queries:
+            store.query("db", text)
+            store.query_serialized("db", text)
+    assert doc.arena_builds == 1, (
+        f"{doc.arena_builds} arena builds for one committed version "
+        "(zero-copy snapshot contract: exactly 1)"
+    )
+    with doc.lock:
+        snapshot = doc.arena()
+        assert doc.arena() is snapshot, "reads must share one object"
+    # A commit rebuilds the snapshot exactly once, on the next read.
+    store.commit("db", str(delete_transform("U5")))
+    for text in queries:
+        store.query("db", text)
+    assert doc.arena_builds == 2, (
+        f"{doc.arena_builds} arena builds after one commit (expected 2)"
+    )
+    print()
+    print(
+        f"zero-copy snapshots: {store.arena_reads} arena reads, "
+        f"{doc.arena_builds} builds (1 initial + 1 post-commit)"
+    )
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny document, no acceptance bars (CI smoke)",
+    )
+    parser.add_argument(
+        "--factor", type=float, default=None,
+        help=f"override the XMark factor (default {FULL_FACTOR})",
+    )
+    args = parser.parse_args(argv)
+    factor = args.factor if args.factor is not None else (
+        SMOKE_FACTOR if args.smoke else FULL_FACTOR
+    )
+    rows, geomean = run_speedup_table(factor)
+    print(format_table(
+        f"arena backend vs PR-3 DFA runner (xmark factor {factor}, "
+        f"best of {REPEAT})",
+        ["workload", "node ms", "arena ms", "speedup"],
+        rows,
+    ))
+    print(f"geometric mean speedup: {geomean:.2f}x (bar: {SPEEDUP_BAR}x)")
+    mem_rows, mem_ratio = run_memory_table(factor, "/tmp/bench_arena_doc.xml")
+    print()
+    print(format_table(
+        "resident bytes per loaded document (tracemalloc)",
+        ["load path", "bytes", "bytes/node"],
+        mem_rows,
+    ))
+    print(f"node/arena ratio: {mem_ratio:.2f}x (bar: {MEMORY_BAR}x)")
+    test_zero_recompilation_on_warm_arena()
+    test_zero_copy_snapshots()
+    if args.smoke:
+        return 0
+    failed = []
+    if geomean < SPEEDUP_BAR:
+        failed.append(f"speedup {geomean:.2f}x < {SPEEDUP_BAR}x")
+    if mem_ratio < MEMORY_BAR:
+        failed.append(f"memory {mem_ratio:.2f}x < {MEMORY_BAR}x")
+    if failed:
+        print("FAIL: " + "; ".join(failed))
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main(None))

@@ -27,19 +27,25 @@ engine plans across; each subpackage's docstring maps back to the
 paper's sections.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 # XML substrate
 from repro.xmltree import (
     Element,
+    FrozenDocument,
     Text,
     deep_copy,
     deep_equal,
     element,
+    freeze,
     parse,
     parse_file,
+    parse_file_to_arena,
+    parse_to_arena,
     serialize,
+    serialize_arena,
     text,
+    thaw,
     write_file,
 )
 
@@ -67,6 +73,7 @@ from repro.transform import (
 
 # XQuery subset and composition
 from repro.xquery import evaluate_query, parse_user_query
+from repro.xquery.arena_eval import evaluate_query_arena
 from repro.compose import compose, evaluate_composed, naive_compose
 
 # Streaming extension (the paper's future-work item 3)
@@ -125,6 +132,7 @@ __all__ = [
     "DocumentStore",
     "Element",
     "Engine",
+    "FrozenDocument",
     "Plan",
     "Planner",
     "PreparedComposed",
@@ -153,20 +161,26 @@ __all__ = [
     "evaluate",
     "evaluate_composed",
     "evaluate_query",
+    "evaluate_query_arena",
+    "freeze",
     "generate_xmark",
     "naive_compose",
     "parse",
     "parse_file",
+    "parse_file_to_arena",
+    "parse_to_arena",
     "parse_transform_query",
     "parse_update",
     "parse_user_query",
     "parse_xpath",
     "serialize",
+    "serialize_arena",
     "stream_compose",
     "stream_compose_file",
     "stream_select",
     "stream_select_file",
     "text",
+    "thaw",
     "transform_copy_update",
     "transform_naive",
     "transform_sax",

@@ -18,6 +18,7 @@ child or descendant-or-self-then-child move away from the root.
 from repro.automata.selecting import SelectingNFA, build_selecting_nfa
 from repro.automata.filtering import FilteringNFA, build_filtering_nfa
 from repro.automata.dfa import LazyDFA
+from repro.automata.arena_run import select_indices
 
 __all__ = [
     "FilteringNFA",
@@ -25,4 +26,5 @@ __all__ = [
     "SelectingNFA",
     "build_filtering_nfa",
     "build_selecting_nfa",
+    "select_indices",
 ]

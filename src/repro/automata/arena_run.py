@@ -1,0 +1,268 @@
+"""Arena-native automaton runs: the selecting DFA over pre-order index
+ranges.
+
+The Node runners (``run_select``, ``topDown``) spend most of their time
+*outside* the automaton — chasing ``Element`` attributes, building
+child lists, pushing per-node tuples.  Over a
+:class:`~repro.xmltree.arena.FrozenDocument` the same lazy DFA runs as
+one pre-order loop with local-variable state:
+
+* the node's symbol id is ``sym[i]`` (already interned — no label
+  string, no hash);
+* the transition is one dict hit on the memoized move table;
+* an empty target set **skips the whole subtree** by jumping
+  ``i = end[i]`` — the paper's pruning, now a single int assignment
+  over the contiguous pre-order range;
+* the only per-node allocation is appending a matched index.
+
+:func:`select_indices` is the shared walk behind the arena paths of
+``run_select``, the store's query fast path and the xquery arena
+evaluator; :func:`write_arena_transformed` fuses it with the columnar
+serializer for the file-to-file transform fast path (untouched
+subtrees are emitted — or skipped — as raw index ranges, the arena
+form of "simply copied to the result").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.updates.ops import Update
+from repro.xmltree.arena import FrozenDocument
+from repro.xmltree.serializer import serialize
+from repro.xpath.ast import TrueQual
+
+__all__ = [
+    "initial_id_for",
+    "select_indices",
+    "serialize_arena_items",
+    "serialize_arena_transformed",
+    "write_arena_transformed",
+]
+
+
+def initial_id_for(selecting, arena: FrozenDocument, context: int = 0) -> Optional[int]:
+    """The interned initial set id at *context*, or ``None`` when a
+    context qualifier (``.[q]/…``) fails there — nothing can match."""
+    dfa = selecting.dfa()
+    if arena.symbols is not dfa.symbols:
+        raise ValueError(
+            "arena and automaton intern through different symbol tables; "
+            "build both against the same SymbolTable"
+        )
+    context_qual = selecting.context_qual
+    if not isinstance(context_qual, TrueQual):
+        from repro.xpath.arena_compiler import compile_qualifier_arena
+
+        check = selecting.__dict__.get("_arena_context_check")
+        if check is None:
+            check = compile_qualifier_arena(context_qual, dfa.symbols)
+            selecting._arena_context_check = check
+        if not check(arena, context):
+            return None
+    return dfa.intern_set(selecting.initial_states())
+
+
+def select_indices(
+    selecting, arena: FrozenDocument, context: int = 0
+) -> list:
+    """``r[[p]]`` over the arena: pre-order indices of the selected
+    nodes in the subtree of *context*, in document order.
+
+    The arena twin of :meth:`~repro.automata.selecting.SelectingNFA.
+    run_select` — same automaton, same memoized move tables, ~none of
+    the object traffic.
+    """
+    out: list = []
+    initial_id = initial_id_for(selecting, arena, context)
+    if initial_id is None:
+        return out
+    dfa = selecting.dfa()
+    moves, compile_move, apply_move_arena = dfa.arena_hot_path()
+    empty_id = dfa.empty_id
+    final_flags = dfa.final_flags
+    sym = arena.sym
+    end = arena.end
+    append = out.append
+    limit = end[context]
+    # Ancestor stack: sets/ends hold the open chain, top_* mirror the
+    # innermost entry so the per-node fast path never indexes [-1].
+    sets = [initial_id]
+    ends = [limit]
+    top_set = initial_id
+    top_end = limit
+    i = context + 1
+    while i < limit:
+        if top_end <= i:
+            sets.pop()
+            ends.pop()
+            while ends[-1] <= i:
+                sets.pop()
+                ends.pop()
+            top_set = sets[-1]
+            top_end = ends[-1]
+        s = sym[i]
+        if s < 0:
+            i += 1
+            continue
+        move = moves[top_set].get(s)
+        if move is None:
+            move = compile_move(top_set, s)
+        if move.cond_sids:
+            set_id = apply_move_arena(move, arena, i)
+        else:
+            set_id = move.target0
+        if set_id == empty_id:
+            i = end[i]  # prune: the whole subtree range, skipped
+            continue
+        if final_flags[set_id]:
+            append(i)
+        e = end[i]
+        i += 1
+        if e > i:
+            sets.append(set_id)
+            ends.append(e)
+            top_set = set_id
+            top_end = e
+    return out
+
+
+# ----------------------------------------------------------------------
+# The transform-to-text fast path
+# ----------------------------------------------------------------------
+
+
+def write_arena_transformed(
+    arena: FrozenDocument, update: Update, selecting, write
+) -> int:
+    """Emit the transformed document as compact XML text through
+    *write*, straight from the columns — no output tree, no thaw.
+
+    One selecting-DFA walk finds ``r[[p]]`` (:func:`select_indices`),
+    then a single pre-order sweep splices the update at the matched
+    indices: ``delete``/``replace`` skip the match's contiguous range
+    (topmost match wins, exactly the Node convention), ``insert``
+    appends the constant content before the closing tag, ``rename``
+    swaps the tag name.  Untouched regions stream out as raw ranges.
+    Returns the number of (topmost) matches applied.
+
+    Byte-identical to serializing ``transform_topdown`` on the thawed
+    tree (asserted by the arena test suite).
+    """
+    matches = select_indices(selecting, arena)
+    kind = update.kind
+    content_xml = (
+        serialize(update.content) if kind in ("insert", "replace") else ""
+    )
+    new_label = update.new_label if kind == "rename" else ""
+    sym = arena.sym
+    end = arena.end
+    payload = arena.payload
+    attr_map = arena.attrs
+    strings = arena.symbols.strings
+    from repro.xmltree.serializer import _flat_attr_text, escape_text
+
+    applied = 0
+    mi = 0
+    n_matches = len(matches)
+    closes: list = []
+    ends: list = []
+    limit = end[0]
+    j = 0
+    # A deleted range can empty its parent, which must then self-close
+    # exactly as the Node serializer would: open tags are held pending
+    # and flushed with '>' by the first content, or folded to '<l/>'
+    # by a contentless close.
+    pending = None
+
+    def emit_close() -> None:
+        nonlocal pending
+        if pending is not None:
+            write(pending + "/>")
+            pending = None
+            closes.pop()
+        else:
+            write(closes.pop())
+
+    while j < limit:
+        while ends and ends[-1] <= j:
+            ends.pop()
+            emit_close()
+        s = sym[j]
+        if s < 0:
+            if pending is not None:
+                write(pending + ">")
+                pending = None
+            write(escape_text(payload[j]))
+            j += 1
+            continue
+        matched = mi < n_matches and matches[mi] == j
+        if matched:
+            mi += 1
+            applied += 1
+        e = end[j]
+        if matched and kind in ("delete", "replace"):
+            if kind == "replace":
+                if pending is not None:
+                    write(pending + ">")
+                    pending = None
+                write(content_xml)
+            # Topmost match wins: skip the subtree range and every
+            # match strictly inside it.
+            while mi < n_matches and matches[mi] < e:
+                mi += 1
+            j = e
+            continue
+        if pending is not None:
+            write(pending + ">")
+            pending = None
+        label = strings[s] if not (matched and kind == "rename") else new_label
+        found = attr_map.get(j)
+        attrs = _flat_attr_text(found) if found else ""
+        if matched and kind == "insert":
+            # The match gains a child, so it can no longer self-close.
+            write(f"<{label}{attrs}>")
+            ends.append(e)
+            closes.append(f"{content_xml}</{label}>")
+        elif e == j + 1:
+            write(f"<{label}{attrs}/>")
+        else:
+            pending = f"<{label}{attrs}"
+            ends.append(e)
+            closes.append(f"</{label}>")
+        j += 1
+    while closes:
+        emit_close()
+    return applied
+
+
+def serialize_arena_transformed(
+    arena: FrozenDocument, update: Update, selecting
+) -> str:
+    """:func:`write_arena_transformed` into a returned string."""
+    parts: list = []
+    write_arena_transformed(arena, update, selecting, parts.append)
+    return "".join(parts)
+
+
+def serialize_arena_items(arena: FrozenDocument, items) -> list:
+    """Serialize query-result items to text, straight from the columns.
+
+    The shared tail of every serialized read path (``ViewStore.
+    query_serialized``, ``repro query``): an ``int`` item is an arena
+    index — its subtree streams out of the pre-order range with no
+    thaw; an ``Element`` (a constructed template or a Node-path
+    result) takes the Node serializer; literals render as text.
+    """
+    from repro.xmltree.node import Element
+    from repro.xmltree.serializer import serialize, serialize_arena
+
+    out = []
+    for item in items:
+        if isinstance(item, int):
+            out.append(serialize_arena(arena, item))
+        elif isinstance(item, Element):
+            out.append(serialize(item))
+        else:
+            out.append(str(item))
+    return out

@@ -115,6 +115,9 @@ class LazyDFA:
         self._checks = [
             compile_qualifier(s.qual) if s.has_qualifier else None for s in states
         ]
+        # Arena twins of the compiled qualifier closures (fn(arena, i)),
+        # built on first arena run — Node-only consumers never pay.
+        self._arena_checks: Optional[list] = None
         self._quals = [s.qual for s in states]
         self._final = [s.is_final for s in states]
         self._nq = [s.nq_id for s in states]
@@ -282,6 +285,62 @@ class LazyDFA:
         keeps the internal representation private to this module.
         """
         return self._sym_ids.get, self._moves, self._compile_move
+
+    # ------------------------------------------------------------------
+    # The arena (columnar) mode
+    # ------------------------------------------------------------------
+
+    def ensure_arena_checks(self) -> list:
+        """The per-NFA-state arena qualifier closures, built once on
+        first use (see :mod:`repro.xpath.arena_compiler`)."""
+        checks = self._arena_checks
+        if checks is None:
+            from repro.xpath.arena_compiler import compile_qualifier_arena
+
+            with self._grow_lock:
+                if self._arena_checks is None:
+                    self._arena_checks = [
+                        compile_qualifier_arena(s.qual, self.symbols)
+                        if s.has_qualifier
+                        else None
+                        for s in self.nfa.states
+                    ]
+            checks = self._arena_checks
+        return checks
+
+    def apply_move_arena(self, move: _Move, arena, i: int) -> int:
+        """Decide a qualifier-bearing move at arena index *i* — the
+        columnar twin of :meth:`apply_move` (compiled arena closures
+        instead of Node closures; same outcome-bitmask targets)."""
+        checks = self._arena_checks
+        if checks is None:
+            checks = self.ensure_arena_checks()
+        mask = 0
+        for bit, sid in enumerate(move.cond_sids):
+            if checks[sid](arena, i):
+                mask |= 1 << bit
+        if not mask:
+            return move.target0
+        return self._target_for_mask(move, mask)
+
+    def step_sym(self, set_id: int, sym: int, arena, i: int) -> int:
+        """``nextStates`` keyed directly by an interned symbol id — the
+        transition the arena runners take (no label string in sight).
+        """
+        move = self._moves[set_id].get(sym)
+        if move is None:
+            move = self._compile_move(set_id, sym)
+        if not move.cond_sids:
+            return move.target0
+        return self.apply_move_arena(move, arena, i)
+
+    def arena_hot_path(self) -> tuple:
+        """``(move_tables, compile_move, apply_move_arena)`` for the
+        arena runners' inlined per-index loops (the columnar analogue
+        of :meth:`hot_path`; symbol resolution disappears because the
+        arena's ``sym`` column already holds interned ids)."""
+        self.ensure_arena_checks()
+        return self._moves, self._compile_move, self.apply_move_arena
 
     def step_all(self, set_id: int, label: str) -> int:
         """The unfiltered transition (``check=None``): qualifiers kept."""

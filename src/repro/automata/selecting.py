@@ -70,7 +70,7 @@ class SelectingNFA(Automaton):
 
     # ------------------------------------------------------------------
 
-    def run_select(self, root: Element) -> list:
+    def run_select(self, root) -> list:
         """Select ``r[[p]]`` by running the automaton over the whole tree.
 
         Mostly a testing/verification entry point — the transform
@@ -79,7 +79,16 @@ class SelectingNFA(Automaton):
         shared lazy DFA (:meth:`~repro.automata.core.Automaton.dfa`);
         :meth:`run_select_nfa` is the frozenset reference.
         Returns nodes in document order.
+
+        *root* may be a :class:`~repro.xmltree.arena.FrozenDocument`:
+        the run then takes the columnar backend (a pre-order loop over
+        the int columns — see :mod:`repro.automata.arena_run`) and
+        returns matched pre-order **indices** instead of nodes.
         """
+        if not isinstance(root, Element):
+            from repro.automata.arena_run import select_indices
+
+            return select_indices(self, root)
         selected: list = []
         initial = self.initial_states_for(root)
         if not initial:

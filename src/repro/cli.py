@@ -7,6 +7,7 @@ store.
     python -m repro transform -q 'transform copy $a := doc("f") modify \\
         do delete $a//price return $a' -i in.xml -o out.xml
     python -m repro transform -q @query.xqu -i in.xml --method sax
+    python -m repro query -q 'for $x in people/person return $x' -i in.xml --stats
     python -m repro compose -t '<transform query>' -u 'for $x in … return $x' -i in.xml
     python -m repro generate --factor 0.1 -o xmark.xml
     python -m repro explain -p '//part[pname = "kb"]//part'
@@ -126,6 +127,60 @@ def _cmd_transform(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_query(args: argparse.Namespace) -> int:
+    """Run a FLWR user query against a document file.
+
+    The default backend loads the file straight into a frozen columnar
+    arena (no Node tree on the load path) and evaluates over index
+    ranges, serializing matches directly from the columns.  ``--stats``
+    reports the backend choice and peak memory (tracemalloc).
+    """
+    import tracemalloc
+
+    from repro.automata.arena_run import serialize_arena_items
+    from repro.xmltree.parser import parse_file, parse_file_to_arena
+
+    query_text = read_query_arg(args.user_query)
+    engine = default_engine()
+    prepared = engine.prepare_query(query_text)
+    if args.stats:
+        tracemalloc.start()
+    if args.backend == "node":
+        tree = parse_file(args.input)
+        results = prepared.run(tree)
+        lines = [
+            serialize(item) if isinstance(item, Element) else str(item)
+            for item in results
+        ]
+        plan = None
+    else:
+        arena = parse_file_to_arena(args.input)
+        refs = prepared.run_refs(arena)
+        lines = serialize_arena_items(arena, refs)
+        plan = engine.planner.last_plan
+    for line in lines:
+        print(line)
+    print(f"({len(lines)} result(s))", file=sys.stderr)
+    if args.stats:
+        current, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        backend = plan.backend if plan is not None else "node"
+        print(f"backend: {backend}", file=sys.stderr)
+        if args.backend != "node":
+            stats = arena.stats()
+            print(
+                f"arena: {stats['nodes']} nodes, "
+                f"{stats['column_bytes']} column bytes, "
+                f"{stats['total_bytes']} bytes total",
+                file=sys.stderr,
+            )
+        print(
+            f"peak memory: {peak} bytes (resident after run: {current})",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def _cmd_compose(args: argparse.Namespace) -> int:
     engine = default_engine()
     prepared = engine.prepare_composed(
@@ -199,14 +254,14 @@ def _cmd_store_defview(args: argparse.Namespace) -> int:
 
 def _cmd_store_query(args: argparse.Namespace) -> int:
     store = open_store(args.state)
-    results = store.query(
+    # The serialized read path: plain-document targets are answered
+    # from the frozen columnar snapshot and serialized straight from
+    # its columns (no thaw); views/staged previews serialize Nodes.
+    results = store.query_serialized(
         args.name, read_query_arg(args.user_query), include_staged=args.staged
     )
     for item in results:
-        if isinstance(item, Element):
-            print(serialize(item))
-        else:
-            print(item)
+        print(item)
     print(f"({len(results)} result(s) from {args.name!r})", file=sys.stderr)
     return 0
 
@@ -250,6 +305,19 @@ def _cmd_store_stat(args: argparse.Namespace) -> int:
             f"  document {name!r}: v{info['version']}, {info['nodes']} nodes, "
             f"depth {info['depth']}, {info['staged']} staged, "
             f"{info['committed']} committed"
+        )
+        # Freeze (or reuse) the columnar snapshot so stat reports the
+        # real arena memory the read path uses.  Each CLI command is
+        # its own process, so the build/read counters a resident store
+        # accumulates (store.stats()) are not meaningful here.
+        doc = store.documents.get(name)
+        with doc.lock:
+            arena_stats = doc.arena().stats()
+        print(
+            f"    arena snapshot: {arena_stats['nodes']} nodes "
+            f"({arena_stats['elements']} elements), "
+            f"{arena_stats['column_bytes']} column bytes, "
+            f"{arena_stats['total_bytes']} bytes total"
         )
     for name, info in stats["views"].items():
         print(
@@ -299,6 +367,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the chosen plan instead of executing",
     )
     p_transform.set_defaults(func=_cmd_transform)
+
+    p_query = sub.add_parser(
+        "query", help="run a FLWR user query on a document (columnar backend)"
+    )
+    p_query.add_argument(
+        "-q", "--user-query", required=True,
+        help="the FLWR query text" + query_help_suffix,
+    )
+    p_query.add_argument("-i", "--input", required=True, help="input XML file")
+    p_query.add_argument(
+        "--backend",
+        choices=["auto", "arena", "node"],
+        default="auto",
+        help="data representation: auto/arena load a frozen columnar "
+        "arena (no Node tree), node parses an object tree",
+    )
+    p_query.add_argument(
+        "--stats", action="store_true",
+        help="print backend choice, arena memory and peak memory to stderr",
+    )
+    p_query.set_defaults(func=_cmd_query)
 
     p_compose = sub.add_parser("compose", help="compose a user query with a transform query")
     p_compose.add_argument(

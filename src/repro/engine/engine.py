@@ -102,7 +102,10 @@ class Engine:
         if isinstance(text, PreparedQuery):
             return text
         return self._prepared.get_or_compute(
-            ("query", text), lambda: PreparedQuery(text, self.cache.user_query(text))
+            ("query", text),
+            lambda: PreparedQuery(
+                text, self.cache.user_query(text), planner=self.planner, engine=self
+            ),
         )
 
     def prepare_composed(

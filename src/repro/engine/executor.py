@@ -29,7 +29,9 @@ from repro.xmltree.sax import SAXEvent, events_to_tree, tree_to_events
 TREE_STRATEGIES = ("topdown", "twopass", "naive", "copy", "sax")
 ALL_STRATEGIES = TREE_STRATEGIES + ("stream",)
 
-#: The paper's names for each strategy (Fig. 12 legend).
+#: The paper's names for each strategy (Fig. 12 legend); "scan" is the
+#: read path (select/query), which has a backend dimension instead of
+#: a strategy choice — see Planner.plan_read.
 PAPER_NAMES = {
     "topdown": "GENTOP",
     "twopass": "TD-BU",
@@ -37,6 +39,7 @@ PAPER_NAMES = {
     "copy": "GalaXUpdate",
     "sax": "twoPassSAX",
     "stream": "twoPassSAX (streaming)",
+    "scan": "NFA document scan",
 }
 
 
@@ -53,7 +56,19 @@ def run_tree_strategy(
     Prebuilt automata are used when given; *filtering_factory* lets a
     caller with a compiled-artifact cache defer the filtering NFA to
     the strategies that actually need one (twopass, sax).
+
+    A :class:`~repro.xmltree.arena.FrozenDocument` is accepted for
+    *root*: transforms build a fresh output tree, so the arena (which
+    cannot share Node structure) is thawed once up front — the
+    zero-copy read paths live in ``Planner.plan_read`` consumers, not
+    here.  Callers producing *text* output should prefer the
+    arena-native ``run_to_file`` fast path.
     """
+    if not isinstance(root, Element):
+        from repro.xmltree.arena import FrozenDocument, thaw
+
+        if isinstance(root, FrozenDocument):
+            root = thaw(root)
     if strategy == "topdown":
         return transform_topdown(root, query, nfa=selecting)
     if strategy == "twopass":

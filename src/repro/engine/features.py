@@ -167,7 +167,8 @@ DEFAULT_FILE_DEPTH = 8.0
 class InputProfile:
     """What one concrete input looks like to the planner."""
 
-    form: str        #: "tree" (resident Element) or "file" (path on disk)
+    form: str        #: "tree" (resident Element), "file" (path on disk)
+                     #: or "arena" (frozen columnar document)
     nodes: int       #: node count — exact, capped, or extrapolated
     exact: bool      #: True when *nodes* is an exact count
     size_bytes: int = 0  #: file size (0 for resident trees)
@@ -178,6 +179,11 @@ class InputProfile:
             return (
                 f"file, {self.size_bytes} bytes "
                 f"(~{self.nodes} nodes extrapolated)"
+            )
+        if self.form == "arena":
+            return (
+                f"frozen arena, {self.nodes} nodes, "
+                f"mean depth {self.avg_depth:.1f}"
             )
         prefix = "" if self.exact else "≥"
         return (
@@ -216,11 +222,25 @@ def estimate_nodes(
 def profile_input(
     doc_or_path: Union[Element, str, os.PathLike], cap: int = PROFILE_CAP
 ) -> InputProfile:
-    """Profile a resident tree or a file path."""
+    """Profile a resident tree, a frozen arena, or a file path.
+
+    An arena profile is exact and free: the column lengths *are* the
+    node count, and the mean depth is precomputed (cached) from the
+    parent column — no sampling walk at all.
+    """
     if isinstance(doc_or_path, Element):
         nodes, exact, avg_depth = estimate_nodes(doc_or_path, cap)
         return InputProfile(
             form="tree", nodes=nodes, exact=exact, avg_depth=avg_depth
+        )
+    from repro.xmltree.arena import FrozenDocument
+
+    if isinstance(doc_or_path, FrozenDocument):
+        return InputProfile(
+            form="arena",
+            nodes=len(doc_or_path),
+            exact=True,
+            avg_depth=doc_or_path.mean_depth(),
         )
     size = os.path.getsize(doc_or_path)
     return InputProfile(

@@ -50,6 +50,14 @@ from repro.xmltree.node import Element
 #: instead of being parsed into a resident tree first.
 DEFAULT_STREAM_THRESHOLD = 8 * 1024 * 1024
 
+#: Recalibrated per-node unit costs of the read (select/query) path,
+#: measured on this repository's Fig-12 run at 10 MB XMark: the Node
+#: walk pays Python object traversal plus the oracle's dedup and
+#: document-order passes; the arena scan runs the same lazy DFA over
+#: the int columns of a frozen snapshot in one pre-order loop.
+READ_COST_NODE = 0.9
+READ_COST_ARENA = 0.17
+
 
 @dataclass(frozen=True)
 class Plan:
@@ -60,26 +68,44 @@ class Plan:
     features: Optional[QueryFeatures] = None
     profile: Optional[InputProfile] = None
     reasons: tuple = ()                #: human-readable justification
+    backend: str = "node"              #: data representation: node | arena
 
     @property
     def cost(self) -> float:
-        return self.costs.get(self.strategy, 0.0)
+        found = self.costs.get(self.counter_key)
+        if found is None:
+            found = self.costs.get(self.strategy, 0.0)
+        return found
 
     @property
     def paper_name(self) -> str:
         return PAPER_NAMES.get(self.strategy, self.strategy)
 
+    @property
+    def counter_key(self) -> str:
+        """The execution-counter key: strategy, tagged with the backend
+        when it is not the default node tree."""
+        if self.backend == "node":
+            return self.strategy
+        return f"{self.strategy}[{self.backend}]"
+
     def describe(self) -> str:
         lines = [f"strategy: {self.strategy} ({self.paper_name})"]
+        lines.append(
+            "backend: arena (columnar, zero-copy snapshot)"
+            if self.backend == "arena"
+            else "backend: node (object tree)"
+        )
         if self.profile is not None:
             lines.append(f"input: {self.profile.summary()}")
         if self.features is not None:
             lines.append(f"query: {self.features.summary()}")
         if self.costs:
             lines.append("estimated costs [node-visit units]:")
+            chosen = self.counter_key
             for name, cost in sorted(self.costs.items(), key=lambda kv: kv[1]):
-                marker = "  <== chosen" if name == self.strategy else ""
-                lines.append(f"  {name:<8} {cost:>12.0f}{marker}")
+                marker = "  <== chosen" if name == chosen else ""
+                lines.append(f"  {name:<11} {cost:>12.0f}{marker}")
         for reason in self.reasons:
             lines.append(f"because: {reason}")
         return "\n".join(lines)
@@ -144,11 +170,62 @@ class Planner:
                 self.last_plan = plan
         return plan
 
+    def plan_read(
+        self,
+        doc_or_input,
+        features: Optional[QueryFeatures] = None,
+        record: bool = True,
+    ) -> Plan:
+        """Plan a read (select or user query): the backend dimension.
+
+        Reads never build an output tree, so the only decision is the
+        data representation: a :class:`~repro.xmltree.arena.
+        FrozenDocument` input takes the columnar ``arena`` backend
+        (the DFA scans int columns over pre-order ranges), anything
+        else walks the Node tree.  Both backends' estimated costs are
+        surfaced so ``explain()`` shows what freezing would buy.
+        """
+        profile = (
+            doc_or_input
+            if isinstance(doc_or_input, InputProfile)
+            else profile_input(doc_or_input, self.profile_cap)
+        )
+        n = max(1, profile.nodes)
+        # Keyed like counter_key so describe() marks the chosen backend
+        # and Plan.cost resolves to the executed row.
+        costs = {
+            "scan": READ_COST_NODE * n,
+            "scan[arena]": READ_COST_ARENA * n,
+        }
+        if profile.form == "arena":
+            backend = "arena"
+            reasons = (
+                "a frozen columnar snapshot is available: the DFA scans "
+                f"int columns over pre-order ranges "
+                f"(~{READ_COST_NODE / READ_COST_ARENA:.1f}x cheaper per "
+                "node than object traversal)",
+            )
+        else:
+            backend = "node"
+            reasons = (
+                "no frozen arena for this input: the scan walks the "
+                "object tree (freeze() the document — or read through a "
+                "store snapshot — to take the columnar backend)",
+            )
+        plan = Plan("scan", costs, features, profile, reasons, backend=backend)
+        if record:
+            self.record(plan)
+        else:
+            with self._lock:
+                self.last_plan = plan
+        return plan
+
     def record(self, plan: Plan) -> None:
         """Tally *plan* as executed (callers that planned with
         ``record=False`` and then ran the plan report it here)."""
+        key = plan.counter_key
         with self._lock:
-            self.counters[plan.strategy] = self.counters.get(plan.strategy, 0) + 1
+            self.counters[key] = self.counters.get(key, 0) + 1
             self.last_plan = plan
 
     def transform(
@@ -215,6 +292,13 @@ class Planner:
             reasons.append(
                 "file fits below the stream threshold: parse once, "
                 "then evaluate on the tree"
+            )
+        elif profile.form == "arena":
+            reasons.append(
+                "input is a frozen arena: tree strategies build their "
+                "output from a thawed copy (transforms are the write "
+                "path); run_to_file takes the arena-native serialize "
+                "path instead"
             )
         best = min(
             (name for name in TREE_STRATEGIES if name in costs),

@@ -32,6 +32,7 @@ from repro.engine.planner import Plan, Planner
 from repro.lru import LRUCache
 from repro.transform.query import TransformQuery
 from repro.transform.sax_twopass import transform_sax_events, transform_sax_file
+from repro.xmltree.arena import FrozenDocument, thaw
 from repro.xmltree.node import Element
 from repro.xmltree.parser import parse_file
 from repro.xmltree.sax import events_to_text, events_to_tree, iter_sax_file
@@ -39,18 +40,31 @@ from repro.xmltree.serializer import write_file
 from repro.xquery.ast import UserQuery
 from repro.xquery.evaluator import evaluate_query
 
-Input = Union[Element, str, os.PathLike]
+Input = Union[Element, "FrozenDocument", str, os.PathLike]
 
 
 def _as_tree(doc_or_path: Input) -> Element:
     if isinstance(doc_or_path, Element):
         return doc_or_path
+    if isinstance(doc_or_path, FrozenDocument):
+        return thaw(doc_or_path)
     return parse_file(doc_or_path)
 
 
 #: Per-prepared plan memo size: plans for the most recent distinct
 #: inputs are reused across re-executions.
 _PLAN_MEMO_SIZE = 16
+
+
+def describe_arena_memory(arena: FrozenDocument) -> str:
+    """One explain()/stat line for an arena's columnar footprint."""
+    info = arena.stats()
+    return (
+        f"arena: {info['nodes']} nodes ({info['elements']} elements) in "
+        f"3 int columns + text/own-text columns; "
+        f"{info['column_bytes']} column bytes, "
+        f"{info['total_bytes']} bytes total"
+    )
 
 
 class PreparedTransform:
@@ -108,7 +122,9 @@ class PreparedTransform:
         plan = self.planner.plan(
             self.query, doc_or_path, self.features, record=False
         )
-        if plan.strategy != "stream" and not isinstance(doc_or_path, Element):
+        if plan.strategy != "stream" and not isinstance(
+            doc_or_path, (Element, FrozenDocument)
+        ):
             plan = self.planner.plan(
                 self.query, parse_file(doc_or_path), self.features, record=False
             )
@@ -142,6 +158,8 @@ class PreparedTransform:
             f"{stats['tracked_moves']} tracked moves "
             f"(over {stats['nfa_states']} NFA states)"
         )
+        if isinstance(doc_or_path, FrozenDocument):
+            header.append(describe_arena_memory(doc_or_path))
         if self.engine is not None:
             header.append("engine caches [hits/misses/evictions]:")
             for name, cache_stats in self.engine.cache.stats().items():
@@ -170,6 +188,11 @@ class PreparedTransform:
         if isinstance(doc_or_path, Element):
             plan = self._plan_memoized(doc_or_path)
             return self._run_tree(doc_or_path, plan.strategy)
+        if isinstance(doc_or_path, FrozenDocument):
+            # Transforms build a fresh output tree: thaw once, then run
+            # the planned strategy (the arena profile is exact and free).
+            plan = self.planner.plan(self.query, doc_or_path, self.features)
+            return self._run_tree(thaw(doc_or_path), plan.strategy)
         # File input: a cheap size-only gateway decides stream-vs-parse;
         # only the plan that actually executes is tallied.
         gateway = self.planner.plan(
@@ -204,14 +227,17 @@ class PreparedTransform:
         results: list[Element] = []
         tree_method: Optional[str] = None
         for item in inputs:
-            if not isinstance(item, Element) and self.streams(item):
+            if (
+                not isinstance(item, (Element, FrozenDocument))
+                and self.streams(item)
+            ):
                 # run() records the executed stream plan itself.
                 results.append(self.run(item, method="auto"))
                 continue
             if tree_method is None:
                 # First tree-sized input: plan once (recorded), parsing
                 # a file input a single time for both plan and run.
-                tree = item if isinstance(item, Element) else parse_file(item)
+                tree = _as_tree(item)
                 tree_method = self._plan_memoized(tree).strategy
                 results.append(self._run_tree(tree, tree_method))
                 continue
@@ -220,7 +246,7 @@ class PreparedTransform:
 
     def run_to_file(
         self,
-        in_path: Union[str, os.PathLike],
+        in_path: Union[str, os.PathLike, "FrozenDocument"],
         out_path: Union[str, os.PathLike],
         method: str = "auto",
         pretty: bool = False,
@@ -230,7 +256,18 @@ class PreparedTransform:
         ``pretty`` is ignored (with a warning) when the plan streams:
         the bounded-memory guarantee is why streaming was chosen, and
         pretty-printing would require materializing the document.
+
+        A :class:`~repro.xmltree.arena.FrozenDocument` input takes the
+        **arena-native serialize path** (``method`` "auto" or
+        "arena"): one DFA scan over the columns finds the matches, and
+        the output file is written by splicing the update into the
+        columnar serializer — untouched subtrees stream out as raw
+        pre-order ranges; no output tree, no thaw.  Byte-identical to
+        the tree path (asserted by the arena test suite).
         """
+        if isinstance(in_path, FrozenDocument):
+            self._run_arena_to_file(in_path, out_path, method, pretty)
+            return
         replan = method == "auto"
         gateway = None
         if replan:
@@ -257,6 +294,45 @@ class PreparedTransform:
             method = self.planner.plan(self.query, source, self.features).strategy
         tree = self._run_tree(source, method)
         write_file(tree, str(out_path), indent="  " if pretty else None)
+
+    def _run_arena_to_file(
+        self, arena: FrozenDocument, out_path, method: str, pretty: bool
+    ) -> None:
+        """The columnar transform-to-text fast path (see run_to_file)."""
+        from dataclasses import replace
+
+        if not pretty and method in ("auto", "arena"):
+            plan = self.planner.plan(
+                self.query, arena, self.features, record=False
+            )
+            plan = replace(
+                plan,
+                strategy="serialize",
+                backend="arena",
+                reasons=(
+                    "file output from a frozen arena: one DFA scan finds "
+                    "the matches, untouched pre-order ranges stream out "
+                    "as raw text — no output tree, no thaw",
+                ),
+            )
+            self.planner.record(plan)
+            from repro.automata.arena_run import write_arena_transformed
+
+            with open(out_path, "w", encoding="utf-8") as handle:
+                handle.write('<?xml version="1.0" encoding="utf-8"?>\n')
+                write_arena_transformed(
+                    arena, self.query.update, self.selecting, handle.write
+                )
+                handle.write("\n")
+            return
+        # Pretty output (or a forced tree method): thaw and take the
+        # ordinary tree path.
+        tree = thaw(arena)
+        strategy = method
+        if method in ("auto", "arena"):
+            strategy = self.planner.plan(self.query, tree, self.features).strategy
+        tree_out = self._run_tree(tree, strategy)
+        write_file(tree_out, str(out_path), indent="  " if pretty else None)
 
     # ------------------------------------------------------------------
     # Chaining
@@ -391,27 +467,76 @@ def _prepare_like(template: PreparedTransform, text: str) -> PreparedTransform:
 
 
 class PreparedQuery:
-    """A FLWR user query, parsed exactly once."""
+    """A FLWR user query, parsed exactly once.
 
-    __slots__ = ("text", "query")
+    Reads have a **backend** dimension instead of a strategy choice:
+    handed a :class:`~repro.xmltree.arena.FrozenDocument`, ``run``
+    takes the columnar evaluator (indices over pre-order ranges,
+    matches thawed only on materialization); handed a tree or file, it
+    walks Node objects as before.  The planner records the choice and
+    ``explain`` shows it.
+    """
 
-    def __init__(self, text: str, query: UserQuery):
+    __slots__ = ("text", "query", "planner", "engine")
+
+    def __init__(
+        self,
+        text: str,
+        query: UserQuery,
+        planner: Optional[Planner] = None,
+        engine=None,
+    ):
         self.text = text
         self.query = query
+        self.planner = planner
+        self.engine = engine
+
+    def _nfa_for(self):
+        if self.engine is not None:
+            return self.engine.cache.selecting_nfa_for
+        return None
 
     def run(self, doc_or_path: Input) -> list:
+        if isinstance(doc_or_path, FrozenDocument):
+            if self.planner is not None:
+                self.planner.plan_read(doc_or_path)
+            from repro.xquery.arena_eval import evaluate_query_arena
+
+            return evaluate_query_arena(
+                doc_or_path, self.query, nfa_for=self._nfa_for()
+            )
         return evaluate_query(_as_tree(doc_or_path), self.query)
+
+    def run_refs(self, arena: FrozenDocument) -> list:
+        """Zero-thaw evaluation: element results stay pre-order indices
+        (serialize them straight from the columns, or thaw on demand).
+        """
+        from repro.xquery.arena_eval import ArenaEvaluator
+
+        if self.planner is not None:
+            self.planner.plan_read(arena)
+        return ArenaEvaluator(arena, self._nfa_for()).evaluate_refs(self.query)
 
     def run_many(self, inputs: Iterable[Input]) -> list[list]:
         return [self.run(item) for item in inputs]
 
     def explain(self, doc_or_path: Optional[Input] = None) -> str:
-        return (
-            f"prepared user query: {self.query}\n"
-            "strategy: direct evaluation on the target tree\n"
+        lines = [f"prepared user query: {self.query}"]
+        if self.planner is not None and doc_or_path is not None:
+            plan = self.planner.plan_read(doc_or_path, record=False)
+            lines.append(plan.describe())
+        else:
+            lines.append(
+                "strategy: direct evaluation on the target tree "
+                "(pass an input to see the backend decision)"
+            )
+        if isinstance(doc_or_path, FrozenDocument):
+            lines.append(describe_arena_memory(doc_or_path))
+        lines.append(
             "(compose with a prepared transform via "
             "Engine.prepare_composed to query a virtual view)"
         )
+        return "\n".join(lines)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"PreparedQuery({self.text!r})"

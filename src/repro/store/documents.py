@@ -34,9 +34,23 @@ def validate_name(name: str) -> str:
 
 
 class StoredDocument:
-    """One resident document: tree, version, and its lock."""
+    """One resident document: tree, version, its lock — and, on the
+    read path, a frozen columnar snapshot of the committed version.
 
-    __slots__ = ("name", "root", "version", "lock", "source", "dirty")
+    The arena (:class:`~repro.xmltree.arena.FrozenDocument`) is built
+    lazily on first read and pinned to the version it was frozen from:
+    every query against that version shares the **same immutable
+    object** — a zero-copy snapshot (``arena_builds`` counts rebuilds,
+    so "N reads, 1 build" is an assertable contract).  A commit bumps
+    the version and drops the store's reference; readers still holding
+    the old arena keep a consistent pre-commit view for free, and the
+    next read freezes the new version.
+    """
+
+    __slots__ = (
+        "name", "root", "version", "lock", "source", "dirty",
+        "_arena", "_arena_version", "arena_builds",
+    )
 
     def __init__(
         self,
@@ -53,19 +67,43 @@ class StoredDocument:
         #: Tree changed since it was last persisted (commit, fresh put).
         #: The state layer clears it after writing the document file.
         self.dirty = True
+        self._arena = None
+        self._arena_version = 0
+        self.arena_builds = 0
 
     def bump(self) -> int:
-        """Advance the version (callers hold :attr:`lock`)."""
+        """Advance the version (callers hold :attr:`lock`); the frozen
+        snapshot of the old version is released (readers holding it
+        are unaffected — it is immutable)."""
         self.version += 1
+        self._arena = None
         return self.version
 
+    def arena(self):
+        """The frozen columnar snapshot of the current version,
+        building it on first access (callers hold :attr:`lock`)."""
+        if self._arena is None or self._arena_version != self.version:
+            from repro.xmltree.arena import freeze
+
+            self._arena = freeze(self.root)
+            self._arena_version = self.version
+            self.arena_builds += 1
+        return self._arena
+
     def stats(self) -> dict:
-        return {
+        info = {
             "version": self.version,
             "nodes": self.root.size(),
             "depth": self.root.depth(),
             "source": self.source,
+            "arena_builds": self.arena_builds,
         }
+        arena = self._arena
+        if arena is not None and self._arena_version == self.version:
+            arena_stats = arena.stats()
+            info["arena_bytes"] = arena_stats["total_bytes"]
+            info["arena_column_bytes"] = arena_stats["column_bytes"]
+        return info
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"StoredDocument({self.name!r}, v{self.version})"

@@ -48,6 +48,7 @@ from repro.transform.naive import transform_naive
 from repro.transform.query import TransformQuery
 from repro.updates.apply import apply_update
 from repro.xmltree.node import Element
+from repro.xmltree.serializer import serialize
 from repro.xquery.evaluator import evaluate_query
 from repro.xquery.parser import parse_user_query
 
@@ -68,6 +69,9 @@ class ViewStore:
         self.results = LRUCache(result_cache_size)
         self.planner = planner if planner is not None else Planner()
         self.log = UpdateLog(planner=self.planner)
+        #: Reads served from a frozen columnar snapshot (the zero-copy
+        #: fast path for plain-document targets).
+        self.arena_reads = 0
 
     def _transform(self, root: Element, transform: TransformQuery) -> Element:
         """Evaluate one transform layer with the planner-chosen
@@ -171,13 +175,84 @@ class ViewStore:
             root = doc.root
             if staged:
                 # Route the preview chain through _transform so each
-                # staged layer reuses the compiled automata.
+                # staged layer reuses the compiled automata.  The
+                # preview is a structure-sharing topDown result: only
+                # the subtrees the staged updates touch are rebuilt.
                 root = self.log.preview(root, doc.name, transform=self._transform)
-            result = self._answer(
-                root, stack, query_text, doc.version, use_materializations=not staged
-            )
+                result = self._answer(
+                    root, stack, query_text, doc.version,
+                    use_materializations=False,
+                )
+            elif not stack:
+                # Plain document target: the columnar read fast path —
+                # evaluate over the version's frozen arena snapshot
+                # (zero-copy: every read of this version shares one
+                # immutable object) and thaw only the matches.
+                result = self._answer_arena(doc, query_text)
+            else:
+                result = self._answer(
+                    root, stack, query_text, doc.version,
+                    use_materializations=True,
+                )
             if not staged:
                 self.results.put(key, result)
+        return result
+
+    def _arena_refs(self, doc: StoredDocument, query_text: str) -> tuple:
+        """One columnar read: ``(arena, evaluator, raw ref items)``
+        (caller holds the document lock).  The single place the
+        snapshot is taken, counted and planned — both the thawing and
+        the serializing reads finish from these refs."""
+        from repro.xquery.arena_eval import ArenaEvaluator
+
+        user_query = self.compiled.user_query(query_text)
+        arena = doc.arena()
+        self.arena_reads += 1
+        self.planner.plan_read(arena)
+        evaluator = ArenaEvaluator(arena, self.compiled.selecting_nfa_for)
+        return arena, evaluator, evaluator.evaluate_refs(user_query)
+
+    def _answer_arena(self, doc: StoredDocument, query_text: str) -> list:
+        """Answer a user query from the document's frozen snapshot
+        (caller holds the document lock)."""
+        _, evaluator, refs = self._arena_refs(doc, query_text)
+        return [evaluator.materialize(item) for item in refs]
+
+    def query_serialized(
+        self, target: str, query_text: str, *, include_staged: bool = False
+    ) -> list:
+        """Answer a user query as serialized XML/text strings.
+
+        For a plain document target this is the end-to-end columnar
+        read: matches found by the arena DFA walk are serialized
+        **straight from the columns** (:func:`~repro.xmltree.
+        serializer.serialize_arena`) — no ``thaw`` round-trip, no Node
+        allocation anywhere on the path.  Views and staged previews
+        serialize their Node results as before.
+        """
+        doc, stack = self._resolve(target)
+        staged = include_staged and self.log.has_staged(doc.name)
+        if staged or stack:
+            return [
+                serialize(item) if isinstance(item, Element) else str(item)
+                for item in self.query(
+                    target, query_text, include_staged=include_staged
+                )
+            ]
+        from repro.automata.arena_run import serialize_arena_items
+
+        with doc.lock:
+            # The target stays in position 0: every invalidation
+            # predicate in this store (drop, commit) matches on
+            # ``key[0]``, and a dropped-then-reloaded document restarts
+            # at version 1 — only the name predicate protects that case.
+            key = (target, doc.version, query_text, "serialized")
+            cached = self.results.get(key)
+            if cached is not None:
+                return cached
+            arena, _, refs = self._arena_refs(doc, query_text)
+            result = serialize_arena_items(arena, refs)
+            self.results.put(key, result)
         return result
 
     def query_naive(
@@ -315,4 +390,5 @@ class ViewStore:
                 "results": self.results.stats(),
             },
             "planner": self.planner.stats(),
+            "arena_reads": self.arena_reads,
         }

@@ -70,7 +70,7 @@ class _Capture:
 
 
 def stream_select(
-    source: EventSource,
+    source,
     path: Path,
     selecting: Optional[SelectingNFA] = None,
     filtering: Optional[FilteringNFA] = None,
@@ -79,7 +79,19 @@ def stream_select(
 
     Raises ``ValueError`` if *source* is not replayable (see the module
     docstring): the Section-6 discipline reads the document twice.
+
+    A :class:`~repro.xmltree.arena.FrozenDocument` may be passed
+    directly as *source*: its columns are **replayable by
+    construction** (every :func:`~repro.xmltree.arena.arena_to_events`
+    call is a fresh stream over immutable arrays), so an arena is the
+    natural replay source for the two-pass discipline — no one-shot
+    iterator hazard, no second file read.
     """
+    from repro.xmltree.arena import FrozenDocument, arena_to_events
+
+    if isinstance(source, FrozenDocument):
+        arena = source
+        source = lambda: arena_to_events(arena)  # noqa: E731
     if selecting is None:
         selecting = build_selecting_nfa(path)
     if filtering is None:

@@ -11,6 +11,14 @@ library, built without any external dependency:
   a tree) plus tree↔event adapters, used by the ``twoPassSAX`` algorithm.
 """
 
+from repro.xmltree.arena import (
+    FrozenBuilder,
+    FrozenDocument,
+    arena_to_events,
+    events_to_arena,
+    freeze,
+    thaw,
+)
 from repro.xmltree.node import (
     Element,
     Node,
@@ -20,7 +28,13 @@ from repro.xmltree.node import (
     element,
     text,
 )
-from repro.xmltree.parser import XMLSyntaxError, parse, parse_file
+from repro.xmltree.parser import (
+    XMLSyntaxError,
+    parse,
+    parse_file,
+    parse_file_to_arena,
+    parse_to_arena,
+)
 from repro.xmltree.sax import (
     EndDocument,
     EndElement,
@@ -34,12 +48,19 @@ from repro.xmltree.sax import (
     iter_sax_string,
     tree_to_events,
 )
-from repro.xmltree.serializer import serialize, write_file
+from repro.xmltree.serializer import (
+    serialize,
+    serialize_arena,
+    write_arena_file,
+    write_file,
+)
 
 __all__ = [
     "Element",
     "EndDocument",
     "EndElement",
+    "FrozenBuilder",
+    "FrozenDocument",
     "Node",
     "SAXEvent",
     "StartDocument",
@@ -47,17 +68,25 @@ __all__ = [
     "Text",
     "TextEvent",
     "XMLSyntaxError",
+    "arena_to_events",
     "deep_copy",
     "deep_equal",
     "element",
+    "events_to_arena",
     "events_to_text",
     "events_to_tree",
+    "freeze",
     "iter_sax_file",
     "iter_sax_string",
     "parse",
     "parse_file",
+    "parse_file_to_arena",
+    "parse_to_arena",
     "serialize",
+    "serialize_arena",
     "text",
+    "thaw",
     "tree_to_events",
+    "write_arena_file",
     "write_file",
 ]

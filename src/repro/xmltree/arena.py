@@ -1,0 +1,500 @@
+"""The columnar document arena: a frozen struct-of-arrays encoding.
+
+After the compiled-runtime refactor the per-node cost of the hot
+select/query loops is no longer automaton bookkeeping — it is Python
+object traversal: every step chases ``Element`` attributes, allocates
+child lists, and thrashes the allocator.  A :class:`FrozenDocument`
+stores one document as parallel **columns** over its pre-order node
+sequence instead:
+
+* ``sym``     — ``array('i')``: the interned symbol id of an element's
+  label (:mod:`repro.xmltree.symbols`), or ``-1`` for a text node —
+  the node-kind column and the label column in one;
+* ``parent``  — ``array('i')``: the pre-order index of the parent
+  (``-1`` at the root);
+* ``end``     — ``array('i')``: the **pre-order range** of the
+  subtree: node ``i`` spans exactly the contiguous index range
+  ``[i, end[i])``.  Child iteration is ``j = i + 1; j = end[j]; …`` —
+  no child lists exist at all;
+* ``payload`` — one pointer column for the string a node contributes:
+  a text node's PCDATA value, or an element's precomputed *own text*
+  (the concatenation of its immediate text children — the value
+  qualifier comparisons use), so a ``price < 15`` check is one list
+  index, not a child scan.  The two never coexist on one node, which
+  is why a single column holds both;
+* ``attrs``   — a sparse ``{index: (k1, v1, k2, v2, …)}`` map of flat
+  attribute tuples; most nodes carry no attributes and pay nothing,
+  and a one-attribute node pays a 2-tuple, not a dict.
+
+The pre-order range column is the arena form of the paper's "simply
+copied to the result" subtree sharing: a subtree the automaton proves
+untouched is a contiguous ``[i, end[i])`` slice that downstream code
+(the serializer fast path, the transform-to-file path) copies — or
+skips — as a range, without visiting its nodes.
+
+The builder also **deduplicates strings**: XMark-shaped data repeats
+text values and attribute names/values heavily, and the Node parser
+allocates a fresh copy of each occurrence; the columns share one.
+Together with the flat layout this is what buys the ≥3× resident-byte
+reduction per loaded document (asserted in ``benchmarks/bench_arena.py``).
+
+A ``FrozenDocument`` is **immutable by contract**: every column is
+append-only during construction and never mutated afterwards, which is
+what lets :class:`repro.store.documents.StoredDocument` hand the same
+arena object to any number of concurrent readers as a zero-copy
+snapshot of one committed version.
+
+Construction never builds an intermediate ``Node`` tree: the tree
+parser (:func:`repro.xmltree.parser.parse_to_arena`) and the SAX
+scanner (:func:`events_to_arena` over :func:`~repro.xmltree.sax.
+iter_sax_file`) drive a :class:`FrozenBuilder` directly.
+:func:`freeze` / :func:`thaw` bridge to the existing model: ``freeze``
+columnarizes a resident tree, ``thaw`` materializes any pre-order range
+back into ``Element``/``Text`` nodes (used to hand individual matches
+to callers that expect the tree model — only the touched subtrees are
+ever thawed).
+"""
+
+from __future__ import annotations
+
+import sys
+from array import array
+from typing import Iterable, Iterator, Optional
+
+from repro.xmltree.node import Element, Node, Text
+from repro.xmltree.symbols import SymbolTable, global_symbols
+
+__all__ = [
+    "FrozenBuilder",
+    "FrozenDocument",
+    "arena_to_events",
+    "events_to_arena",
+    "freeze",
+    "thaw",
+]
+
+
+class FrozenDocument:
+    """One document, frozen into parallel pre-order columns.
+
+    Instances come from :class:`FrozenBuilder` (via :func:`freeze`,
+    :func:`~repro.xmltree.parser.parse_to_arena` or
+    :func:`events_to_arena`) and are immutable: readers share them
+    freely.  Index 0 is always the root element.
+    """
+
+    __slots__ = (
+        "symbols", "sym", "parent", "end", "payload", "attrs",
+        "n_elements", "_mean_depth", "_nbytes",
+    )
+
+    def __init__(
+        self,
+        symbols: SymbolTable,
+        sym: array,
+        parent: array,
+        end: array,
+        payload: list,
+        attrs: dict,
+        n_elements: int,
+    ):
+        self.symbols = symbols
+        self.sym = sym
+        self.parent = parent
+        self.end = end
+        self.payload = payload
+        self.attrs = attrs
+        self.n_elements = n_elements
+        self._mean_depth: Optional[float] = None
+        self._nbytes: Optional[dict] = None
+
+    # ------------------------------------------------------------------
+    # Node access
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Total node count (elements and texts), like ``root.size()``."""
+        return len(self.sym)
+
+    def is_element(self, i: int) -> bool:
+        return self.sym[i] >= 0
+
+    def label(self, i: int) -> str:
+        """The canonical (interned) label of element *i*."""
+        return self.symbols.strings[self.sym[i]]
+
+    def own_text(self, i: int) -> str:
+        """Element *i*'s own text (the qualifier comparison value)."""
+        return self.payload[i]
+
+    def text_value(self, i: int) -> str:
+        """Text node *i*'s PCDATA value."""
+        return self.payload[i]
+
+    def attrs_of(self, i: int) -> dict:
+        """Element *i*'s attributes as a fresh dict (the columns store
+        them as flat tuples; hot paths iterate those directly)."""
+        flat = self.attrs.get(i)
+        if not flat:
+            return {}
+        return {flat[k]: flat[k + 1] for k in range(0, len(flat), 2)}
+
+    def attr(self, i: int, name: str) -> Optional[str]:
+        """One attribute value (linear scan of the flat tuple — the
+        tuples are tiny, and this beats building a dict)."""
+        flat = self.attrs.get(i)
+        if flat:
+            for k in range(0, len(flat), 2):
+                if flat[k] == name:
+                    return flat[k + 1]
+        return None
+
+    def child_elements(self, i: int) -> Iterator[int]:
+        """Pre-order indices of element *i*'s element children."""
+        end = self.end
+        sym = self.sym
+        j = i + 1
+        limit = end[i]
+        while j < limit:
+            if sym[j] >= 0:
+                yield j
+            j = end[j]
+
+    def iter_elements(self, i: int = 0) -> Iterator[int]:
+        """All element indices in the subtree range of *i*, pre-order."""
+        sym = self.sym
+        for j in range(i, self.end[i]):
+            if sym[j] >= 0:
+                yield j
+
+    def depth(self, i: int = 0) -> int:
+        """Height of the subtree at *i* (a leaf element has depth 1)."""
+        end = self.end
+        sym = self.sym
+        best = 1
+        ends: list[int] = []  # open element ranges, nesting = len(ends)
+        limit = end[i]
+        for j in range(i, limit):
+            while ends and ends[-1] <= j:
+                ends.pop()
+            if sym[j] >= 0:
+                nesting = len(ends) + 1
+                if nesting > best:
+                    best = nesting
+                ends.append(end[j])
+        return best
+
+    def mean_depth(self) -> float:
+        """Mean node depth over the whole document (cached; the term
+        the planner's qualifier cost model consumes)."""
+        if self._mean_depth is None:
+            parent = self.parent
+            depths = [0] * len(parent)
+            total = 0
+            for i in range(len(parent)):
+                d = depths[parent[i]] + 1 if i else 1
+                depths[i] = d
+                total += d
+            self._mean_depth = total / max(1, len(parent))
+        return self._mean_depth
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def nbytes(self) -> dict:
+        """Approximate resident bytes per column group (cached).
+
+        ``columns`` counts the int arrays and the payload pointer
+        column; ``strings`` the deduplicated payload strings; ``attrs``
+        the flat attribute tuples and their (shared) strings.
+        """
+        if self._nbytes is None:
+            columns = (
+                sys.getsizeof(self.sym)
+                + sys.getsizeof(self.parent)
+                + sys.getsizeof(self.end)
+                + sys.getsizeof(self.payload)
+            )
+            seen: set[int] = set()
+            strings = 0
+            for value in self.payload:
+                if value is not None and id(value) not in seen:
+                    seen.add(id(value))
+                    strings += sys.getsizeof(value)
+            attr_bytes = sys.getsizeof(self.attrs)
+            for flat in self.attrs.values():
+                attr_bytes += sys.getsizeof(flat)
+                for value in flat:
+                    if id(value) not in seen:
+                        seen.add(id(value))
+                        attr_bytes += sys.getsizeof(value)
+            self._nbytes = {
+                "columns": columns,
+                "strings": strings,
+                "attrs": attr_bytes,
+                "total": columns + strings + attr_bytes,
+            }
+        return dict(self._nbytes)
+
+    def stats(self) -> dict:
+        """Shape and memory summary (what ``repro store stat`` and
+        ``Prepared.explain()`` surface)."""
+        info = self.nbytes()
+        return {
+            "nodes": len(self.sym),
+            "elements": self.n_elements,
+            "texts": len(self.sym) - self.n_elements,
+            "attr_nodes": len(self.attrs),
+            "column_bytes": info["columns"],
+            "total_bytes": info["total"],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FrozenDocument({len(self.sym)} nodes, "
+            f"{self.n_elements} elements)"
+        )
+
+
+class FrozenBuilder:
+    """Append-only column builder the load paths drive directly.
+
+    ``start``/``text``/``end`` mirror the SAX discipline; ``finish``
+    validates balance, compacts the growable columns to exact size and
+    hands back the frozen document.  Strings are deduplicated through a
+    build-local cache that dies with the builder.
+    """
+
+    __slots__ = (
+        "symbols", "_sym", "_parent", "_end", "_payload", "_attrs",
+        "_stack", "_own_parts", "_elements", "_strings",
+    )
+
+    def __init__(self, symbols: Optional[SymbolTable] = None):
+        self.symbols = symbols if symbols is not None else global_symbols()
+        self._sym = array("i")
+        self._parent = array("i")
+        self._end = array("i")
+        self._payload: list = []
+        self._attrs: dict[int, tuple] = {}
+        self._stack: list[int] = []
+        self._own_parts: list = []
+        self._elements = 0
+        self._strings: dict[str, str] = {}
+
+    def start(self, label: str, attrs: Optional[dict] = None) -> int:
+        """Open an element; returns its pre-order index."""
+        index = len(self._sym)
+        if index and not self._stack:
+            raise ValueError("multiple root elements in arena input")
+        self._sym.append(self.symbols.intern(label))
+        self._parent.append(self._stack[-1] if self._stack else -1)
+        self._end.append(0)  # patched by end()
+        self._payload.append("")  # own text, patched by end()
+        if attrs:
+            cache = self._strings.setdefault
+            self._attrs[index] = tuple(
+                cache(part, part) for kv in attrs.items() for part in kv
+            )
+        self._stack.append(index)
+        self._own_parts.append(None)
+        self._elements += 1
+        return index
+
+    def text(self, value: str) -> int:
+        """Append a text node under the open element."""
+        if not self._stack:
+            raise ValueError("text outside the root element in arena input")
+        index = len(self._sym)
+        value = self._strings.setdefault(value, value)
+        self._sym.append(-1)
+        self._parent.append(self._stack[-1])
+        self._end.append(index + 1)
+        self._payload.append(value)
+        parts = self._own_parts[-1]
+        if parts is None:
+            self._own_parts[-1] = [value]
+        else:
+            parts.append(value)
+        return index
+
+    def end(self) -> None:
+        """Close the innermost open element."""
+        index = self._stack.pop()
+        self._end[index] = len(self._sym)
+        parts = self._own_parts.pop()
+        if parts is not None:
+            if len(parts) == 1:
+                self._payload[index] = parts[0]
+            else:
+                joined = "".join(parts)
+                self._payload[index] = self._strings.setdefault(joined, joined)
+
+    def finish(self) -> FrozenDocument:
+        if self._stack:
+            raise ValueError(
+                f"unclosed element at index {self._stack[-1]} in arena input"
+            )
+        if not self._sym:
+            raise ValueError("empty arena input")
+        # Compact: growable arrays/lists carry append slack; the frozen
+        # copies are exact-size.
+        return FrozenDocument(
+            self.symbols,
+            array("i", self._sym),
+            array("i", self._parent),
+            array("i", self._end),
+            list(self._payload),
+            self._attrs,
+            self._elements,
+        )
+
+
+# ----------------------------------------------------------------------
+# Bridges to the Node model
+# ----------------------------------------------------------------------
+
+#: Sentinel marking "close the current element" on the freeze stack.
+_END = object()
+
+
+def freeze(root: Element, symbols: Optional[SymbolTable] = None) -> FrozenDocument:
+    """Columnarize a resident tree (iterative; any depth)."""
+    builder = FrozenBuilder(symbols)
+    stack: list = [root]
+    while stack:
+        item = stack.pop()
+        if item is _END:
+            builder.end()
+            continue
+        if item.is_text:
+            builder.text(item.value)
+            continue
+        builder.start(item.label, item.attrs if item.attrs else None)
+        stack.append(_END)
+        stack.extend(reversed(item.children))
+    return builder.finish()
+
+
+def thaw(arena: FrozenDocument, i: int = 0) -> Node:
+    """Materialize the subtree at pre-order index *i* as Node objects.
+
+    The inverse of :func:`freeze` (round-trip identity is property-
+    tested); attribute dicts are fresh, so the thawed tree may be
+    mutated without touching the frozen snapshot.
+    """
+    sym = arena.sym
+    if sym[i] < 0:
+        return Text(arena.payload[i])
+    strings = arena.symbols.strings
+    end = arena.end
+    payload = arena.payload
+    attrs_of = arena.attrs_of
+    root = Element(strings[sym[i]], attrs_of(i), [])
+    limit = end[i]
+    kids = [root.children]
+    ends = [limit]
+    j = i + 1
+    while j < limit:
+        if ends[-1] <= j:
+            ends.pop()
+            kids.pop()
+            while ends[-1] <= j:
+                ends.pop()
+                kids.pop()
+        s = sym[j]
+        if s < 0:
+            kids[-1].append(Text(payload[j]))
+            j += 1
+            continue
+        node = Element(strings[s], attrs_of(j), [])
+        kids[-1].append(node)
+        e = end[j]
+        if e > j + 1:
+            kids.append(node.children)
+            ends.append(e)
+        j += 1
+    return root
+
+
+# ----------------------------------------------------------------------
+# SAX event adapters (the streaming replay source)
+# ----------------------------------------------------------------------
+
+
+def events_to_arena(
+    events: Iterable, symbols: Optional[SymbolTable] = None
+) -> FrozenDocument:
+    """Build a frozen document straight from a SAX event stream.
+
+    This is the SAX scanner's arena load path —
+    ``events_to_arena(iter_sax_file(path))`` columnarizes a file with
+    no intermediate ``Node`` tree and memory bounded by the columns
+    themselves.
+    """
+    from repro.xmltree.sax import EndElement, StartElement, TextEvent
+
+    builder = FrozenBuilder(symbols)
+    for event in events:
+        if isinstance(event, StartElement):
+            builder.start(event.name, event.attrs if event.attrs else None)
+        elif isinstance(event, EndElement):
+            builder.end()
+        elif isinstance(event, TextEvent):
+            builder.text(event.value)
+        # Start/EndDocument carry no content.
+    return builder.finish()
+
+
+def arena_to_events(
+    arena: FrozenDocument, i: int = 0, document: bool = True
+) -> Iterator:
+    """Generate the SAX event stream of an arena subtree.
+
+    An arena is **replayable by construction** — calling this again
+    yields an identical fresh stream — so an arena can be handed
+    directly to the Section-6 two-pass streaming algorithms as their
+    replay source, with no one-shot-iterator hazard.
+    """
+    from repro.xmltree.sax import (
+        EndDocument,
+        EndElement,
+        StartDocument,
+        StartElement,
+        TextEvent,
+    )
+
+    if document:
+        yield StartDocument()
+    sym = arena.sym
+    end = arena.end
+    payload = arena.payload
+    strings = arena.symbols.strings
+    attrs_of = arena.attrs_of
+    limit = end[i]
+    closes: list = []
+    ends: list[int] = []
+    j = i
+    while j < limit:
+        while ends and ends[-1] <= j:
+            ends.pop()
+            yield closes.pop()
+        s = sym[j]
+        if s < 0:
+            yield TextEvent(payload[j])
+            j += 1
+            continue
+        label = strings[s]
+        yield StartElement(label, attrs_of(j))
+        e = end[j]
+        if e > j + 1:
+            ends.append(e)
+            closes.append(EndElement(label))
+        else:
+            yield EndElement(label)
+        j += 1
+    while closes:
+        yield closes.pop()
+    if document:
+        yield EndDocument()

@@ -26,6 +26,14 @@ Design notes (see DESIGN.md §4):
   (:mod:`repro.automata.dfa`) keys its memoized transition tables by
   those ids — viable precisely because the paper's NFAs are O(|p|)
   semi-linear, so the per-label transition space stays tiny.
+* This object model has a frozen columnar sibling: the read-mostly
+  paths run over :class:`repro.xmltree.arena.FrozenDocument`, where a
+  subtree is a contiguous pre-order index range instead of a pointer
+  graph.  The DAG-shaped sharing above and the arena's range column
+  are the same paper idea — a subtree the automaton proves untouched
+  is "simply copied to the result" — realized once as a shared
+  pointer and once as a raw ``[i, end[i])`` slice; ``freeze``/``thaw``
+  convert between the two.
 """
 
 from __future__ import annotations

@@ -232,6 +232,58 @@ class _Parser:
             raise self._error("content after the root element")
         return root
 
+    def _parse_root_arena(self, builder) -> None:
+        """The :meth:`_parse_root` loop, driving a
+        :class:`~repro.xmltree.arena.FrozenBuilder` directly: the arena
+        load path allocates columns, never ``Element``/``Text`` nodes.
+
+        Kept as a separate loop (rather than a builder indirection in
+        ``_parse_root``) so the Node path stays allocation-minimal too.
+        """
+        self._expect("<")
+        name, attrs, self_closing = self._read_open_tag()
+        builder.start(name, attrs if attrs else None)
+        if self_closing:
+            builder.end()
+            return
+        open_labels = [name]
+        src = self.src
+        while open_labels:
+            lt = src.find("<", self.pos)
+            if lt == -1:
+                raise self._error(f"unterminated element <{open_labels[-1]}>")
+            if lt > self.pos:
+                raw = src[self.pos : lt]
+                if not self.strip or raw.strip():
+                    builder.text(decode_entities(raw, self.pos))
+                self.pos = lt
+            # self.pos is at '<'
+            if src.startswith("</", self.pos):
+                self.pos += 2
+                name = self._read_name()
+                self._skip_ws()
+                self._expect(">")
+                open_label = open_labels.pop()
+                if open_label != name:
+                    raise self._error(
+                        f"mismatched end tag </{name}> for <{open_label}>"
+                    )
+                builder.end()
+            elif src.startswith("<!--", self.pos):
+                self._skip_comment()
+            elif src.startswith("<![CDATA[", self.pos):
+                builder.text(self._read_cdata())
+            elif src.startswith("<?", self.pos):
+                self._skip_pi()
+            else:
+                self.pos += 1
+                name, attrs, self_closing = self._read_open_tag()
+                builder.start(name, attrs if attrs else None)
+                if not self_closing:
+                    open_labels.append(name)
+                else:
+                    builder.end()
+
     def _parse_root(self) -> Element:
         self._expect("<")
         name, attrs, self_closing = self._read_open_tag()
@@ -299,6 +351,36 @@ def parse_fragment(
         raise XMLSyntaxError("expected an XML element", parser.pos)
     root = parser._parse_root()
     return root, parser.pos
+
+
+def parse_to_arena(source: str, strip_whitespace: bool = True):
+    """Parse straight into a :class:`~repro.xmltree.arena.FrozenDocument`.
+
+    The columnar load path: no intermediate ``Node`` tree is ever
+    built — the parser drives the arena's column builder directly, so
+    loading a document for the read-mostly serving path costs the
+    columns and the text payloads, nothing else.
+    """
+    from repro.xmltree.arena import FrozenBuilder
+
+    parser = _Parser(source, strip_whitespace)
+    parser._skip_misc()
+    if parser.pos >= parser.n or source[parser.pos] != "<":
+        raise parser._error("expected the root element")
+    builder = FrozenBuilder()
+    parser._parse_root_arena(builder)
+    parser._skip_misc()
+    if parser.pos != parser.n:
+        raise parser._error("content after the root element")
+    return builder.finish()
+
+
+def parse_file_to_arena(
+    path: str, strip_whitespace: bool = True, encoding: str = "utf-8"
+):
+    """Parse a file straight into a frozen columnar document."""
+    with open(path, "r", encoding=encoding) as handle:
+        return parse_to_arena(handle.read(), strip_whitespace=strip_whitespace)
 
 
 def parse_file(path: str, strip_whitespace: bool = True, encoding: str = "utf-8") -> Element:

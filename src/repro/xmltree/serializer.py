@@ -79,6 +79,81 @@ def serialize(node: Node, indent: Optional[str] = None) -> str:
     return "".join(out)
 
 
+def serialize_arena(arena, i: int = 0, indent: Optional[str] = None) -> str:
+    """Serialize an arena subtree straight from its columns.
+
+    The fast path of the columnar backend: one pre-order sweep over the
+    int columns, no ``thaw`` round-trip, no ``Node`` allocation — an
+    untouched subtree is just its contiguous ``[i, end[i])`` index
+    range, streamed out as text.  Byte-identical to
+    ``serialize(thaw(arena, i))`` (asserted by the arena test suite);
+    pretty-printing is rare enough that it simply takes that route.
+    """
+    if indent is not None:
+        from repro.xmltree.arena import thaw
+
+        return serialize(thaw(arena, i), indent=indent)
+    parts: list[str] = []
+    write_arena_range(arena, i, arena.end[i], parts.append)
+    return "".join(parts)
+
+
+def _flat_attr_text(flat: tuple) -> str:
+    """Render an arena flat attribute tuple as serialized attributes."""
+    return "".join(
+        f' {flat[k]}="{escape_attr(flat[k + 1])}"'
+        for k in range(0, len(flat), 2)
+    )
+
+
+def write_arena_range(arena, start: int, limit: int, write) -> None:
+    """Emit the (balanced) node range ``[start, limit)`` as compact XML
+    through *write* — the shared core of :func:`serialize_arena` and
+    the arena-native transform-to-file path."""
+    sym = arena.sym
+    end = arena.end
+    payload = arena.payload
+    attr_map = arena.attrs
+    strings = arena.symbols.strings
+    closes: list[str] = []
+    ends: list[int] = []
+    j = start
+    while j < limit:
+        while ends and ends[-1] <= j:
+            ends.pop()
+            write(closes.pop())
+        s = sym[j]
+        if s < 0:
+            write(escape_text(payload[j]))
+            j += 1
+            continue
+        label = strings[s]
+        found = attr_map.get(j)
+        attrs = _flat_attr_text(found) if found else ""
+        e = end[j]
+        if e == j + 1:
+            write(f"<{label}{attrs}/>")
+        else:
+            write(f"<{label}{attrs}>")
+            ends.append(e)
+            closes.append(f"</{label}>")
+        j += 1
+    while closes:
+        write(closes.pop())
+
+
+def write_arena_file(
+    arena, path: str, i: int = 0, declaration: bool = True
+) -> None:
+    """Serialize an arena subtree into a file (compact form), straight
+    from the columns."""
+    with open(path, "w", encoding="utf-8") as handle:
+        if declaration:
+            handle.write('<?xml version="1.0" encoding="utf-8"?>\n')
+        write_arena_range(arena, i, arena.end[i], handle.write)
+        handle.write("\n")
+
+
 def write_file(node: Node, path: str, indent: Optional[str] = None, declaration: bool = True) -> None:
     """Serialize a subtree into a file, optionally with an XML declaration."""
     with open(path, "w", encoding="utf-8") as handle:

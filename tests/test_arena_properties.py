@@ -1,0 +1,271 @@
+"""Property tests pinning the columnar arena to the Node model.
+
+Four layers are held together on random trees, random ``X``
+expressions and seeded XMark documents:
+
+* **representation** — ``freeze -> thaw`` is the identity on trees,
+  ``thaw -> freeze`` reproduces the columns exactly, and the own-text
+  column equals ``Element.own_text()`` everywhere;
+* **qualifiers** — the arena closures of
+  :mod:`repro.xpath.arena_compiler` agree with ``eval_qualifier`` and
+  with the Node closures at every element;
+* **selection** — ``select_indices`` (the arena DFA walk) agrees with
+  ``run_select`` (the PR-3 Node DFA walk) and with the specification
+  oracle, and the streaming selector fed the arena replay source
+  yields the same subtrees;
+* **queries and transforms** — the arena XQuery evaluator matches
+  ``evaluate_query``, and the arena transform-to-text path is
+  byte-identical to serializing ``transform_topdown``.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.arena_run import select_indices, serialize_arena_transformed
+from repro.automata.selecting import build_selecting_nfa
+from repro.streaming.select import stream_select
+from repro.transform.query import TransformQuery
+from repro.transform.topdown import transform_topdown
+from repro.updates import parse_update
+from repro.xmark.generator import generate
+from repro.xmark.queries import EMBEDDED_PATHS, user_query_for
+from repro.xmltree.arena import freeze, thaw
+from repro.xmltree.node import Element, deep_equal
+from repro.xmltree.sax import tree_to_events
+from repro.xmltree.serializer import serialize, serialize_arena
+from repro.xpath.arena_compiler import compile_qualifier_arena
+from repro.xpath.compiler import compile_qualifier
+from repro.xpath.evaluator import eval_qualifier, evaluate
+from repro.xpath.normalize import UnsupportedPathError
+from repro.xpath.parser import parse_xpath
+from repro.xquery.arena_eval import ArenaEvaluator, evaluate_query_arena
+from repro.xquery.ast import PathFrom, UserQuery, VarRef
+from repro.xquery.evaluator import evaluate_query
+
+from tests.strategies import trees, xpath_queries
+
+
+def _selecting(query_text):
+    path = parse_xpath(query_text)
+    try:
+        return path, build_selecting_nfa(path)
+    except (UnsupportedPathError, ValueError):
+        return None
+
+
+def _items_equal(a, b) -> bool:
+    if len(a) != len(b):
+        return False
+    for x, y in zip(a, b):
+        if isinstance(x, Element) != isinstance(y, Element):
+            return False
+        if isinstance(x, Element):
+            if not deep_equal(x, y):
+                return False
+        elif x != y:
+            return False
+    return True
+
+
+class TestRepresentation:
+    @settings(max_examples=200, deadline=None)
+    @given(tree=trees())
+    def test_freeze_thaw_freeze_round_trip(self, tree):
+        arena = freeze(tree)
+        thawed = thaw(arena)
+        assert deep_equal(tree, thawed)
+        again = freeze(thawed)
+        assert arena.sym == again.sym
+        assert arena.end == again.end
+        assert arena.parent == again.parent
+        assert arena.payload == again.payload
+        assert arena.attrs == again.attrs
+
+    @settings(max_examples=200, deadline=None)
+    @given(tree=trees())
+    def test_own_text_column_matches_node_model(self, tree):
+        arena = freeze(tree)
+        nodes = list(tree.descendants_or_self())
+        indices = list(arena.iter_elements())
+        assert len(nodes) == len(indices)
+        for node, i in zip(nodes, indices):
+            assert arena.label(i) == node.label
+            assert arena.own_text(i) == node.own_text()
+            assert dict(arena.attrs_of(i)) == node.attrs
+
+    @settings(max_examples=150, deadline=None)
+    @given(tree=trees())
+    def test_serialize_arena_is_byte_identical(self, tree):
+        arena = freeze(tree)
+        assert serialize_arena(arena) == serialize(tree)
+        # ... for every subtree, not just the root.
+        nodes = list(tree.descendants_or_self())
+        indices = list(arena.iter_elements())
+        for node, i in zip(nodes, indices):
+            assert serialize_arena(arena, i) == serialize(node)
+
+    @settings(max_examples=100, deadline=None)
+    @given(tree=trees())
+    def test_size_and_depth_match(self, tree):
+        arena = freeze(tree)
+        assert len(arena) == tree.size()
+        assert arena.depth() == tree.depth()
+
+
+class TestQualifierEquivalence:
+    @settings(max_examples=200, deadline=None)
+    @given(tree=trees(), query_text=xpath_queries())
+    def test_arena_closures_match_reference_and_node_closures(
+        self, tree, query_text
+    ):
+        built = _selecting(query_text)
+        if built is None:
+            return
+        _, selecting = built
+        arena = freeze(tree)
+        nodes = list(tree.descendants_or_self())
+        indices = list(arena.iter_elements())
+        for state in selecting.states:
+            if not state.has_qualifier:
+                continue
+            node_check = compile_qualifier(state.qual)
+            arena_check = compile_qualifier_arena(state.qual)
+            for node, i in zip(nodes, indices):
+                expected = eval_qualifier(node, state.qual)
+                assert node_check(node) == expected
+                assert arena_check(arena, i) == expected, (
+                    f"arena qualifier diverges at {node.label} for "
+                    f"{query_text}"
+                )
+
+
+class TestSelectEquivalence:
+    @settings(max_examples=200, deadline=None)
+    @given(tree=trees(), query_text=xpath_queries())
+    def test_arena_select_agrees_with_node_dfa_and_oracle(
+        self, tree, query_text
+    ):
+        built = _selecting(query_text)
+        if built is None:
+            return
+        path, selecting = built
+        arena = freeze(tree)
+        via_node = selecting.run_select(tree)
+        via_arena = select_indices(selecting, arena)
+        oracle = [node for node in evaluate(tree, path) if node is not tree]
+        assert len(via_arena) == len(via_node) == len(oracle), query_text
+        for node, i in zip(oracle, via_arena):
+            assert deep_equal(node, thaw(arena, i)), query_text
+        # run_select dispatches on the input type.
+        assert selecting.run_select(arena) == via_arena
+
+    @settings(max_examples=100, deadline=None)
+    @given(tree=trees(), query_text=xpath_queries())
+    def test_streaming_replay_source_matches_event_stream(
+        self, tree, query_text
+    ):
+        built = _selecting(query_text)
+        if built is None:
+            return
+        path, _ = built
+        arena = freeze(tree)
+        via_events = [
+            serialize(n)
+            for n in stream_select(lambda: tree_to_events(tree), path)
+        ]
+        via_arena = [serialize(n) for n in stream_select(arena, path)]
+        assert via_arena == via_events, query_text
+
+
+class TestQueryEquivalence:
+    @settings(max_examples=150, deadline=None)
+    @given(tree=trees(), query_text=xpath_queries())
+    def test_arena_query_matches_node_evaluator(self, tree, query_text):
+        try:
+            path = parse_xpath(query_text)
+        except ValueError:
+            return
+        query = UserQuery("x", path, [], VarRef("x"))
+        arena = freeze(tree)
+        want = evaluate_query(tree, query)
+        got = evaluate_query_arena(arena, query)
+        assert _items_equal(want, got), query_text
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        tree=trees(),
+        source_text=xpath_queries(),
+        value_text=xpath_queries(),
+    )
+    def test_arena_query_with_nested_paths(self, tree, source_text, value_text):
+        try:
+            source = parse_xpath(source_text)
+            value = parse_xpath(value_text)
+        except ValueError:
+            return
+        query = UserQuery("x", source, [], PathFrom("x", value))
+        arena = freeze(tree)
+        want = evaluate_query(tree, query)
+        got = evaluate_query_arena(arena, query)
+        assert _items_equal(want, got), (source_text, value_text)
+
+
+class TestTransformEquivalence:
+    @settings(max_examples=150, deadline=None)
+    @given(
+        tree=trees(),
+        query_text=xpath_queries(),
+        kind=st.sampled_from(["insert", "delete", "replace", "rename"]),
+    )
+    def test_arena_transform_serialize_matches_topdown(
+        self, tree, query_text, kind
+    ):
+        built = _selecting(query_text)
+        if built is None:
+            return
+        _, selecting = built
+        target = (
+            f"$a{query_text}" if query_text.startswith("//") else f"$a/{query_text}"
+        )
+        if kind == "insert":
+            update_text = f"insert <w><v>1</v></w> into {target}"
+        elif kind == "delete":
+            update_text = f"delete {target}"
+        elif kind == "replace":
+            update_text = f"replace {target} with <w>x</w>"
+        else:
+            update_text = f"rename {target} as renamed"
+        try:
+            update = parse_update(update_text)
+        except ValueError:
+            return
+        query = TransformQuery(update)
+        arena = freeze(tree)
+        want = serialize(transform_topdown(tree, query, nfa=selecting))
+        got = serialize_arena_transformed(arena, update, selecting)
+        assert got == want, update_text
+
+
+class TestXMarkWorkload:
+    """The Fig-11 queries over seeded XMark documents (three seeds)."""
+
+    def _doc(self, seed):
+        return generate(0.002, seed)
+
+    def test_selects_and_queries_on_xmark(self):
+        for seed in (7, 42, 1234):
+            tree = self._doc(seed)
+            arena = freeze(tree)
+            assert deep_equal(tree, thaw(arena))
+            for uid, path_text in EMBEDDED_PATHS.items():
+                path = parse_xpath(path_text)
+                selecting = build_selecting_nfa(path)
+                node_sel = selecting.run_select(tree)
+                arena_sel = select_indices(selecting, arena)
+                assert len(node_sel) == len(arena_sel), (seed, uid)
+                for node, i in zip(node_sel, arena_sel):
+                    assert node.label == arena.label(i)
+                query = user_query_for(uid)
+                want = evaluate_query(tree, query)
+                got = ArenaEvaluator(arena).evaluate(query)
+                assert _items_equal(want, got), (seed, uid)
