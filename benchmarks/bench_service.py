@@ -1,0 +1,206 @@
+"""Service benchmarks: batched concurrent serving vs a serial
+one-request-at-a-time baseline, and snapshot isolation under load.
+
+The workload is the Fig-12 user-query mix over an XMark document
+(factor 0.1 ≈ 10.4 MB at full size), served to 16 concurrent clients
+with a writer committing between rounds so the per-version memo
+cannot carry answers across versions:
+
+* **serial baseline** — every request pins its snapshot and evaluates
+  individually (:meth:`~repro.service.service.QueryService.
+  query_direct`): the one-request-at-a-time server with no batching
+  and no cross-request result reuse.
+* **batched service** — the same total request list through the
+  batching scheduler: identical in-flight requests coalesce into one
+  evaluation per (document, version, query) and the memo serves
+  repeats within a version.  The acceptance bar is ≥ 4× the serial
+  baseline's throughput (asserted at full size; informational in
+  smoke mode, where evaluation is microseconds and scheduling
+  overhead dominates).
+
+The isolation experiment hammers the same service with paired-marker
+commits (two staged inserts committed atomically) and asserts no
+reader — all of them running through pinned MVCC snapshots — ever
+observes an odd marker count, i.e. a torn or staged state.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_service.py -q -s
+"""
+
+import threading
+import time
+
+from repro.bench.harness import (
+    DATASET_SEED,
+    SMOKE,
+    dataset,
+    format_table,
+    smoke_factor,
+    smoke_rounds,
+)
+from repro.service import QueryService, ServiceConfig
+from repro.xmark.queries import EMBEDDED_PATHS
+
+FACTOR = smoke_factor(0.1)
+CLIENTS = 16
+ROUNDS = smoke_rounds(3, 1)
+
+#: The Fig-12 query mix in FLWR form (the paper's U-paths as user
+#: queries, same shapes bench_fig12_methods.py transforms against).
+REQUESTS = [
+    f"for $x in {EMBEDDED_PATHS[uid]} return $x"
+    for uid in ("U1", "U2", "U3", "U4", "U8", "U9")
+]
+
+#: The between-rounds write: a tiny committed insert that bumps the
+#: version (and thereby kills every memoized answer for it).
+BUMP = (
+    'transform copy $a := doc("xmark") modify do '
+    "insert <served_round/> into $a/regions return $a"
+)
+
+
+def _fresh_service(**config) -> QueryService:
+    service = QueryService(config=ServiceConfig(**config))
+    service.store.put("xmark", dataset(FACTOR, seed=DATASET_SEED))
+    return service
+
+
+def _run_serial(service: QueryService) -> float:
+    """The baseline: all CLIENTS × REQUESTS × ROUNDS requests, one at
+    a time, a commit between rounds."""
+    start = time.perf_counter()
+    for _ in range(ROUNDS):
+        for _ in range(CLIENTS):
+            for text in REQUESTS:
+                service.query_direct("xmark", text)
+        service.commit("xmark", BUMP)
+    return time.perf_counter() - start
+
+
+def _run_batched(service: QueryService) -> float:
+    """The same request list from CLIENTS concurrent client threads,
+    through the batching scheduler; same commit between rounds."""
+    errors: list = []
+
+    def client():
+        try:
+            for text in REQUESTS:
+                service.query("xmark", text)
+        except Exception as exc:  # noqa: BLE001 - asserted below
+            errors.append(exc)
+
+    start = time.perf_counter()
+    for _ in range(ROUNDS):
+        threads = [threading.Thread(target=client) for _ in range(CLIENTS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        service.commit("xmark", BUMP)
+    elapsed = time.perf_counter() - start
+    assert not errors, errors[:3]
+    return elapsed
+
+
+def test_batched_throughput_vs_serial_baseline():
+    total = CLIENTS * len(REQUESTS) * ROUNDS
+
+    serial_service = _fresh_service(batch_window=0.002)
+    serial = _run_serial(serial_service)
+    serial_service.close()
+
+    batched_service = _fresh_service(batch_window=0.005, workers=4)
+    batched = _run_batched(batched_service)
+    metrics = batched_service.metrics()
+    batched_service.close()
+
+    rows = [
+        ("serial (one at a time)", serial, total / serial, 1.0),
+        ("batched (16 clients)", batched, total / batched, serial / batched),
+    ]
+    print()
+    print(format_table(
+        f"service throughput, Fig-12 mix x{CLIENTS} clients x{ROUNDS} rounds "
+        f"(factor {FACTOR}, commit between rounds)",
+        ["mode", "seconds", "req/s", "speedup"],
+        [(n, f"{s:.3f}", f"{r:.0f}", f"{x:.2f}x") for n, s, r, x in rows],
+    ))
+    print(
+        f"batched metrics: {metrics['evaluations']} evaluations for "
+        f"{metrics['requests']} requests "
+        f"({metrics['coalesced']} coalesced, {metrics['memo_hits']} memo hits, "
+        f"{metrics['stale_reads']} stale reads)"
+    )
+    # Every request was answered from a pinned snapshot, and batching
+    # actually collapsed work: far fewer evaluations than requests.
+    assert metrics["requests"] == total
+    assert metrics["snapshot_reads"] == total
+    assert metrics["evaluations"] + metrics["memo_hits"] + metrics["coalesced"] >= total
+    assert metrics["evaluations"] < total
+    if not SMOKE:
+        # The acceptance bar: coalescing + memoized fan-out must beat
+        # one-at-a-time serving by at least 4x on the same hardware.
+        assert batched * 4 <= serial, (
+            f"batched {batched:.3f}s not 4x faster than serial {serial:.3f}s"
+        )
+
+
+def test_snapshot_isolation_under_load():
+    """No reader ever sees a partially-committed or staged version:
+    markers are inserted in atomically-committed pairs, so every
+    committed version holds an even count."""
+    service = _fresh_service(batch_window=0.0, workers=4)
+    pair = [
+        'transform copy $a := doc("xmark") modify do '
+        "insert <iso_marker/> into $a/people return $a",
+        'transform copy $a := doc("xmark") modify do '
+        "insert <iso_marker/> into $a/regions return $a",
+    ]
+    readers_done = threading.Event()
+    torn: list = []
+    errors: list = []
+    commits = [0]
+
+    def writer():
+        # At least one paired commit even if the readers (on a slow or
+        # single-core host) finish their rounds first.
+        while not readers_done.is_set() or commits[0] == 0:
+            for text in pair:
+                service.stage("xmark", text)
+            service.commit("xmark")
+            commits[0] += 1
+
+    def reader():
+        try:
+            for _ in range(smoke_rounds(20, 5)):
+                rows = service.query("xmark", "for $x in //iso_marker return $x")
+                if len(rows) % 2:
+                    torn.append(len(rows))
+                # A staged-but-uncommitted preview must stay invisible
+                # to plain reads; the staged flag flips it on.
+        except Exception as exc:  # noqa: BLE001 - asserted below
+            errors.append(exc)
+        finally:
+            readers_done.set()
+
+    writer_thread = threading.Thread(target=writer)
+    reader_threads = [threading.Thread(target=reader) for _ in range(4)]
+    writer_thread.start()
+    for thread in reader_threads:
+        thread.start()
+    for thread in reader_threads:
+        thread.join()
+    writer_thread.join()
+    metrics = service.metrics()
+    service.close()
+    print()
+    print(
+        f"isolation hammer: {commits[0]} paired commits, "
+        f"{metrics['snapshot_reads']} snapshot reads, "
+        f"{metrics['stale_reads']} stale reads, 0 torn"
+    )
+    assert not errors, errors[:3]
+    assert not torn, f"readers observed torn versions: {torn[:5]}"
+    assert commits[0] >= 1

@@ -27,7 +27,7 @@ engine plans across; each subpackage's docstring maps back to the
 paper's sections.
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 # XML substrate
 from repro.xmltree import (
@@ -95,6 +95,15 @@ from repro.store import (
     ViewStore,
 )
 
+# The concurrent query service (MVCC snapshot reads, batching, TCP)
+from repro.service import (
+    Client,
+    QueryService,
+    ServiceConfig,
+    ServiceError,
+    ServiceServer,
+)
+
 # The prepared-statement engine and its cost-based planner
 from repro.engine import (
     Engine,
@@ -128,6 +137,7 @@ def prepare_composed(user, transform):
 
 
 __all__ = [
+    "Client",
     "CompiledCache",
     "DocumentStore",
     "Element",
@@ -144,6 +154,10 @@ __all__ = [
     "prepare_query",
     "prepare_transform",
     "MaterializationPolicy",
+    "QueryService",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceServer",
     "StoreError",
     "Text",
     "TransformQuery",

@@ -17,6 +17,7 @@ store.
     python -m repro store query -n public -u 'for $x in … return $x'
     python -m repro store commit -n db -t '<transform query>'
     python -m repro store stat
+    python -m repro serve --state .repro-store --port 7007
 
 Every query-text option (``transform -q``, ``compose -t/-u``,
 ``explain -q``, ``store … -t/-u``) also accepts ``@path`` to read the
@@ -41,7 +42,7 @@ import warnings
 from repro import __version__
 from repro.automata import build_filtering_nfa, build_selecting_nfa
 from repro.engine import ALL_STRATEGIES, default_engine
-from repro.store.state import open_store, save_store
+from repro.store.state import StateLock, locked_state, open_store, save_store
 from repro.xmark.generator import write_xmark_file
 from repro.xmltree import Element, serialize
 from repro.xpath import parse_xpath
@@ -230,36 +231,44 @@ def _cmd_explain(args: argparse.Namespace) -> int:
 # ----------------------------------------------------------------------
 # The view store (repro.store) commands
 # ----------------------------------------------------------------------
+#
+# Every command is one exclusive read-modify-write cycle on the state
+# directory: locked_state() flocks state.lock around open + mutate +
+# save, so two concurrent invocations (or an invocation racing a
+# running `repro serve`) cannot interleave their commits.  A held lock
+# or an unreadable manifest surfaces as a typed StoreError — one line
+# on stderr and exit 2 at the boundary below, never a traceback.
 
 
 def _cmd_store_load(args: argparse.Namespace) -> int:
-    store = open_store(args.state)
-    doc = store.load(args.name, args.input, replace=args.replace)
-    save_store(store, args.state)
-    print(f"loaded {doc.name!r} v{doc.version}: {doc.root.size()} nodes from {args.input}")
+    with locked_state(args.state) as store:
+        doc = store.load(args.name, args.input, replace=args.replace)
+        print(
+            f"loaded {doc.name!r} v{doc.version}: "
+            f"{doc.root.size()} nodes from {args.input}"
+        )
     return 0
 
 
 def _cmd_store_defview(args: argparse.Namespace) -> int:
-    store = open_store(args.state)
-    view = store.define_view(args.name, args.base, read_query_arg(args.transform))
-    doc_name, layers = store.views.stack(view.name)
-    save_store(store, args.state)
-    print(
-        f"defined view {view.name!r} over {view.base!r} "
-        f"(stack depth {len(layers)} on document {doc_name!r})"
-    )
+    with locked_state(args.state) as store:
+        view = store.define_view(args.name, args.base, read_query_arg(args.transform))
+        doc_name, layers = store.views.stack(view.name)
+        print(
+            f"defined view {view.name!r} over {view.base!r} "
+            f"(stack depth {len(layers)} on document {doc_name!r})"
+        )
     return 0
 
 
 def _cmd_store_query(args: argparse.Namespace) -> int:
-    store = open_store(args.state)
-    # The serialized read path: plain-document targets are answered
-    # from the frozen columnar snapshot and serialized straight from
-    # its columns (no thaw); views/staged previews serialize Nodes.
-    results = store.query_serialized(
-        args.name, read_query_arg(args.user_query), include_staged=args.staged
-    )
+    with locked_state(args.state, save=False) as store:
+        # The serialized read path: plain-document targets are answered
+        # from the frozen columnar snapshot and serialized straight from
+        # its columns (no thaw); views/staged previews serialize Nodes.
+        results = store.query_serialized(
+            args.name, read_query_arg(args.user_query), include_staged=args.staged
+        )
     for item in results:
         print(item)
     print(f"({len(results)} result(s) from {args.name!r})", file=sys.stderr)
@@ -267,35 +276,32 @@ def _cmd_store_query(args: argparse.Namespace) -> int:
 
 
 def _cmd_store_stage(args: argparse.Namespace) -> int:
-    store = open_store(args.state)
-    depth = store.stage(args.name, read_query_arg(args.transform))
-    save_store(store, args.state)
+    with locked_state(args.state) as store:
+        depth = store.stage(args.name, read_query_arg(args.transform))
     print(f"staged update #{depth} on {args.name!r} (hypothetical until commit)")
     return 0
 
 
 def _cmd_store_commit(args: argparse.Namespace) -> int:
-    store = open_store(args.state)
     transform = args.transform
     if transform is not None:
         transform = read_query_arg(transform)
-    version = store.commit(args.name, transform)
-    save_store(store, args.state)
+    with locked_state(args.state) as store:
+        version = store.commit(args.name, transform)
     print(f"committed {args.name!r}: now v{version}")
     return 0
 
 
 def _cmd_store_rollback(args: argparse.Namespace) -> int:
-    store = open_store(args.state)
-    dropped = store.rollback(args.name, args.count)
-    save_store(store, args.state)
+    with locked_state(args.state) as store:
+        dropped = store.rollback(args.name, args.count)
     print(f"rolled back {dropped} staged update(s) on {args.name!r}")
     return 0
 
 
 def _cmd_store_stat(args: argparse.Namespace) -> int:
-    store = open_store(args.state)
-    stats = store.stats()
+    with locked_state(args.state, save=False) as store:
+        stats = store.stats()
     if not stats["documents"]:
         print(f"store at {args.state!r} is empty")
         return 0
@@ -332,6 +338,67 @@ def _cmd_store_stat(args: argparse.Namespace) -> int:
             f"    {name:<14} {cache['hits']}/{cache['misses']}"
             f"/{cache['evictions']} (size {cache['size']}/{cache['maxsize']})"
         )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# The query service (repro.service): repro serve
+# ----------------------------------------------------------------------
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Boot the concurrent query service on a TCP port.
+
+    With ``--state`` the server loads the durable store at boot, holds
+    its state-directory lock for the whole run (so CLI commands cannot
+    interleave), and saves the store back on graceful shutdown (SIGINT
+    or SIGTERM).  Without it the store is in-memory only — clients
+    populate it over the wire with ``load`` frames.
+    """
+    import signal
+
+    from repro.service import QueryService, ServiceConfig, ServiceServer
+
+    config = ServiceConfig(
+        workers=args.workers,
+        mode=args.mode,
+        batch_window=args.window_ms / 1000.0,
+        max_queue=args.max_queue,
+    )
+    state_lock = StateLock(args.state).acquire() if args.state else None
+    try:
+        store = open_store(args.state) if args.state else None
+        service = QueryService(store=store, config=config)
+        server = ServiceServer(service, args.host, args.port)
+        host, port = server.address
+        print(
+            f"repro serve: listening on {host}:{port} "
+            f"(mode {config.mode}, {config.workers} workers, "
+            f"window {args.window_ms}ms"
+            + (f", state {args.state!r})" if args.state else ", in-memory)"),
+            flush=True,
+        )
+        if args.port_file:
+            with open(args.port_file, "w", encoding="utf-8") as handle:
+                handle.write(f"{port}\n")
+
+        def _terminate(signum, frame):  # SIGTERM → same graceful path
+            raise KeyboardInterrupt
+
+        previous = signal.signal(signal.SIGTERM, _terminate)
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            print("repro serve: shutting down", file=sys.stderr)
+        finally:
+            signal.signal(signal.SIGTERM, previous)
+        server.stop()  # drains admitted requests, stops the pool
+        if args.state:
+            save_store(service.store, args.state)
+            print(f"repro serve: state saved to {args.state!r}", file=sys.stderr)
+    finally:
+        if state_lock is not None:
+            state_lock.release()
     return 0
 
 
@@ -493,6 +560,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     _store_parser("stat", "show documents, views and cache state", _cmd_store_stat)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve queries over TCP: MVCC snapshot reads, request "
+        "batching, a parallel worker pool",
+    )
+    p_serve.add_argument(
+        "--state",
+        help="durable state directory to load at boot and save on "
+        "shutdown (locked for the whole run; omit for in-memory)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_serve.add_argument(
+        "--port", type=int, default=7007,
+        help="TCP port (0 binds an ephemeral port; see --port-file)",
+    )
+    p_serve.add_argument(
+        "--port-file",
+        help="write the bound port number to this file once listening",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=4, help="worker pool size"
+    )
+    p_serve.add_argument(
+        "--mode", choices=["thread", "process"], default="thread",
+        help="worker pool mode: thread (default) or process "
+        "(CPU-parallel arena scans; arenas ship to workers as pickled "
+        "columns)",
+    )
+    p_serve.add_argument(
+        "--window-ms", type=float, default=2.0,
+        help="batch dispatch window in milliseconds (identical queries "
+        "arriving within it coalesce into one evaluation)",
+    )
+    p_serve.add_argument(
+        "--max-queue", type=int, default=256,
+        help="admission-control bound; beyond it requests are shed "
+        "with a typed 'overloaded' error",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
 
     return parser
 

@@ -53,6 +53,22 @@ class Engine:
         self.planner = planner or Planner()
         self.cache = CompiledCache(cache_size)
         self._prepared = LRUCache(cache_size)
+        # Serializes first-time preparation of a given text so that
+        # concurrent clients share ONE prepared object (and therefore
+        # one set of warm DFA tables) instead of each building their
+        # own on a cold-cache race.  Warm lookups never take it.
+        self._build_lock = threading.Lock()
+
+    def _prepare_shared(self, key: tuple, factory):
+        """Memoized preparation with cross-thread sharing: the fast
+        path is a lock-free cache hit; a miss builds under the engine's
+        build lock with a double-check, so every concurrent caller for
+        the same *key* receives the same prepared object."""
+        found = self._prepared.get(key)
+        if found is not None:
+            return found
+        with self._build_lock:
+            return self._prepared.get_or_compute(key, factory)
 
     # ------------------------------------------------------------------
     # Preparation (parse + compile exactly once per distinct text)
@@ -74,7 +90,7 @@ class Engine:
         if isinstance(text, TransformQuery):
             return self._build_transform(text)
         query = self.cache.transform(text)
-        return self._prepared.get_or_compute(
+        return self._prepare_shared(
             ("transform", text), lambda: self._build_transform(query, text)
         )
 
@@ -101,7 +117,7 @@ class Engine:
         """Parse a FLWR user query, once."""
         if isinstance(text, PreparedQuery):
             return text
-        return self._prepared.get_or_compute(
+        return self._prepare_shared(
             ("query", text),
             lambda: PreparedQuery(
                 text, self.cache.user_query(text), planner=self.planner, engine=self
@@ -128,7 +144,7 @@ class Engine:
         )
         if not authentic:
             return PreparedComposed(prepared_user, prepared_transform)
-        return self._prepared.get_or_compute(
+        return self._prepare_shared(
             ("composed", prepared_user.text, prepared_transform.text),
             lambda: PreparedComposed(prepared_user, prepared_transform),
         )

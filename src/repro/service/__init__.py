@@ -1,0 +1,63 @@
+"""``repro.service`` — a concurrent query service over the view store.
+
+The store (:mod:`repro.store`) answers one caller at a time under
+per-document locks; this subsystem puts a serving layer in front of it
+for many concurrent clients:
+
+* **MVCC snapshot reads** — every request pins the target document's
+  current frozen arena version and evaluates against that immutable
+  snapshot, lock-free; writers stage and commit without ever blocking
+  or corrupting readers (single-writer, many-reader).
+* **Request batching** — a dispatch window coalesces identical
+  (document, version, query) requests into one evaluation and groups
+  distinct queries per document so prepared statements and warm DFA
+  tables amortize across them.
+* **A worker pool** — threads by default; an opt-in ``multiprocessing``
+  mode ships arenas to workers as pickled columns for CPU-parallel
+  scans of large documents.
+* **A line-protocol TCP server and client** — ``repro serve`` /
+  :class:`Client`, JSON frames, graceful shutdown, per-request
+  deadlines, and admission control that sheds load with typed errors.
+
+In-process::
+
+    from repro import QueryService
+
+    service = QueryService()
+    service.put("db", "<db><a><v>1</v></a></db>")
+    rows = service.query("db", "for $x in a/v return $x")
+    service.close()
+
+Over the wire::
+
+    # terminal 1
+    $ repro serve --state .repro-store --port 7007
+
+    # terminal 2 (python)
+    from repro.service import Client
+    with Client(port=7007) as db:
+        rows = db.query("db", "for $x in a/v return $x")
+"""
+
+from repro.service.client import Client
+from repro.service.errors import (
+    BadRequestError,
+    DeadlineError,
+    OverloadedError,
+    ServiceClosedError,
+    ServiceError,
+)
+from repro.service.server import ServiceServer
+from repro.service.service import QueryService, ServiceConfig
+
+__all__ = [
+    "BadRequestError",
+    "Client",
+    "DeadlineError",
+    "OverloadedError",
+    "QueryService",
+    "ServiceClosedError",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceServer",
+]

@@ -1,0 +1,163 @@
+"""``repro.service.Client`` — the line-protocol client.
+
+Synchronous request/response over one TCP connection::
+
+    from repro.service import Client
+
+    with Client("127.0.0.1", 7007) as db:
+        db.load("xmark", path="xmark.xml")
+        rows = db.query("xmark", "for $x in people/person return $x")
+        db.commit("xmark", 'transform copy $a := doc("xmark") modify '
+                           "do delete $a//privacy return $a")
+
+Server-side errors re-raise as their typed exception classes
+(:class:`~repro.service.errors.OverloadedError`,
+:class:`~repro.service.errors.DeadlineError`,
+:class:`~repro.store.errors.StoreError`, …) so code written against an
+in-process :class:`~repro.service.service.QueryService` ports across
+the wire unchanged.  One client is one connection and is **not**
+thread-safe — concurrency comes from many clients (that is what fills
+the server's batch windows), not from sharing one.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Optional
+
+from repro.service.errors import ServiceClosedError, ServiceError, error_for
+from repro.service.protocol import decode_line, encode_frame
+
+__all__ = ["Client"]
+
+
+class Client:
+    """One connection to a running ``repro serve``."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7007,
+        timeout: Optional[float] = 30.0,
+    ):
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+
+    def call(self, op: str, **args):
+        """One raw request/response round trip; returns the result
+        payload or raises the typed error the server answered with."""
+        if self._file is None:
+            raise ServiceClosedError("client is closed")
+        self._next_id += 1
+        request_id = self._next_id
+        frame = {"id": request_id, "op": op}
+        frame.update({k: v for k, v in args.items() if v is not None})
+        try:
+            self._file.write(encode_frame(frame))
+            self._file.flush()
+            line = self._file.readline()
+        except (ConnectionError, OSError) as exc:
+            # Includes socket.timeout: a reply may still be in flight,
+            # so the stream is desynchronized — close rather than let
+            # the next call read this request's late response.
+            self.close()
+            raise ServiceClosedError(f"connection to {self.host}:{self.port} "
+                                     f"failed: {exc}") from None
+        if not line:
+            self.close()
+            raise ServiceClosedError(
+                f"server at {self.host}:{self.port} closed the connection"
+            )
+        response = decode_line(line)
+        if response.get("id") != request_id:  # pragma: no cover - defensive
+            self.close()
+            raise ServiceError(
+                f"out-of-order response: sent id {request_id}, "
+                f"got {response.get('id')!r}"
+            )
+        if response.get("ok"):
+            return response.get("result")
+        error = response.get("error") or {}
+        raise error_for(error.get("code", "error"), error.get("message", "unknown"))
+
+    # ------------------------------------------------------------------
+    # Ops
+    # ------------------------------------------------------------------
+
+    def ping(self) -> str:
+        return self.call("ping")
+
+    def query(
+        self,
+        target: str,
+        text: str,
+        *,
+        staged: bool = False,
+        deadline_ms: Optional[float] = None,
+    ) -> list:
+        return self.call(
+            "query",
+            target=target,
+            text=text,
+            staged=staged or None,
+            deadline_ms=deadline_ms,
+        )
+
+    def load(
+        self,
+        name: str,
+        *,
+        path: Optional[str] = None,
+        xml: Optional[str] = None,
+        replace: bool = False,
+    ) -> dict:
+        return self.call(
+            "load", name=name, path=path, xml=xml, replace=replace or None
+        )
+
+    def defview(self, name: str, base: str, transform: str) -> dict:
+        return self.call("defview", name=name, base=base, transform=transform)
+
+    def transform(self, name: str, text: str) -> str:
+        return self.call("transform", name=name, text=text)
+
+    def stage(self, name: str, text: str) -> dict:
+        return self.call("stage", name=name, text=text)
+
+    def commit(self, name: str, text: Optional[str] = None) -> dict:
+        return self.call("commit", name=name, text=text)
+
+    def rollback(self, name: str, count: Optional[int] = None) -> dict:
+        return self.call("rollback", name=name, count=count)
+
+    def stats(self) -> dict:
+        return self.call("stats")
+
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        file, self._file = self._file, None
+        if file is None:
+            return
+        try:
+            file.close()
+        except OSError:
+            pass
+        finally:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover - already torn down
+                pass
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

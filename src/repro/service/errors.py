@@ -1,0 +1,104 @@
+"""Service-layer exceptions, each carrying a stable wire ``code``.
+
+Every service error subclasses :class:`ValueError` (matching the
+store's convention) so the CLI boundary's one-line error handling
+covers the service for free.  The ``code`` attribute is the string
+that crosses the line protocol: the server serializes it into error
+frames, and :func:`error_for` rebuilds the matching typed exception on
+the client side — a shed request raises :class:`OverloadedError` in
+the *client's* process, not a generic RPC failure.
+"""
+
+from __future__ import annotations
+
+from repro.store.errors import StoreError
+
+__all__ = [
+    "BadRequestError",
+    "DeadlineError",
+    "OverloadedError",
+    "ServiceClosedError",
+    "ServiceError",
+    "error_for",
+]
+
+
+class ServiceError(ValueError):
+    """Base class for every error raised by :mod:`repro.service`."""
+
+    code = "error"
+
+
+class OverloadedError(ServiceError):
+    """Admission control shed the request: the bounded request queue
+    was full.  Load-shedding is deliberate back-pressure — the client
+    should retry with jitter or slow down, not treat this as a crash."""
+
+    code = "overloaded"
+
+    def __init__(self, detail: str = ""):
+        super().__init__(
+            "service overloaded: request queue full"
+            + (f" ({detail})" if detail else "")
+        )
+
+
+class DeadlineError(ServiceError):
+    """The request's deadline expired before its result was ready.
+
+    The evaluation may still complete in the background (its result
+    lands in the per-version memo for later readers); only this
+    caller's wait is abandoned.
+    """
+
+    code = "deadline"
+
+    def __init__(self, detail: str = ""):
+        super().__init__(
+            "request deadline exceeded" + (f" ({detail})" if detail else "")
+        )
+
+
+class BadRequestError(ServiceError):
+    """A malformed protocol frame: not JSON, unknown op, or missing a
+    required argument."""
+
+    code = "bad-request"
+
+
+class ServiceClosedError(ServiceError):
+    """The service (or the connection) is shutting down and no longer
+    accepts requests."""
+
+    code = "closed"
+
+    def __init__(self, detail: str = "service is closed"):
+        super().__init__(detail)
+
+
+#: Wire codes → exception classes, for the client-side rebuild.
+_BY_CODE = {
+    cls.code: cls
+    for cls in (OverloadedError, DeadlineError, BadRequestError, ServiceClosedError)
+}
+
+
+def error_for(code: str, message: str) -> ValueError:
+    """The typed exception for an error frame received over the wire.
+
+    Known service codes rebuild their class; ``store`` errors become a
+    :class:`~repro.store.errors.StoreError` (so client code can catch
+    unknown-name/duplicate-name conditions the same way it would
+    against an in-process :class:`~repro.store.store.ViewStore`);
+    anything else is a plain :class:`ServiceError`.
+    """
+    cls = _BY_CODE.get(code)
+    if cls is not None:
+        error = cls.__new__(cls)
+        ValueError.__init__(error, message)
+        return error
+    if code == "store":
+        return StoreError(message)
+    error = ServiceError(message)
+    error.code = code
+    return error

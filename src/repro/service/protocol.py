@@ -1,0 +1,166 @@
+"""The service's line protocol: one JSON object per ``\\n``-terminated
+line, in both directions.
+
+Request frames::
+
+    {"id": 1, "op": "query", "target": "xmark",
+     "text": "for $x in people/person return $x",
+     "staged": false, "deadline_ms": 250}
+
+``id`` is echoed back verbatim (any JSON scalar); ``deadline_ms`` is
+optional.  Response frames::
+
+    {"id": 1, "ok": true, "result": ["<person>…</person>"]}
+    {"id": 1, "ok": false,
+     "error": {"code": "overloaded", "message": "…"}}
+
+Ops and their arguments (all strings unless noted):
+
+===========  ==========================================================
+``load``     ``name`` + (``path`` | ``xml``), optional ``replace``
+``defview``  ``name``, ``base``, ``transform``
+``query``    ``target``, ``text``, optional ``staged`` (bool),
+             ``deadline_ms`` (number)
+``transform````name``, ``text`` — hypothetical, returns serialized XML
+``stage``    ``name``, ``text``
+``commit``   ``name``, optional ``text`` (stage-then-commit)
+``rollback`` ``name``, optional ``count`` (int)
+``stats``    —
+``ping``     — liveness probe, returns ``"pong"``
+===========  ==========================================================
+
+Errors map to codes: the service's typed errors carry their own
+(``overloaded``/``deadline``/``bad-request``/``closed``), store errors
+travel as ``store``, anything else as ``error``; the client rebuilds
+the matching exception class from the code
+(:func:`repro.service.errors.error_for`).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.service.errors import BadRequestError, ServiceError
+from repro.store.errors import StoreError
+
+__all__ = [
+    "OPS",
+    "decode_line",
+    "encode_frame",
+    "error_frame",
+    "handle_request",
+    "result_frame",
+]
+
+#: The ops a server accepts (the ``shutdown`` of a server is process
+#: lifecycle — SIGINT/SIGTERM — not a wire op).
+OPS = (
+    "load", "defview", "query", "transform", "stage", "commit",
+    "rollback", "stats", "ping",
+)
+
+
+def encode_frame(frame: dict) -> bytes:
+    """One frame as wire bytes (compact JSON + newline)."""
+    return (json.dumps(frame, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_line(line: bytes) -> dict:
+    """Parse one wire line into a frame dict, or raise
+    :class:`BadRequestError`."""
+    try:
+        frame = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise BadRequestError(f"frame is not valid JSON: {exc}") from None
+    if not isinstance(frame, dict):
+        raise BadRequestError("frame must be a JSON object")
+    return frame
+
+
+def result_frame(request_id, result) -> dict:
+    return {"id": request_id, "ok": True, "result": result}
+
+
+def error_frame(request_id, exc: BaseException) -> dict:
+    if isinstance(exc, ServiceError):
+        code = exc.code
+    elif isinstance(exc, StoreError):
+        code = "store"
+    else:
+        code = "error"
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {"code": code, "message": str(exc)},
+    }
+
+
+def _require(frame: dict, key: str) -> str:
+    value = frame.get(key)
+    if not isinstance(value, str) or not value:
+        raise BadRequestError(f"op {frame.get('op')!r} needs a string {key!r}")
+    return value
+
+
+def _deadline_of(frame: dict) -> Optional[float]:
+    deadline_ms = frame.get("deadline_ms")
+    if deadline_ms is None:
+        return None
+    # bool subclasses int, so `true` would otherwise read as a 1 ms
+    # deadline instead of a malformed frame.
+    if (
+        isinstance(deadline_ms, bool)
+        or not isinstance(deadline_ms, (int, float))
+        or deadline_ms <= 0
+    ):
+        raise BadRequestError("deadline_ms must be a positive number")
+    return deadline_ms / 1000.0
+
+
+def handle_request(service, frame: dict):
+    """Dispatch one decoded request frame against a
+    :class:`~repro.service.service.QueryService`; returns the result
+    payload (exceptions propagate for :func:`error_frame`)."""
+    op = frame.get("op")
+    if op == "query":
+        return service.query(
+            _require(frame, "target"),
+            _require(frame, "text"),
+            deadline=_deadline_of(frame),
+            staged=bool(frame.get("staged", False)),
+        )
+    if op == "ping":
+        return "pong"
+    if op == "stats":
+        return service.stats()
+    if op == "load":
+        name = _require(frame, "name")
+        replace = bool(frame.get("replace", False))
+        if frame.get("xml") is not None:
+            return service.put(name, _require(frame, "xml"), replace=replace)
+        return service.load(name, _require(frame, "path"), replace=replace)
+    if op == "defview":
+        return service.define_view(
+            _require(frame, "name"), _require(frame, "base"),
+            _require(frame, "transform"),
+        )
+    if op == "transform":
+        return service.transform(_require(frame, "name"), _require(frame, "text"))
+    if op == "stage":
+        return service.stage(_require(frame, "name"), _require(frame, "text"))
+    if op == "commit":
+        text = frame.get("text")
+        if text is not None and not isinstance(text, str):
+            raise BadRequestError("commit text must be a string")
+        return service.commit(_require(frame, "name"), text)
+    if op == "rollback":
+        count = frame.get("count")
+        if count is not None and (
+            isinstance(count, bool) or not isinstance(count, int)
+        ):
+            raise BadRequestError("rollback count must be an integer")
+        return service.rollback(_require(frame, "name"), count)
+    raise BadRequestError(
+        f"unknown op {op!r}; expected one of {', '.join(OPS)}"
+    )

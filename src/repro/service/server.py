@@ -1,0 +1,118 @@
+"""The TCP line-protocol server: many client connections, one
+:class:`~repro.service.service.QueryService`.
+
+One daemon thread per connection (``socketserver.ThreadingTCPServer``)
+reads newline-delimited JSON frames and answers in order on the same
+connection.  Because every connection thread blocks in
+``service.query`` — i.e. on the batching scheduler — concurrent
+clients are exactly what fills the dispatcher's batch windows: the
+server adds no queueing of its own on top of the service's admission
+control.
+
+Graceful shutdown (:meth:`ServiceServer.stop`): stop accepting, wake
+the accept loop, let in-flight requests finish (the service drains its
+queue on ``close``), then release the port.
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+from typing import Optional
+
+from repro.service.protocol import (
+    decode_line,
+    encode_frame,
+    error_frame,
+    handle_request,
+    result_frame,
+)
+from repro.service.service import QueryService
+
+__all__ = ["ServiceServer"]
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One connection: read frames until EOF, answer each in order."""
+
+    def handle(self) -> None:
+        service = self.server.service  # type: ignore[attr-defined]
+        while True:
+            try:
+                line = self.rfile.readline()
+            except (ConnectionError, OSError):
+                return
+            if not line:
+                return  # client closed the connection
+            if not line.strip():
+                continue  # blank keep-alive line
+            request_id = None
+            try:
+                frame = decode_line(line)
+                request_id = frame.get("id")
+                response = result_frame(request_id, handle_request(service, frame))
+            except Exception as exc:  # noqa: BLE001 - every error becomes a frame
+                response = error_frame(request_id, exc)
+            try:
+                self.wfile.write(encode_frame(response))
+                self.wfile.flush()
+            except (ConnectionError, OSError, ValueError):
+                return  # client went away mid-response
+
+
+class _TCPServer(socketserver.ThreadingTCPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+
+class ServiceServer:
+    """Bind, serve, and shut down a :class:`QueryService` over TCP.
+
+    ``port=0`` binds an ephemeral port — read the real one from
+    :attr:`address` (what the tests and the CLI's ``--port-file`` do).
+    """
+
+    def __init__(
+        self,
+        service: QueryService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.service = service
+        self._tcp = _TCPServer((host, port), _Handler)
+        self._tcp.service = service  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> tuple:
+        """The bound ``(host, port)``."""
+        return self._tcp.server_address[:2]
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`stop`."""
+        self._tcp.serve_forever(poll_interval=0.1)
+
+    def start(self) -> tuple:
+        """Serve on a background thread; returns the bound address."""
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="repro-serve-accept", daemon=True
+        )
+        self._thread.start()
+        return self.address
+
+    def stop(self, close_service: bool = True) -> None:
+        """Graceful shutdown: stop accepting, drain, release the port."""
+        self._tcp.shutdown()
+        self._tcp.server_close()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        if close_service:
+            self.service.close()
+
+    def __enter__(self) -> "ServiceServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

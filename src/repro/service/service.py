@@ -1,0 +1,542 @@
+"""The concurrent query service: MVCC snapshot reads, request
+batching, and a parallel worker pool over one resident
+:class:`~repro.store.store.ViewStore`.
+
+Concurrency discipline — **single writer, many readers**:
+
+* Reads against a plain document never touch the store's locks while
+  evaluating.  Each request *pins* the document's current committed
+  version (:meth:`~repro.store.store.ViewStore.pin` — the document
+  lock is held only for the version read), then runs entirely against
+  that frozen, immutable arena.  Writers staging or committing new
+  versions never block pinned readers and can never corrupt them: a
+  commit mutates the live tree and bumps the version counter, but the
+  old arena object is untouched, so every in-flight reader finishes
+  against exactly the version it started with.  ``snapshot_reads``
+  counts reads served this way; ``stale_reads`` counts those whose
+  pinned version had already been superseded by the time they
+  finished — the price of never blocking, made visible.
+* Writes (``load``/``define_view``/``stage``/``commit``/``rollback``)
+  serialize on one service-wide write lock, so the store only ever
+  sees a single writer.
+* View targets and staged-preview reads evaluate over the live Node
+  tree and therefore fall back to the store's lock-holding read path
+  (counted as ``locked_reads``).
+
+Request batching: incoming queries land on a bounded admission queue;
+a dispatcher thread drains it in small **windows** (a few ms) and
+groups the window's requests two ways.  Identical ``(document,
+query)`` requests — which, within one window, necessarily pin the
+same version — **coalesce** into a single evaluation whose result
+fans out to every waiter.  Distinct queries against the same document
+group into one worker task that pins the snapshot once and reuses the
+same prepared statements and warm DFA tables across all of them.  A
+per-``(document, version, query)`` memo keeps the coalescing effective
+*across* windows until the next commit changes the version.
+
+Admission control: the queue is bounded; when it is full the request
+is shed immediately with the typed
+:class:`~repro.service.errors.OverloadedError` (back-pressure, not
+collapse).  Each request may carry a **deadline**; expired requests
+are answered with :class:`~repro.service.errors.DeadlineError` and —
+when every waiter for an evaluation has expired — the evaluation
+itself is skipped.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from typing import Optional
+
+from repro.automata.arena_run import serialize_arena_items
+from repro.engine.engine import Engine
+from repro.lru import LRUCache
+from repro.service.errors import (
+    DeadlineError,
+    OverloadedError,
+    ServiceClosedError,
+)
+from repro.service.workers import make_workers
+from repro.store.documents import Snapshot
+from repro.store.errors import StoreError
+from repro.store.store import ViewStore
+from repro.xmltree.serializer import serialize
+from repro.xquery.arena_eval import ArenaEvaluator
+
+__all__ = ["QueryService", "ServiceConfig"]
+
+
+class ServiceConfig:
+    """Tuning knobs for a :class:`QueryService`.
+
+    * ``workers`` — worker pool size (threads; and processes in
+      ``mode="process"``).
+    * ``mode`` — ``"thread"`` (default) or ``"process"`` (opt-in
+      CPU-parallel arena scans; arenas are shipped to workers as
+      pickled columns and rebuilt there).
+    * ``batch_window`` — seconds the dispatcher waits after the first
+      queued request to collect a batch.  ``0`` still coalesces
+      whatever is already queued.
+    * ``max_queue`` — admission-control bound; beyond it requests are
+      shed with :class:`~repro.service.errors.OverloadedError`.
+    * ``memo_size`` — entries in the per-(document, version, query)
+      result memo.
+    * ``default_deadline`` — seconds applied to requests that do not
+      carry their own deadline (``None``: wait forever).
+    """
+
+    __slots__ = (
+        "workers", "mode", "batch_window", "max_queue", "memo_size",
+        "default_deadline",
+    )
+
+    def __init__(
+        self,
+        workers: int = 4,
+        mode: str = "thread",
+        batch_window: float = 0.002,
+        max_queue: int = 256,
+        memo_size: int = 1024,
+        default_deadline: Optional[float] = None,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be positive, got {workers}")
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be positive, got {max_queue}")
+        self.workers = workers
+        self.mode = mode
+        self.batch_window = batch_window
+        self.max_queue = max_queue
+        self.memo_size = memo_size
+        self.default_deadline = default_deadline
+
+
+class _Request:
+    """One queued read: target, query text, waiter, deadline."""
+
+    __slots__ = ("target", "text", "staged", "deadline", "future")
+
+    def __init__(
+        self,
+        target: str,
+        text: str,
+        staged: bool,
+        deadline: Optional[float],
+    ):
+        self.target = target
+        self.text = text
+        self.staged = staged
+        self.deadline = deadline  # absolute time.monotonic() instant
+        self.future: Future = Future()
+
+    def expired(self, now: float) -> bool:
+        return self.deadline is not None and now >= self.deadline
+
+
+#: Queue sentinel that tells the dispatcher to drain and exit.
+_STOP = object()
+
+
+class QueryService:
+    """A concurrent front for one :class:`ViewStore` (see the module
+    docstring for the concurrency and batching discipline)."""
+
+    def __init__(
+        self,
+        store: Optional[ViewStore] = None,
+        engine: Optional[Engine] = None,
+        config: Optional[ServiceConfig] = None,
+    ):
+        self.store = store if store is not None else ViewStore()
+        self.config = config if config is not None else ServiceConfig()
+        # The engine shares the store's planner so strategy-choice
+        # counters tally in one place; its compiled cache is what the
+        # snapshot read path and the transform op prepare against.
+        self.engine = (
+            engine if engine is not None else Engine(planner=self.store.planner)
+        )
+        # Keyed (name, arena uid, query text): the uid is process-
+        # unique per arena build, so entries can never alias across a
+        # commit OR a drop-and-reload (which restarts versions at 1) —
+        # even if an in-flight group publishes its result after the
+        # invalidation in drop()/commit() has already run.
+        self._memo = LRUCache(self.config.memo_size)
+        self._queue: "queue.Queue" = queue.Queue(maxsize=self.config.max_queue)
+        self._write_lock = threading.RLock()
+        # Makes the closed-check and the enqueue atomic against
+        # close(): without it a request admitted between close()'s
+        # flag-set and the dispatcher's final drain would sit on the
+        # queue forever with nobody left to serve it.
+        self._admission_lock = threading.Lock()
+        self._metrics_lock = threading.Lock()
+        self._metrics = {
+            "requests": 0,
+            "batches": 0,
+            "evaluations": 0,
+            "coalesced": 0,
+            "memo_hits": 0,
+            "snapshot_reads": 0,
+            "stale_reads": 0,
+            "locked_reads": 0,
+            "transforms": 0,
+            "shed": 0,
+            "deadline_misses": 0,
+        }
+        self._closed = False
+        self._workers = make_workers(self.config.mode, self.config.workers)
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-service-dispatch", daemon=True
+        )
+        self._dispatcher.start()
+
+    # ------------------------------------------------------------------
+    # Reads (MVCC snapshot path, batched)
+    # ------------------------------------------------------------------
+
+    def query(
+        self,
+        target: str,
+        query_text: str,
+        *,
+        deadline: Optional[float] = None,
+        staged: bool = False,
+    ) -> list:
+        """Answer a query as serialized strings, through the batcher.
+
+        *deadline* is seconds from now (default: the config's
+        ``default_deadline``); when it passes before the result is
+        ready, :class:`DeadlineError` is raised here — the evaluation
+        may still finish in the background and warm the memo.
+        """
+        request = self.submit(target, query_text, deadline=deadline, staged=staged)
+        timeout = None
+        if request.deadline is not None:
+            # Small slack over the dispatcher's own expiry check so a
+            # request failed *by* the dispatcher reports its typed
+            # error rather than racing this wait.
+            timeout = max(0.0, request.deadline - time.monotonic()) + 0.25
+        try:
+            return request.future.result(timeout=timeout)
+        except FutureTimeoutError:
+            self._count("deadline_misses")
+            raise DeadlineError(f"no result within {timeout:.3f}s") from None
+        except DeadlineError:
+            self._count("deadline_misses")
+            raise
+
+    def query_direct(self, target: str, query_text: str) -> list:
+        """The serial one-request-at-a-time reference path: pin the
+        snapshot, evaluate, serialize — same MVCC read, but no
+        batching window, no coalescing, no per-version memo.  This is
+        what a naive server would do per request, and the baseline the
+        service benchmarks compare the batched path against.
+        """
+        if self._closed:
+            raise ServiceClosedError()
+        snapshot = self.store.pin(target)
+        self._count("requests")
+        self._count("snapshot_reads")
+        return self._evaluate_snapshot(snapshot, query_text)
+
+    def submit(
+        self,
+        target: str,
+        query_text: str,
+        *,
+        deadline: Optional[float] = None,
+        staged: bool = False,
+    ) -> _Request:
+        """Enqueue a read without waiting; returns the request whose
+        ``future`` resolves to the serialized result list."""
+        if deadline is None:
+            deadline = self.config.default_deadline
+        absolute = time.monotonic() + deadline if deadline is not None else None
+        request = _Request(target, query_text, staged, absolute)
+        with self._admission_lock:
+            if self._closed:
+                raise ServiceClosedError()
+            try:
+                self._queue.put_nowait(request)
+            except queue.Full:
+                self._count("shed")
+                raise OverloadedError(
+                    f"{self.config.max_queue} requests queued"
+                ) from None
+        self._count("requests")
+        return request
+
+    # ------------------------------------------------------------------
+    # The batching dispatcher
+    # ------------------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        window = self.config.batch_window
+        while True:
+            item = self._queue.get()
+            stopping = item is _STOP
+            batch = [] if stopping else [item]
+            if not stopping and window > 0:
+                cutoff = time.monotonic() + window
+                while True:
+                    remaining = cutoff - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    try:
+                        nxt = self._queue.get(timeout=remaining)
+                    except queue.Empty:
+                        break
+                    if nxt is _STOP:
+                        stopping = True
+                        break
+                    batch.append(nxt)
+            if stopping:
+                # Graceful drain: everything already admitted is served.
+                while True:
+                    try:
+                        batch.append(self._queue.get_nowait())
+                    except queue.Empty:
+                        break
+            if batch:
+                self._dispatch(batch)
+            if stopping:
+                return
+
+    def _dispatch(self, batch: list) -> None:
+        """Group one window's requests and hand them to the pool."""
+        self._count("batches")
+        doc_groups: dict = {}
+        for request in batch:
+            if request.staged or request.target in self.store.views:
+                self._workers.submit(self._run_fallback, request)
+            else:
+                doc_groups.setdefault(request.target, {}).setdefault(
+                    request.text, []
+                ).append(request)
+        for name, by_text in doc_groups.items():
+            self._workers.submit(self._run_doc_group, name, by_text)
+
+    def _run_doc_group(self, name: str, by_text: dict) -> None:
+        """One pool task per document per window: pin the snapshot
+        once, then answer every distinct query against it.
+
+        Runs as a discarded pool future, so it must never let an
+        exception escape with waiters unresolved — the final except
+        clause forwards anything unexpected (a broken process pool, a
+        died worker) to every future still pending, instead of leaving
+        deadline-less clients hanging forever.
+        """
+        try:
+            self._answer_doc_group(name, by_text)
+        except Exception as exc:  # noqa: BLE001 - forwarded to every waiter
+            for requests in by_text.values():
+                for request in requests:
+                    if not request.future.done():
+                        request.future.set_exception(exc)
+
+    def _answer_doc_group(self, name: str, by_text: dict) -> None:
+        total = sum(len(reqs) for reqs in by_text.values())
+        snapshot = self.store.pin(name)
+        self._count("snapshot_reads", total)
+        now = time.monotonic()
+        todo: list = []
+        for text, requests in by_text.items():
+            key = (name, snapshot.uid, text)
+            cached = self._memo.get(key)
+            if cached is not None:
+                self._count("memo_hits", len(requests))
+                self._count("coalesced", len(requests) - 1)
+                for request in requests:
+                    request.future.set_result(cached)
+            elif all(request.expired(now) for request in requests):
+                for request in requests:
+                    request.future.set_exception(DeadlineError("expired in queue"))
+            else:
+                todo.append(text)
+        if todo:
+            outcomes = self._workers.evaluate_group(
+                snapshot, todo, self._evaluate_snapshot
+            )
+            for text, (status, value) in zip(todo, outcomes):
+                requests = by_text[text]
+                if status != "ok":
+                    for request in requests:
+                        request.future.set_exception(value)
+                    continue
+                self._count("evaluations")
+                self._count("coalesced", len(requests) - 1)
+                self._memo.put((name, snapshot.uid, text), value)
+                for request in requests:
+                    request.future.set_result(value)
+        # Stale-read accounting: did a commit supersede the pinned
+        # version while we were answering from it?
+        try:
+            current = self.store.documents.get(name).version
+        except StoreError:  # document dropped mid-flight
+            current = snapshot.version
+        if current != snapshot.version:
+            self._count("stale_reads", total)
+
+    def _evaluate_snapshot(self, snapshot: Snapshot, text: str) -> list:
+        """One arena read, entirely lock-free: compiled artifacts come
+        from the engine's (thread-safe) caches, evaluation runs over
+        the immutable snapshot, matches serialize straight from the
+        columns."""
+        cache = self.engine.cache
+        evaluator = ArenaEvaluator(snapshot.arena, cache.selecting_nfa_for)
+        refs = evaluator.evaluate_refs(cache.user_query(text))
+        return serialize_arena_items(snapshot.arena, refs)
+
+    def _run_fallback(self, request: _Request) -> None:
+        """View targets and staged previews: the store's lock-holding
+        serialized read path, one request at a time."""
+        self._count("locked_reads")
+        if request.expired(time.monotonic()):
+            request.future.set_exception(DeadlineError("expired in queue"))
+            return
+        try:
+            result = self.store.query_serialized(
+                request.target, request.text, include_staged=request.staged
+            )
+        except Exception as exc:  # noqa: BLE001 - forwarded to the waiter
+            request.future.set_exception(exc)
+            return
+        request.future.set_result(result)
+
+    # ------------------------------------------------------------------
+    # Writes (single-writer discipline)
+    # ------------------------------------------------------------------
+
+    def _check_open(self) -> None:
+        """Refuse writes on a closed service (called INSIDE the write
+        lock): after :meth:`close` returns, the store is guaranteed
+        quiescent — what lets ``repro serve`` save the durable state
+        without racing a straggling connection thread's commit."""
+        if self._closed:
+            raise ServiceClosedError()
+
+    def load(self, name: str, path: str, *, replace: bool = False) -> dict:
+        with self._write_lock:
+            self._check_open()
+            doc = self.store.load(name, path, replace=replace)
+            return {"name": doc.name, "version": doc.version, "nodes": doc.root.size()}
+
+    def put(self, name: str, xml: str, *, replace: bool = False) -> dict:
+        with self._write_lock:
+            self._check_open()
+            doc = self.store.put(name, xml, replace=replace)
+            return {"name": doc.name, "version": doc.version, "nodes": doc.root.size()}
+
+    def define_view(self, name: str, base: str, transform_text: str) -> dict:
+        with self._write_lock:
+            self._check_open()
+            view = self.store.define_view(name, base, transform_text)
+            doc_name, stack = self.store.views.stack(name)
+            return {"name": view.name, "base": view.base, "depth": len(stack),
+                    "document": doc_name}
+
+    def drop(self, name: str) -> dict:
+        with self._write_lock:
+            self._check_open()
+            self.store.drop(name)
+            self._memo.invalidate(lambda key: key[0] == name)
+            return {"name": name}
+
+    def stage(self, name: str, transform_text: str) -> dict:
+        with self._write_lock:
+            self._check_open()
+            depth = self.store.stage(name, transform_text)
+            return {"name": name, "staged": depth}
+
+    def commit(self, name: str, transform_text: Optional[str] = None) -> dict:
+        """Apply staged updates; readers pinned to the old version are
+        unaffected, new pins observe the new version."""
+        with self._write_lock:
+            self._check_open()
+            version = self.store.commit(name, transform_text)
+            # Stale memo entries can never be served again (the key is
+            # the arena uid); drop them rather than waiting for LRU.
+            self._memo.invalidate(lambda key: key[0] == name)
+            return {"name": name, "version": version}
+
+    def rollback(self, name: str, count: Optional[int] = None) -> dict:
+        with self._write_lock:
+            self._check_open()
+            dropped = self.store.rollback(name, count)
+            return {"name": name, "dropped": dropped}
+
+    # ------------------------------------------------------------------
+    # Hypothetical transforms (MVCC, read-only)
+    # ------------------------------------------------------------------
+
+    def transform(self, name: str, transform_text: str) -> str:
+        """Evaluate a transform query against the pinned snapshot of
+        document *name* and return the serialized result tree.
+
+        Purely hypothetical — nothing is staged or committed — and
+        lock-free: the prepared transform runs against the immutable
+        arena (thawing internally as its planned strategy requires),
+        so a concurrent commit cannot tear the tree being read.
+        """
+        if self._closed:
+            raise ServiceClosedError()
+        snapshot = self.store.pin(name)
+        self._count("transforms")
+        prepared = self.engine.prepare_transform(transform_text)
+        return serialize(prepared.run(snapshot.arena))
+
+    # ------------------------------------------------------------------
+    # Lifecycle and introspection
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Graceful shutdown: stop admitting, serve everything already
+        queued, stop the dispatcher and worker pool, and wait out any
+        in-flight write.  When this returns the store is quiescent —
+        no reader or writer of this service will touch it again."""
+        with self._admission_lock:
+            if self._closed:
+                return
+            self._closed = True
+            # Under the admission lock: once _STOP is enqueued no new
+            # request can slip in behind it unserved.  (put() may block
+            # on a full queue; the dispatcher drains without ever
+            # taking this lock, so it always makes room.)
+            self._queue.put(_STOP)
+        self._dispatcher.join()
+        self._workers.shutdown()
+        with self._write_lock:
+            # A write that was already inside the lock finishes here;
+            # any writer queued behind it sees _closed and is refused.
+            pass
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _count(self, key: str, amount: int = 1) -> None:
+        with self._metrics_lock:
+            self._metrics[key] += amount
+
+    def metrics(self) -> dict:
+        with self._metrics_lock:
+            return dict(self._metrics)
+
+    def stats(self) -> dict:
+        return {
+            "service": {
+                **self.metrics(),
+                "mode": self._workers.mode,
+                "workers": self.config.workers,
+                "batch_window_ms": self.config.batch_window * 1000.0,
+                "max_queue": self.config.max_queue,
+                "queue_depth": self._queue.qsize(),
+                "memo": self._memo.stats(),
+            },
+            "store": self.store.stats(),
+        }

@@ -1,0 +1,207 @@
+"""Worker pools for the query service's snapshot reads.
+
+Two executors, one contract — evaluate a group of distinct queries
+against one pinned arena snapshot and return serialized results:
+
+* **Threads** (the default): arena reads release no locks and allocate
+  little, so a :class:`~concurrent.futures.ThreadPoolExecutor` gives
+  cheap concurrency for many small-to-medium requests.  The GIL caps
+  CPU parallelism, but the batching scheduler's coalescing — not raw
+  parallel scanning — is where the thread mode's throughput comes
+  from.
+* **Processes** (opt-in, ``mode="process"``): for CPU-parallel scans
+  of large documents.  A :class:`FrozenDocument` cannot cross the
+  process boundary directly (its symbol table carries a lock), so the
+  parent ships the arena as a pickled **column payload**
+  (:meth:`~repro.xmltree.arena.FrozenDocument.columns`) and each
+  worker rebuilds — and caches — the arena on its side
+  (:func:`~repro.xmltree.arena.arena_from_columns`), re-interning
+  symbols through its own process-wide table so the automata it
+  compiles locally line up.  Shipping the columns is paid at most once
+  per arena per worker: the parent first sends a bare reference — the
+  snapshot's process-unique arena ``uid``, never the ambiguous
+  ``(name, version)`` pair, which a drop-and-reload can reuse — and
+  only re-sends with columns when a worker answers that it has not
+  seen that arena yet.  Workers are started with the ``spawn`` method:
+  the service is inherently multi-threaded by the time batches flow,
+  and forking a threaded parent can clone held locks into the child.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from typing import Optional
+
+from repro.service.errors import ServiceError
+
+__all__ = ["ProcessWorkers", "ThreadWorkers"]
+
+#: Per-worker-process arena cache: (name, arena uid) → FrozenDocument.
+#: Bounded — a long-lived pool serving many documents must not pin
+#: every version it ever rebuilt.
+_WORKER_ARENA_CAP = 4
+_worker_arenas: "OrderedDict[tuple, object]" = OrderedDict()
+
+#: Sentinel result meaning "ship me the columns and ask again".
+NEED_COLUMNS = "need-columns"
+
+
+def _worker_evaluate(name: str, uid: int, columns: Optional[dict], texts: list):
+    """Run in a worker process: evaluate *texts* (distinct FLWR query
+    texts) over the arena the parent pinned as (name, uid), serialized
+    straight from the columns.
+
+    Returns ``(NEED_COLUMNS, None)`` when the arena is not cached here
+    and *columns* were not shipped; otherwise ``("ok", [list-of-
+    serialized-strings per text])``.  Compiled artifacts come from this
+    process's own default engine, so repeated batches pay zero
+    recompilation exactly like the parent would.
+    """
+    from repro.automata.arena_run import serialize_arena_items
+    from repro.engine import default_engine
+    from repro.xmltree.arena import arena_from_columns
+    from repro.xquery.arena_eval import ArenaEvaluator
+
+    key = (name, uid)
+    arena = _worker_arenas.get(key)
+    if arena is None:
+        if columns is None:
+            return NEED_COLUMNS, None
+        arena = arena_from_columns(columns)
+        _worker_arenas[key] = arena
+        while len(_worker_arenas) > _WORKER_ARENA_CAP:
+            _worker_arenas.popitem(last=False)
+    else:
+        _worker_arenas.move_to_end(key)
+    engine = default_engine()
+    evaluator = ArenaEvaluator(arena, engine.cache.selecting_nfa_for)
+    results = []
+    for text in texts:
+        # Per-text outcomes: one malformed query must not poison the
+        # good queries batched alongside it.  Exceptions cross the
+        # process boundary as their message (custom __init__ signatures
+        # make many of this package's errors unpicklable).
+        try:
+            refs = evaluator.evaluate_refs(engine.cache.user_query(text))
+            results.append(("ok", serialize_arena_items(arena, refs)))
+        except ValueError as exc:
+            results.append(("error", str(exc)))
+    return "ok", results
+
+
+class ThreadWorkers:
+    """The default executor: a plain thread pool."""
+
+    mode = "thread"
+
+    def __init__(self, workers: int):
+        self.pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-service"
+        )
+
+    def submit(self, fn, *args):
+        return self.pool.submit(fn, *args)
+
+    def evaluate_group(self, snapshot, texts: list, evaluate_fn) -> list:
+        """Thread mode evaluates in-process: the caller's own
+        *evaluate_fn* (which shares the service's compiled caches)
+        runs right here in the worker thread.
+
+        Returns one ``("ok", result)`` / ``("error", exception)`` pair
+        per text, in order.
+        """
+        outcomes = []
+        for text in texts:
+            try:
+                outcomes.append(("ok", evaluate_fn(snapshot, text)))
+            except Exception as exc:  # noqa: BLE001 - forwarded per waiter
+                outcomes.append(("error", exc))
+        return outcomes
+
+    def shutdown(self) -> None:
+        self.pool.shutdown(wait=True)
+
+
+class ProcessWorkers(ThreadWorkers):
+    """The opt-in CPU-parallel executor.
+
+    Keeps the thread pool (dispatch, non-batchable requests, view
+    reads) and adds a process pool that the arena read groups are
+    farmed to.  Snapshots reach workers by the two-step column-payload
+    protocol described in the module docstring.
+    """
+
+    mode = "process"
+
+    def __init__(self, workers: int):
+        super().__init__(workers)
+        import multiprocessing
+
+        from concurrent.futures import ProcessPoolExecutor
+
+        # spawn, not fork: by the time batches reach this pool the
+        # parent is running dispatcher/handler threads, and forking a
+        # threaded process can clone a held lock (symbol table, LRU)
+        # into the child, deadlocking the first evaluation.  The cost
+        # is a one-time interpreter start per worker.
+        context = multiprocessing.get_context("spawn")
+        try:
+            self.processes = ProcessPoolExecutor(
+                max_workers=workers, mp_context=context
+            )
+        except (OSError, ImportError) as exc:  # pragma: no cover - sandboxed hosts
+            self.pool.shutdown(wait=False)
+            raise ServiceError(f"process worker pool unavailable: {exc}") from exc
+        self._columns_lock = threading.Lock()
+        self._columns_cache: "OrderedDict[tuple, dict]" = OrderedDict()
+
+    def _columns_for(self, snapshot) -> dict:
+        key = (snapshot.name, snapshot.uid)
+        with self._columns_lock:
+            found = self._columns_cache.get(key)
+            if found is None:
+                found = snapshot.arena.columns()
+                self._columns_cache[key] = found
+                while len(self._columns_cache) > _WORKER_ARENA_CAP:
+                    self._columns_cache.popitem(last=False)
+        return found
+
+    def evaluate_group(self, snapshot, texts: list, evaluate_fn) -> list:
+        # First try by reference — the worker may already hold this
+        # arena (keyed by its process-unique uid); ship the columns
+        # only when it says so.
+        status, results = self.processes.submit(
+            _worker_evaluate, snapshot.name, snapshot.uid, None, texts
+        ).result()
+        if status == NEED_COLUMNS:
+            status, results = self.processes.submit(
+                _worker_evaluate,
+                snapshot.name,
+                snapshot.uid,
+                self._columns_for(snapshot),
+                texts,
+            ).result()
+        if status != "ok":  # pragma: no cover - defensive
+            raise ServiceError(f"process worker returned {status!r}")
+        # Error outcomes crossed the boundary as message strings;
+        # rebuild them as exceptions for the per-waiter forwarding.
+        return [
+            (kind, value if kind == "ok" else ValueError(value))
+            for kind, value in results
+        ]
+
+    def shutdown(self) -> None:
+        self.processes.shutdown(wait=True)
+        super().shutdown()
+
+
+def make_workers(mode: str, workers: int):
+    """The executor for a :class:`~repro.service.service.ServiceConfig`
+    mode string (``"thread"`` or ``"process"``)."""
+    if mode == "thread":
+        return ThreadWorkers(workers)
+    if mode == "process":
+        return ProcessWorkers(workers)
+    raise ServiceError(f"unknown worker mode {mode!r}; use 'thread' or 'process'")

@@ -36,28 +36,33 @@ one directory with a JSON manifest plus one XML file per document.
 """
 
 from repro.store.cache import CompiledCache, LRUCache
-from repro.store.documents import DocumentStore, StoredDocument
+from repro.store.documents import DocumentStore, Snapshot, StoredDocument
 from repro.store.errors import (
+    CorruptStateError,
     DuplicateNameError,
     InvalidNameError,
     NothingStagedError,
+    StateLockedError,
     StoreError,
     UnknownNameError,
 )
 from repro.store.log import StagedUpdate, UpdateLog
-from repro.store.state import open_store, save_store
+from repro.store.state import locked_state, open_store, save_store
 from repro.store.store import ViewStore
 from repro.store.views import MaterializationPolicy, View, ViewRegistry
 
 __all__ = [
     "CompiledCache",
+    "CorruptStateError",
     "DocumentStore",
     "DuplicateNameError",
     "InvalidNameError",
     "LRUCache",
     "MaterializationPolicy",
     "NothingStagedError",
+    "Snapshot",
     "StagedUpdate",
+    "StateLockedError",
     "StoreError",
     "StoredDocument",
     "UnknownNameError",
@@ -65,6 +70,7 @@ __all__ = [
     "View",
     "ViewRegistry",
     "ViewStore",
+    "locked_state",
     "open_store",
     "save_store",
 ]

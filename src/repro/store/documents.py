@@ -15,6 +15,7 @@ name-table mutation only.
 
 from __future__ import annotations
 
+import itertools
 import re
 import threading
 from typing import Optional
@@ -25,6 +26,41 @@ from repro.xmltree.parser import parse, parse_file
 
 #: Names double as state-directory file stems, so keep them path-safe.
 _NAME_RE = re.compile(r"^[A-Za-z0-9_.-]+$")
+
+#: Process-unique ids stamped on every arena build.  (name, version)
+#: alone is ambiguous — a dropped-then-reloaded document restarts at
+#: version 1 — so snapshot-keyed caches (the service's memo, the
+#: process workers' arena caches) key on the uid, which no two arenas
+#: in this process ever share.
+_ARENA_UIDS = itertools.count(1)
+
+
+class Snapshot:
+    """A pinned MVCC read snapshot: one committed document version.
+
+    Produced by :meth:`StoredDocument.pin` (under the document lock)
+    and consumed entirely *outside* any lock: the arena is immutable,
+    so any number of readers evaluate against it while writers stage
+    and commit new versions — single-writer, many-reader discipline
+    with no reader-side blocking.  ``version`` is the per-document
+    counter the snapshot was frozen from; a reader can compare it to
+    the document's current version afterwards to tell whether its
+    answer was already stale by the time it finished.  ``uid`` is the
+    arena build's process-unique id — the unambiguous cache key where
+    ``(name, version)`` could alias across a drop-and-reload (a
+    reloaded document restarts at version 1).
+    """
+
+    __slots__ = ("name", "version", "arena", "uid")
+
+    def __init__(self, name: str, version: int, arena, uid: int):
+        self.name = name
+        self.version = version
+        self.arena = arena
+        self.uid = uid
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Snapshot({self.name!r}, v{self.version}, uid={self.uid})"
 
 
 def validate_name(name: str) -> str:
@@ -49,7 +85,7 @@ class StoredDocument:
 
     __slots__ = (
         "name", "root", "version", "lock", "source", "dirty",
-        "_arena", "_arena_version", "arena_builds",
+        "_arena", "_arena_version", "_arena_uid", "arena_builds",
     )
 
     def __init__(
@@ -69,6 +105,7 @@ class StoredDocument:
         self.dirty = True
         self._arena = None
         self._arena_version = 0
+        self._arena_uid = 0
         self.arena_builds = 0
 
     def bump(self) -> int:
@@ -87,8 +124,22 @@ class StoredDocument:
 
             self._arena = freeze(self.root)
             self._arena_version = self.version
+            self._arena_uid = next(_ARENA_UIDS)
             self.arena_builds += 1
         return self._arena
+
+    def pin(self) -> Snapshot:
+        """Pin the current committed version for an MVCC reader.
+
+        Takes the document lock just long enough to read the version
+        and (re)freeze its arena; the returned :class:`Snapshot` is
+        then consumed lock-free.  A concurrent commit bumps the version
+        and builds a new arena — this snapshot keeps observing the old
+        one, fully consistent, until the reader drops it.
+        """
+        with self.lock:
+            arena = self.arena()
+            return Snapshot(self.name, self.version, arena, self._arena_uid)
 
     def stats(self) -> dict:
         info = {

@@ -40,6 +40,37 @@ class NothingStagedError(StoreError):
         self.name = name
 
 
+class StateLockedError(StoreError):
+    """Another process holds the durable state directory's lock.
+
+    Two CLI invocations (or a CLI invocation and a running ``repro
+    serve``) must not interleave reads and writes of one state
+    directory — the second comer gets this error instead of a
+    half-merged store.
+    """
+
+    def __init__(self, state_dir: str, holder: str = ""):
+        detail = f" (held by {holder})" if holder else ""
+        super().__init__(
+            f"store state directory {state_dir!r} is locked by another "
+            f"process{detail}; retry when it finishes"
+        )
+        self.state_dir = state_dir
+
+
+class CorruptStateError(StoreError):
+    """The durable state directory's manifest cannot be read.
+
+    Raised for unparseable JSON, a missing required field, or an
+    unsupported format number — anything where proceeding would
+    silently drop or mangle stored documents.
+    """
+
+    def __init__(self, manifest_path: str, reason: str):
+        super().__init__(f"corrupt store state {manifest_path!r}: {reason}")
+        self.manifest_path = manifest_path
+
+
 class InvalidNameError(StoreError):
     """A name the store refuses (it must be a plain identifier-ish
     token: letters, digits, ``_``, ``.`` and ``-`` — names double as

@@ -15,19 +15,37 @@ definitions in dependency order, and the staged-update texts.
 
 The manifest is written atomically (temp file + ``os.replace``) so an
 interrupted command never leaves a half-written manifest behind.
+
+Cross-process exclusion: a ``state.lock`` file in the directory is
+``flock``-ed for the duration of every read-modify-write cycle
+(:class:`StateLock` / :func:`locked_state`), so two CLI invocations —
+or a CLI invocation and a running ``repro serve`` — cannot interleave
+their commits.  A held lock surfaces as the typed
+:class:`~repro.store.errors.StateLockedError`; an unreadable manifest
+as :class:`~repro.store.errors.CorruptStateError` — both map to one
+``repro: …`` line and exit code 2 at the CLI boundary.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
-from typing import Optional
+import time
+from typing import Iterator, Optional
 
+from repro.store.errors import CorruptStateError, StateLockedError
 from repro.store.store import ViewStore
 from repro.store.views import MaterializationPolicy
 from repro.xmltree.serializer import write_file
 
+try:  # POSIX; on platforms without fcntl the lock degrades to advisory-only
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
+
 MANIFEST_NAME = "store.json"
+LOCK_NAME = "state.lock"
 _FORMAT = 1
 
 
@@ -39,36 +57,143 @@ def _document_file(name: str) -> str:
     return f"doc-{name}.xml"
 
 
+class StateLock:
+    """An exclusive ``flock`` on a state directory's ``state.lock``.
+
+    Advisory but sufficient: every code path that reads or writes the
+    directory (the CLI commands via :func:`locked_state`, ``repro
+    serve`` for its whole lifetime) takes it first.  Read-only cycles
+    acquire it **shared** (``LOCK_SH``) — any number of concurrent
+    readers, excluded only while a writer holds it exclusively.
+    Acquisition polls with a short timeout rather than blocking
+    forever, so a command racing a long-running holder fails fast with
+    the typed :class:`StateLockedError` instead of hanging.
+    """
+
+    def __init__(self, state_dir: str):
+        self.state_dir = state_dir
+        self.path = os.path.join(state_dir, LOCK_NAME)
+        self._handle = None
+
+    def acquire(
+        self, timeout: float = 5.0, poll: float = 0.05, shared: bool = False
+    ) -> "StateLock":
+        if self._handle is not None:
+            return self
+        os.makedirs(self.state_dir, exist_ok=True)
+        handle = open(self.path, "a+", encoding="utf-8")
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            self._handle = handle
+            return self
+        mode = fcntl.LOCK_SH if shared else fcntl.LOCK_EX
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                fcntl.flock(handle.fileno(), mode | fcntl.LOCK_NB)
+                break
+            except OSError:
+                if time.monotonic() >= deadline:
+                    holder = ""
+                    with contextlib.suppress(OSError):
+                        handle.seek(0)
+                        holder = handle.read(128).strip()
+                    handle.close()
+                    raise StateLockedError(self.state_dir, holder) from None
+                time.sleep(poll)
+        if not shared:
+            # Only the exclusive holder stamps its identity; shared
+            # readers must not scribble over each other.
+            with contextlib.suppress(OSError):
+                handle.seek(0)
+                handle.truncate()
+                handle.write(f"pid {os.getpid()}\n")
+                handle.flush()
+        self._handle = handle
+        return self
+
+    def release(self) -> None:
+        handle, self._handle = self._handle, None
+        if handle is None:
+            return
+        if fcntl is not None:
+            with contextlib.suppress(OSError):
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+        handle.close()
+
+    def __enter__(self) -> "StateLock":
+        return self.acquire()
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+
+@contextlib.contextmanager
+def locked_state(
+    state_dir: str,
+    policy: Optional[MaterializationPolicy] = None,
+    *,
+    save: bool = True,
+    timeout: float = 5.0,
+) -> Iterator[ViewStore]:
+    """One locked read-modify-write cycle on a state directory.
+
+    Opens the store under the directory's :class:`StateLock`, yields
+    it, and (by default) saves it back before the lock is released —
+    the unit every ``repro store`` CLI command runs as.  With
+    ``save=False`` the cycle is read-only: nothing is written back,
+    and the lock is taken *shared*, so concurrent readers never
+    exclude each other (only a writer's exclusive hold does).
+    """
+    with StateLock(state_dir).acquire(timeout=timeout, shared=not save):
+        store = open_store(state_dir, policy)
+        yield store
+        if save:
+            save_store(store, state_dir)
+
+
 def open_store(
     state_dir: str, policy: Optional[MaterializationPolicy] = None
 ) -> ViewStore:
     """Build a :class:`ViewStore` from a state directory.
 
     A missing directory (or one without a manifest) yields an empty
-    store — ``repro store load`` bootstraps it on first save.
+    store — ``repro store load`` bootstraps it on first save.  An
+    unreadable or unsupported manifest raises the typed
+    :class:`CorruptStateError` rather than a raw traceback.
     """
     store = ViewStore(policy=policy)
     manifest_path = _manifest_path(state_dir)
     if not os.path.exists(manifest_path):
         return store
     with open(manifest_path, "r", encoding="utf-8") as handle:
-        manifest = json.load(handle)
+        try:
+            manifest = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise CorruptStateError(manifest_path, f"not valid JSON ({exc})") from None
+    if not isinstance(manifest, dict):
+        raise CorruptStateError(manifest_path, "manifest is not a JSON object")
     if manifest.get("format") != _FORMAT:
-        raise ValueError(
-            f"unsupported store state format {manifest.get('format')!r} "
-            f"in {manifest_path}"
+        raise CorruptStateError(
+            manifest_path,
+            f"unsupported format {manifest.get('format')!r} "
+            f"(this build reads format {_FORMAT})",
         )
-    for name, info in manifest.get("documents", {}).items():
-        path = os.path.join(state_dir, info["file"])
-        doc = store.load(name, path)
-        doc.version = int(info.get("version", 1))
-        doc.dirty = False  # the tree came from the state file itself
-        for text in info.get("staged", []):
-            store.stage(name, text)
-        store.log.restore_history(name, info.get("history", []))
-    # Views were saved in definition order, so bases always exist.
-    for entry in manifest.get("views", []):
-        store.define_view(entry["name"], entry["base"], entry["transform"])
+    try:
+        for name, info in manifest.get("documents", {}).items():
+            path = os.path.join(state_dir, info["file"])
+            doc = store.load(name, path)
+            doc.version = int(info.get("version", 1))
+            doc.dirty = False  # the tree came from the state file itself
+            for text in info.get("staged", []):
+                store.stage(name, text)
+            store.log.restore_history(name, info.get("history", []))
+        # Views were saved in definition order, so bases always exist.
+        for entry in manifest.get("views", []):
+            store.define_view(entry["name"], entry["base"], entry["transform"])
+    except (KeyError, TypeError, AttributeError) as exc:
+        raise CorruptStateError(
+            manifest_path, f"malformed manifest entry ({exc!r})"
+        ) from None
     return store
 
 

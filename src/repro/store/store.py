@@ -36,11 +36,12 @@ survive a later commit.
 
 from __future__ import annotations
 
+import threading
 from typing import Optional, Union
 
 from repro.engine.planner import Planner
 from repro.store.cache import CompiledCache, LRUCache
-from repro.store.documents import DocumentStore, StoredDocument
+from repro.store.documents import DocumentStore, Snapshot, StoredDocument
 from repro.store.errors import DuplicateNameError, StoreError, UnknownNameError
 from repro.store.log import UpdateLog
 from repro.store.views import MaterializationPolicy, View, ViewRegistry
@@ -72,6 +73,12 @@ class ViewStore:
         #: Reads served from a frozen columnar snapshot (the zero-copy
         #: fast path for plain-document targets).
         self.arena_reads = 0
+        #: MVCC snapshots handed out via :meth:`pin`.
+        self.snapshot_pins = 0
+        # Store-wide counters are bumped from many documents' read
+        # paths at once — one lock keeps their tallies exact (the
+        # per-document lock only serializes one document's readers).
+        self._counter_lock = threading.Lock()
 
     def _transform(self, root: Element, transform: TransformQuery) -> Element:
         """Evaluate one transform layer with the planner-chosen
@@ -207,7 +214,8 @@ class ViewStore:
 
         user_query = self.compiled.user_query(query_text)
         arena = doc.arena()
-        self.arena_reads += 1
+        with self._counter_lock:
+            self.arena_reads += 1
         self.planner.plan_read(arena)
         evaluator = ArenaEvaluator(arena, self.compiled.selecting_nfa_for)
         return arena, evaluator, evaluator.evaluate_refs(user_query)
@@ -277,6 +285,27 @@ class ViewStore:
             doc_name, stack = self.views.stack(target)
             return self.documents.get(doc_name), stack
         return self.documents.get(target), []
+
+    def pin(self, name: str) -> Snapshot:
+        """Pin an MVCC read snapshot of document *name*.
+
+        The document lock is held only for the version read (and a
+        lazy arena freeze); evaluation against the returned immutable
+        snapshot happens entirely outside the store's locks, so staged
+        or committing writers never block pinned readers.  Views cannot
+        be pinned — their layers evaluate over the live tree under the
+        document lock; pin the underlying document instead.
+        """
+        if name in self.views:
+            raise StoreError(
+                f"{name!r} is a view and cannot be pinned for snapshot "
+                f"reads; pin its document "
+                f"{self.views.document_of(name)!r} instead"
+            )
+        snapshot = self.documents.get(name).pin()
+        with self._counter_lock:
+            self.snapshot_pins += 1
+        return snapshot
 
     def _answer(
         self,
@@ -391,4 +420,5 @@ class ViewStore:
             },
             "planner": self.planner.stats(),
             "arena_reads": self.arena_reads,
+            "snapshot_pins": self.snapshot_pins,
         }

@@ -67,6 +67,7 @@ from repro.xmltree.symbols import SymbolTable, global_symbols
 __all__ = [
     "FrozenBuilder",
     "FrozenDocument",
+    "arena_from_columns",
     "arena_to_events",
     "events_to_arena",
     "freeze",
@@ -250,6 +251,34 @@ class FrozenDocument:
             "total_bytes": info["total"],
         }
 
+    def columns(self) -> dict:
+        """The document as a picklable column payload.
+
+        A :class:`FrozenDocument` itself cannot cross a process
+        boundary (its :class:`~repro.xmltree.symbols.SymbolTable`
+        carries a lock, and its symbol ids are only meaningful against
+        that table), but its columns can: the payload ships the raw
+        arrays plus the table's id → label strings, and
+        :func:`arena_from_columns` rebuilds an equivalent arena on the
+        other side by re-interning through the receiving process's own
+        table.  This is the substrate of the service's opt-in
+        ``multiprocessing`` worker pool.
+
+        Only the prefix of the symbol table this document can actually
+        reference ships: the table is usually the process-wide one,
+        and a long-lived server must not pay for every label every
+        *other* document ever interned on each payload.
+        """
+        return {
+            "sym": self.sym,
+            "parent": self.parent,
+            "end": self.end,
+            "payload": self.payload,
+            "attrs": self.attrs,
+            "n_elements": self.n_elements,
+            "strings": list(self.symbols.strings[: max(self.sym) + 1]),
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"FrozenDocument({len(self.sym)} nodes, "
@@ -416,6 +445,37 @@ def thaw(arena: FrozenDocument, i: int = 0) -> Node:
             ends.append(e)
         j += 1
     return root
+
+
+def arena_from_columns(
+    columns: dict, symbols: Optional[SymbolTable] = None
+) -> FrozenDocument:
+    """Rebuild a :class:`FrozenDocument` from a pickled column payload.
+
+    The inverse of :meth:`FrozenDocument.columns`.  Symbol ids in the
+    shipped ``sym`` column index the payload's ``strings`` list; they
+    are re-interned through *symbols* (default: the receiving
+    process's :func:`~repro.xmltree.symbols.global_symbols`), so the
+    rebuilt arena composes with automata compiled in this process.
+    When the id assignment already matches — the common case in forked
+    workers, which inherit the parent's table — the column is reused
+    as-is with no rewrite.
+    """
+    table = symbols if symbols is not None else global_symbols()
+    strings = columns["strings"]
+    remap = [table.intern(label) for label in strings]
+    sym = columns["sym"]
+    if any(remap[i] != i for i in range(len(remap))):
+        sym = array("i", (remap[s] if s >= 0 else -1 for s in sym))
+    return FrozenDocument(
+        table,
+        sym,
+        columns["parent"],
+        columns["end"],
+        columns["payload"],
+        columns["attrs"],
+        columns["n_elements"],
+    )
 
 
 # ----------------------------------------------------------------------

@@ -62,3 +62,11 @@ def test_streaming_large_documents(capsys):
     out = capsys.readouterr().out
     assert "twoPassSAX" in out
     assert "memory ratio" in out
+
+
+def test_service_client(capsys):
+    run_example("service_client.py")
+    out = capsys.readouterr().out
+    assert "8 concurrent clients, identical query" in out
+    assert "typed error over the wire" in out
+    assert "server shut down gracefully" in out

@@ -1,0 +1,505 @@
+"""The query service: MVCC snapshot reads, batching, worker pools,
+and the line-protocol server/client.
+
+The oracle for every read is the store's own serialized read path
+(``query_serialized``) — the service must return the same strings
+through the batcher, through the process pool, and over the wire.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro import QueryService, ServiceConfig
+from repro.service import (
+    BadRequestError,
+    Client,
+    DeadlineError,
+    OverloadedError,
+    ServiceClosedError,
+    ServiceServer,
+)
+from repro.service.protocol import decode_line, encode_frame
+from repro.store import StoreError, ViewStore
+from repro.xmltree.arena import arena_from_columns, freeze
+from repro.xmltree.parser import parse
+from repro.xmltree.serializer import serialize_arena
+from repro.xmltree.symbols import SymbolTable
+
+CATALOG = (
+    "<db><part><pname>kb</pname>"
+    "<supplier><sname>HP</sname><price>12</price><country>A</country></supplier>"
+    "<supplier><sname>Dell</sname><price>20</price><country>B</country></supplier>"
+    "</part><part><pname>mouse</pname>"
+    "<supplier><sname>HP</sname><price>8</price><country>A</country></supplier>"
+    "</part></db>"
+)
+
+HIDE_A = (
+    'transform copy $a := doc("db") modify do '
+    "delete $a//supplier[country = 'A']/price return $a"
+)
+
+QUERIES = [
+    "for $x in part return $x/pname",
+    "for $x in part/supplier[price < 10] return $x",
+    "for $x in part[pname = 'kb']/supplier return $x/sname",
+]
+
+
+@pytest.fixture
+def service():
+    svc = QueryService(config=ServiceConfig(batch_window=0.001))
+    svc.put("db", CATALOG)
+    yield svc
+    svc.close()
+
+
+# ----------------------------------------------------------------------
+# MVCC snapshot reads
+# ----------------------------------------------------------------------
+
+
+def test_query_matches_store_oracle(service):
+    for text in QUERIES:
+        assert service.query("db", text) == service.store.query_serialized("db", text)
+
+
+def test_view_and_staged_reads_fall_back_to_store(service):
+    service.define_view("public", "db", HIDE_A)
+    text = "for $x in part/supplier return $x"
+    assert service.query("public", text) == service.store.query_serialized(
+        "public", text
+    )
+    service.stage(
+        "db",
+        'transform copy $a := doc("db") modify do '
+        "delete $a/part[pname = 'kb'] return $a",
+    )
+    staged = service.query("db", "for $x in part return $x/pname", staged=True)
+    assert staged == ["<pname>mouse</pname>"]
+    # ...while the committed state is unchanged for plain reads.
+    assert service.query("db", "for $x in part return $x/pname") == [
+        "<pname>kb</pname>",
+        "<pname>mouse</pname>",
+    ]
+    assert service.metrics()["locked_reads"] == 2
+    service.rollback("db")
+
+
+def test_snapshot_pinned_reader_survives_commit(service):
+    snapshot = service.store.pin("db")
+    assert snapshot.version == 1
+    service.commit(
+        "db",
+        'transform copy $a := doc("db") modify do '
+        "delete $a/part[pname = 'kb'] return $a",
+    )
+    # The pinned arena still serializes the pre-commit document.
+    assert "kb" in serialize_arena(snapshot.arena)
+    assert service.store.pin("db").version == 2
+    assert "kb" not in service.transform(
+        "db", 'transform copy $a := doc("db") modify do '
+        "rename $a//pname as name return $a"
+    )
+
+
+def test_pin_rejects_views(service):
+    service.define_view("public", "db", HIDE_A)
+    with pytest.raises(StoreError, match="cannot be pinned"):
+        service.store.pin("public")
+
+
+def test_commit_is_visible_to_later_reads(service):
+    before = service.query("db", "for $x in part return $x/pname")
+    service.commit(
+        "db",
+        'transform copy $a := doc("db") modify do '
+        "delete $a/part[pname = 'mouse'] return $a",
+    )
+    after = service.query("db", "for $x in part return $x/pname")
+    assert before == ["<pname>kb</pname>", "<pname>mouse</pname>"]
+    assert after == ["<pname>kb</pname>"]
+
+
+def test_unknown_target_raises_store_error(service):
+    with pytest.raises(StoreError):
+        service.query("nope", "for $x in a return $x")
+
+
+def test_bad_query_text_raises_value_error(service):
+    with pytest.raises(ValueError):
+        service.query("db", "for $x in ][ return $x")
+
+
+# ----------------------------------------------------------------------
+# Batching: coalescing, memo, metrics
+# ----------------------------------------------------------------------
+
+
+def test_identical_concurrent_requests_coalesce():
+    svc = QueryService(config=ServiceConfig(batch_window=0.05, workers=2))
+    svc.put("db", CATALOG)
+    text = QUERIES[1]
+    results = []
+    errors = []
+
+    def reader():
+        try:
+            results.append(svc.query("db", text))
+        except Exception as exc:  # noqa: BLE001 - assert below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=reader) for _ in range(12)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    assert len(results) == 12
+    assert all(r == results[0] for r in results)
+    m = svc.metrics()
+    # All 12 pinned snapshots; far fewer evaluations than requests
+    # (the window may split into a few batches, but every batch beyond
+    # the first is served by coalescing or the per-version memo).
+    assert m["snapshot_reads"] == 12
+    assert m["evaluations"] <= 4
+    assert m["coalesced"] + m["memo_hits"] >= 12 - 4
+    svc.close()
+
+
+def test_memo_serves_repeat_queries_until_commit(service):
+    text = QUERIES[0]
+    first = service.query("db", text)
+    assert service.query("db", text) == first
+    assert service.metrics()["memo_hits"] >= 1
+    evaluations = service.metrics()["evaluations"]
+    service.commit(
+        "db",
+        'transform copy $a := doc("db") modify do '
+        "delete $a/part[pname = 'kb'] return $a",
+    )
+    assert service.query("db", text) == ["<pname>mouse</pname>"]
+    assert service.metrics()["evaluations"] == evaluations + 1
+
+
+# ----------------------------------------------------------------------
+# Deadlines, admission control, shutdown
+# ----------------------------------------------------------------------
+
+
+def test_deadline_expired_in_queue(service):
+    with pytest.raises(DeadlineError):
+        service.query("db", QUERIES[2], deadline=1e-9)
+    assert service.metrics()["deadline_misses"] == 1
+
+
+def test_admission_control_sheds_with_typed_error():
+    # A huge batch window stalls the dispatcher with its first request,
+    # so the bounded queue fills and subsequent submissions shed.
+    svc = QueryService(config=ServiceConfig(batch_window=5.0, max_queue=2, workers=1))
+    svc.put("db", CATALOG)
+    admitted = []
+    with pytest.raises(OverloadedError):
+        for index in range(10):
+            admitted.append(
+                svc.submit("db", f"for $x in part[price < {index}] return $x")
+            )
+    assert svc.metrics()["shed"] >= 1
+    svc.close()  # graceful: everything admitted is still answered
+    assert all(request.future.done() for request in admitted)
+
+
+def test_close_rejects_new_requests_and_is_idempotent(service):
+    service.close()
+    with pytest.raises(ServiceClosedError):
+        service.query("db", QUERIES[0])
+    # Writes are refused too: after close() returns the store is
+    # quiescent, which is what lets `repro serve` save durable state
+    # without racing a straggling connection thread's commit.
+    with pytest.raises(ServiceClosedError):
+        service.commit(
+            "db",
+            'transform copy $a := doc("db") modify do '
+            "delete $a/part[pname = 'kb'] return $a",
+        )
+    with pytest.raises(ServiceClosedError):
+        service.put("db2", CATALOG)
+    service.close()  # second close is a no-op
+
+
+# ----------------------------------------------------------------------
+# The process worker pool
+# ----------------------------------------------------------------------
+
+
+def test_process_mode_matches_thread_mode():
+    try:
+        svc = QueryService(config=ServiceConfig(mode="process", workers=2,
+                                                batch_window=0.001))
+    except ValueError as exc:  # pragma: no cover - sandboxed hosts
+        pytest.skip(f"process pool unavailable: {exc}")
+    try:
+        svc.put("db", CATALOG)
+        oracle = svc.store.query_serialized
+        for text in QUERIES:
+            assert svc.query("db", text) == oracle("db", text)
+        # A commit bumps the version; workers must rebuild, not reuse.
+        svc.commit(
+            "db",
+            'transform copy $a := doc("db") modify do '
+            "delete $a/part[pname = 'kb'] return $a",
+        )
+        assert svc.query("db", "for $x in part return $x/pname") == [
+            "<pname>mouse</pname>"
+        ]
+        with pytest.raises(ValueError):
+            svc.query("db", "for $x in ][ return $x")
+    finally:
+        svc.close()
+
+
+def test_drop_then_reload_never_serves_stale_caches():
+    """A dropped-then-reloaded document restarts at version 1, so
+    version-keyed caches would alias; the snapshot's process-unique
+    arena uid must keep the memo (and, in process mode, the worker
+    arena caches) from serving the old document's contents."""
+    text = "for $x in part return $x/pname"
+    for mode in ("thread", "process"):
+        try:
+            svc = QueryService(
+                config=ServiceConfig(mode=mode, workers=2, batch_window=0.001)
+            )
+        except ValueError as exc:  # pragma: no cover - sandboxed hosts
+            pytest.skip(f"process pool unavailable: {exc}")
+        try:
+            svc.put("db", CATALOG)
+            assert "<pname>kb</pname>" in svc.query("db", text)
+            svc.drop("db")
+            svc.put("db", "<db><part><pname>trackball</pname></part></db>")
+            assert svc.store.documents.get("db").version == 1  # the alias case
+            assert svc.query("db", text) == ["<pname>trackball</pname>"]
+        finally:
+            svc.close()
+
+
+def test_arena_columns_round_trip():
+    arena = freeze(parse(CATALOG))
+    rebuilt = arena_from_columns(arena.columns(), SymbolTable())
+    assert serialize_arena(rebuilt) == serialize_arena(arena)
+    assert rebuilt.n_elements == arena.n_elements
+    # Remapped through a fresh table: ids are dense from zero again.
+    assert rebuilt.symbols is not arena.symbols
+
+
+# ----------------------------------------------------------------------
+# The TCP server and client
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def wire():
+    svc = QueryService(config=ServiceConfig(batch_window=0.001))
+    svc.put("db", CATALOG)
+    server = ServiceServer(svc)
+    host, port = server.start()
+    client = Client(host, port, timeout=10.0)
+    yield svc, server, client
+    client.close()
+    server.stop()
+
+
+def test_wire_query_and_ping(wire):
+    svc, _, client = wire
+    assert client.ping() == "pong"
+    for text in QUERIES:
+        assert client.query("db", text) == svc.store.query_serialized("db", text)
+
+
+def test_wire_full_session(wire):
+    _, _, client = wire
+    loaded = client.load("cat2", xml=CATALOG)
+    assert loaded["name"] == "cat2" and loaded["version"] == 1
+    view = client.defview("pub2", "cat2", HIDE_A.replace('doc("db")', 'doc("cat2")'))
+    assert view["depth"] == 1
+    rows = client.query("pub2", "for $x in part/supplier return $x")
+    assert rows and all("<price>12</price>" not in row for row in rows)
+    staged = client.stage(
+        "cat2",
+        'transform copy $a := doc("cat2") modify do '
+        "delete $a/part[pname = 'kb'] return $a",
+    )
+    assert staged == {"name": "cat2", "staged": 1}
+    preview = client.query("cat2", "for $x in part return $x/pname", staged=True)
+    assert preview == ["<pname>mouse</pname>"]
+    assert client.rollback("cat2") == {"name": "cat2", "dropped": 1}
+    committed = client.commit(
+        "cat2",
+        'transform copy $a := doc("cat2") modify do '
+        "delete $a/part[pname = 'mouse'] return $a",
+    )
+    assert committed == {"name": "cat2", "version": 2}
+    assert client.query("cat2", "for $x in part return $x/pname") == ["<pname>kb</pname>"]
+    transformed = client.transform(
+        "cat2",
+        'transform copy $a := doc("cat2") modify do '
+        "rename $a//pname as name return $a",
+    )
+    assert "<name>kb</name>" in transformed
+
+
+def test_wire_typed_errors(wire):
+    _, _, client = wire
+    with pytest.raises(StoreError, match="unknown document or view"):
+        client.query("nope", "for $x in a return $x")
+    with pytest.raises(BadRequestError, match="unknown op"):
+        client.call("frobnicate")
+    with pytest.raises(BadRequestError, match="needs a string"):
+        client.call("query", target="db")  # missing text
+    with pytest.raises(BadRequestError, match="deadline_ms"):
+        client.call("query", target="db", text="for $x in part return $x",
+                    deadline_ms=-5)
+
+
+def test_wire_stats_frame(wire):
+    svc, _, client = wire
+    client.query("db", QUERIES[0])
+    stats = client.stats()
+    assert stats["service"]["requests"] >= 1
+    assert "db" in stats["store"]["documents"]
+    assert stats["service"]["mode"] == "thread"
+
+
+def test_wire_concurrent_clients_coalesce(wire):
+    svc, server, _ = wire
+    host, port = server.address
+    text = QUERIES[1]
+    results = []
+    errors = []
+
+    def one_client():
+        try:
+            with Client(host, port, timeout=10.0) as c:
+                results.append(c.query("db", text))
+        except Exception as exc:  # noqa: BLE001 - assert below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=one_client) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    assert len(results) == 8 and all(r == results[0] for r in results)
+    m = svc.metrics()
+    assert m["coalesced"] + m["memo_hits"] >= 1
+
+
+def test_protocol_frame_round_trip():
+    frame = {"id": 7, "op": "query", "target": "db", "text": "for $x in a return $x"}
+    assert decode_line(encode_frame(frame)) == frame
+    with pytest.raises(BadRequestError, match="not valid JSON"):
+        decode_line(b"{nope\n")
+    with pytest.raises(BadRequestError, match="JSON object"):
+        decode_line(b"[1, 2]\n")
+
+
+def test_client_timeout_closes_the_desynchronized_connection():
+    """A reply slower than the client's socket timeout leaves a late
+    response in the stream; the client must close itself rather than
+    let the next call read the stale frame."""
+    svc = QueryService(config=ServiceConfig(batch_window=0.5))
+    svc.put("db", CATALOG)
+    server = ServiceServer(svc)
+    host, port = server.start()
+    client = Client(host, port, timeout=0.05)
+    try:
+        # The 0.5s dispatch window guarantees the reply misses 50ms.
+        with pytest.raises(ServiceClosedError, match="failed"):
+            client.query("db", QUERIES[0])
+        with pytest.raises(ServiceClosedError, match="client is closed"):
+            client.ping()
+    finally:
+        client.close()
+        server.stop()
+
+
+def test_server_graceful_shutdown_drains():
+    svc = QueryService(config=ServiceConfig(batch_window=0.001))
+    svc.put("db", CATALOG)
+    server = ServiceServer(svc)
+    host, port = server.start()
+    with Client(host, port) as client:
+        assert client.ping() == "pong"
+    server.stop()
+    assert svc._closed
+    with pytest.raises((ServiceClosedError, ConnectionError, OSError)):
+        Client(host, port).ping()
+
+
+# ----------------------------------------------------------------------
+# Snapshot isolation under concurrency (the MVCC property)
+# ----------------------------------------------------------------------
+
+
+def test_readers_never_observe_partial_commits():
+    """The invariant: every commit inserts one marker into TWO places
+    atomically, so any committed version has an even total count.  A
+    reader that ever counts an odd number saw a torn (mid-commit or
+    staged) state."""
+    svc = QueryService(config=ServiceConfig(batch_window=0.0, workers=4))
+    svc.put("db", "<db><left><l/></left><right><r/></right></db>")
+    readers_done = threading.Event()
+    violations = []
+    errors = []
+    read_counts = set()
+
+    def writer():
+        try:
+            while not readers_done.is_set():
+                svc.stage(
+                    "db",
+                    'transform copy $a := doc("db") modify do '
+                    "insert <t/> into $a/left return $a",
+                )
+                svc.stage(
+                    "db",
+                    'transform copy $a := doc("db") modify do '
+                    "insert <t/> into $a/right return $a",
+                )
+                svc.commit("db")
+        except Exception as exc:  # noqa: BLE001 - assert below
+            errors.append(exc)
+            readers_done.set()
+
+    def reader():
+        try:
+            # Self-pacing: keep reading until this hammer has actually
+            # straddled at least one commit (on a single-core host the
+            # thread interleaving is coarse enough that a fixed small
+            # iteration count can land entirely inside one version).
+            for iteration in range(400):
+                rows = svc.query("db", "for $x in //t return $x")
+                if len(rows) % 2:
+                    violations.append(len(rows))
+                read_counts.add(len(rows) // 2)
+                if iteration >= 30 and len(read_counts) > 1:
+                    break
+        except Exception as exc:  # noqa: BLE001 - assert below
+            errors.append(exc)
+        finally:
+            readers_done.set()
+
+    writer_thread = threading.Thread(target=writer)
+    reader_threads = [threading.Thread(target=reader) for _ in range(4)]
+    writer_thread.start()
+    for t in reader_threads:
+        t.start()
+    for t in reader_threads:
+        t.join()
+    writer_thread.join()
+    svc.close()
+    assert not errors
+    assert not violations, f"readers saw torn commits: {violations}"
+    assert len(read_counts) > 1, "hammer never overlapped distinct versions"
