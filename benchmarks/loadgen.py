@@ -1,0 +1,246 @@
+"""Open-loop load generator for a live ``repro serve``.
+
+Drives the Fig-12 read mix (plus a sprinkling of committed writes) at
+a **target QPS** against a running server and records the achieved
+throughput and latency percentiles into ``BENCH_service.json`` — the
+service's perf trajectory, one entry appended per run, so regressions
+show up as a bent curve rather than a vanished number.
+
+Open-loop means arrivals are *scheduled*: request *i* fires at
+``start + i/qps`` regardless of how long earlier requests took, and
+each latency is measured **from its scheduled arrival**, not from the
+moment the client thread got around to sending it.  A server that
+falls behind therefore shows the queueing delay it actually inflicts
+(no coordinated omission).
+
+Usage (the server must already be listening)::
+
+    PYTHONPATH=src python -m repro serve --port 7007 &
+    PYTHONPATH=src python benchmarks/loadgen.py --port 7007 \\
+        --qps 200 --duration 10 --clients 8 --label nightly
+
+The trajectory file is one JSON object::
+
+    {"benchmark": "service-loadgen",
+     "runs": [{"label": "nightly", "timestamp": …, "target_qps": 200,
+               "achieved_qps": 198.2, "requests": 2000, "errors": 0,
+               "writes": 40, "p50_ms": 1.9, "p95_ms": 4.2,
+               "p99_ms": 7.8, "max_ms": 12.1, "duration_s": 10.09}, …]}
+
+The module is importable (``run_load``/``append_run``): the loadgen
+smoke test in ``tests/test_obs.py`` and the CI ``loadgen-smoke`` job
+drive the same code paths this CLI does.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import threading
+import time
+
+if __package__ in (None, ""):  # direct execution without PYTHONPATH=src
+    _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    if _SRC not in sys.path:
+        sys.path.insert(0, _SRC)
+
+from repro.service.client import Client
+from repro.service.errors import ServiceError
+from repro.store.errors import StoreError
+from repro.xmark.generator import generate
+from repro.xmark.queries import EMBEDDED_PATHS
+from repro.xmltree.serializer import serialize
+
+#: The Fig-12 user-query mix (same shapes bench_service.py serves).
+READS = [
+    f"for $x in {EMBEDDED_PATHS[uid]} return $x"
+    for uid in ("U1", "U2", "U3", "U4", "U8", "U9")
+]
+
+#: The mixed-in write: a tiny committed insert that bumps the version.
+WRITE = (
+    'transform copy $a := doc("{name}") modify do '
+    "insert <loadgen_round/> into $a/regions return $a"
+)
+
+
+def ensure_document(
+    client: Client, name: str, factor: float = 0.002, seed: int = 42
+) -> None:
+    """Load a generated XMark document over the wire unless the server
+    already holds one under *name*."""
+    stats = client.stats()
+    if name in stats["store"]["documents"]:
+        return
+    client.load(name, xml=serialize(generate(factor, seed)), replace=True)
+
+
+def percentile(sorted_values: list, q: float) -> float:
+    """Exact linear-interpolated percentile of a pre-sorted list."""
+    if not sorted_values:
+        return float("nan")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    rank = q / 100.0 * (len(sorted_values) - 1)
+    low = int(rank)
+    high = min(low + 1, len(sorted_values) - 1)
+    fraction = rank - low
+    return sorted_values[low] + (sorted_values[high] - sorted_values[low]) * fraction
+
+
+def run_load(
+    host: str,
+    port: int,
+    *,
+    qps: float,
+    duration: float,
+    clients: int = 4,
+    target: str = "xmark",
+    write_every: int = 50,
+    label: str = "",
+) -> dict:
+    """Drive the open-loop load and return one trajectory entry.
+
+    Every ``write_every``-th scheduled request is a committed write
+    (``0`` disables writes); the rest cycle through :data:`READS`.
+    Latencies are seconds from *scheduled arrival* to completion.
+    """
+    if qps <= 0:
+        raise ValueError(f"qps must be positive, got {qps}")
+    total = max(1, int(qps * duration))
+    clients = max(1, min(clients, total))
+    outcomes: list = [None] * clients
+    start = time.perf_counter() + 0.05  # let every thread reach its loop
+
+    def worker(index: int) -> None:
+        latencies: list = []
+        errors = 0
+        writes = 0
+        client = Client(host, port)
+        try:
+            for j in range(index, total, clients):
+                scheduled = start + j / qps
+                delay = scheduled - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+                is_write = write_every > 0 and j % write_every == write_every - 1
+                try:
+                    if is_write:
+                        client.commit(target, WRITE.format(name=target))
+                        writes += 1
+                    else:
+                        client.query(target, READS[j % len(READS)])
+                except (ServiceError, StoreError):
+                    errors += 1
+                latencies.append(time.perf_counter() - scheduled)
+        finally:
+            client.close()
+        outcomes[index] = (latencies, errors, writes)
+
+    threads = [
+        threading.Thread(target=worker, args=(index,), name=f"loadgen-{index}")
+        for index in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    latencies = sorted(
+        value for outcome in outcomes if outcome for value in outcome[0]
+    )
+    errors = sum(outcome[1] for outcome in outcomes if outcome)
+    writes = sum(outcome[2] for outcome in outcomes if outcome)
+    return {
+        "label": label,
+        "timestamp": time.time(),
+        "target": target,
+        "clients": clients,
+        "target_qps": qps,
+        "achieved_qps": len(latencies) / elapsed if elapsed > 0 else 0.0,
+        "duration_s": round(elapsed, 4),
+        "requests": len(latencies),
+        "errors": errors,
+        "writes": writes,
+        "p50_ms": round(percentile(latencies, 50.0) * 1000.0, 4),
+        "p95_ms": round(percentile(latencies, 95.0) * 1000.0, 4),
+        "p99_ms": round(percentile(latencies, 99.0) * 1000.0, 4),
+        "max_ms": round(latencies[-1] * 1000.0, 4) if latencies else float("nan"),
+    }
+
+
+def append_run(
+    path: str, entry: dict, benchmark: str = "service-loadgen"
+) -> dict:
+    """Append one run entry to the trajectory file (created if absent,
+    reset if unreadable); returns the written document."""
+    doc = {"benchmark": benchmark, "runs": []}
+    if os.path.exists(path):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                found = json.load(handle)
+            if isinstance(found, dict) and isinstance(found.get("runs"), list):
+                doc = found
+        except (OSError, json.JSONDecodeError):
+            pass
+    doc["runs"].append(entry)
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+    return doc
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="open-loop load generator for a running repro serve"
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--qps", type=float, default=100.0, help="target requests/s")
+    parser.add_argument("--duration", type=float, default=10.0, help="seconds")
+    parser.add_argument("--clients", type=int, default=4, help="client connections")
+    parser.add_argument("--target", default="xmark", help="document to query")
+    parser.add_argument(
+        "--factor", type=float, default=0.002,
+        help="XMark factor used when the document must be loaded first",
+    )
+    parser.add_argument(
+        "--write-every", type=int, default=50,
+        help="every N-th request is a committed write (0: reads only)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_service.json", help="trajectory file to append to"
+    )
+    parser.add_argument("--label", default="", help="tag for this run's entry")
+    args = parser.parse_args(argv)
+
+    with Client(args.host, args.port) as client:
+        client.ping()
+        ensure_document(client, args.target, factor=args.factor)
+    entry = run_load(
+        args.host,
+        args.port,
+        qps=args.qps,
+        duration=args.duration,
+        clients=args.clients,
+        target=args.target,
+        write_every=args.write_every,
+        label=args.label,
+    )
+    append_run(args.out, entry)
+    print(
+        f"loadgen: {entry['requests']} requests in {entry['duration_s']}s "
+        f"({entry['achieved_qps']:.1f}/s of {args.qps:.0f} targeted), "
+        f"{entry['writes']} writes, {entry['errors']} errors, "
+        f"p50 {entry['p50_ms']}ms p95 {entry['p95_ms']}ms p99 {entry['p99_ms']}ms "
+        f"-> {args.out}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,7 +27,7 @@ engine plans across; each subpackage's docstring maps back to the
 paper's sections.
 """
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 # XML substrate
 from repro.xmltree import (
@@ -95,6 +95,9 @@ from repro.store import (
     ViewStore,
 )
 
+# Telemetry: the metrics registry and query-lifecycle tracing
+from repro.obs import MetricsRegistry, Tracer
+
 # The concurrent query service (MVCC snapshot reads, batching, TCP)
 from repro.service import (
     Client,
@@ -154,12 +157,14 @@ __all__ = [
     "prepare_query",
     "prepare_transform",
     "MaterializationPolicy",
+    "MetricsRegistry",
     "QueryService",
     "ServiceConfig",
     "ServiceError",
     "ServiceServer",
     "StoreError",
     "Text",
+    "Tracer",
     "TransformQuery",
     "UpdateLog",
     "ViewRegistry",

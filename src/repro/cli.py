@@ -134,18 +134,25 @@ def _cmd_query(args: argparse.Namespace) -> int:
     The default backend loads the file straight into a frozen columnar
     arena (no Node tree on the load path) and evaluates over index
     ranges, serializing matches directly from the columns.  ``--stats``
-    reports the backend choice and peak memory (tracemalloc).
+    reports the backend choice, the engine's metrics-registry snapshot
+    and peak memory (tracemalloc); ``--json`` emits one
+    ``{"results": …, "stats": …}`` object instead of plain lines.
     """
+    import json
     import tracemalloc
 
     from repro.automata.arena_run import serialize_arena_items
+    from repro.obs import MetricsRegistry
     from repro.xmltree.parser import parse_file, parse_file_to_arena
 
     query_text = read_query_arg(args.user_query)
     engine = default_engine()
-    prepared = engine.prepare_query(query_text)
-    if args.stats:
+    want_stats = args.stats or args.json
+    registry = MetricsRegistry(enabled=want_stats)
+    if want_stats:
+        engine.bind_metrics(registry)
         tracemalloc.start()
+    prepared = engine.prepare_query(query_text)
     if args.backend == "node":
         tree = parse_file(args.input)
         results = prepared.run(tree)
@@ -159,26 +166,40 @@ def _cmd_query(args: argparse.Namespace) -> int:
         refs = prepared.run_refs(arena)
         lines = serialize_arena_items(arena, refs)
         plan = engine.planner.last_plan
+    stats: dict = {}
+    if want_stats:
+        current, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        stats["query.backend"] = plan.backend if plan is not None else "node"
+        stats["query.results"] = len(lines)
+        stats["process.memory.peak_bytes"] = peak
+        stats["process.memory.resident_bytes"] = current
+        if args.backend != "node":
+            for key, value in arena.stats().items():
+                stats[f"store.arena.{key}"] = value
+        stats.update(registry.snapshot())
+    if args.json:
+        print(json.dumps({"results": lines, "stats": stats}, sort_keys=True))
+        return 0
     for line in lines:
         print(line)
     print(f"({len(lines)} result(s))", file=sys.stderr)
     if args.stats:
-        current, peak = tracemalloc.get_traced_memory()
-        tracemalloc.stop()
-        backend = plan.backend if plan is not None else "node"
-        print(f"backend: {backend}", file=sys.stderr)
+        print(f"backend: {stats['query.backend']}", file=sys.stderr)
         if args.backend != "node":
-            stats = arena.stats()
             print(
-                f"arena: {stats['nodes']} nodes, "
-                f"{stats['column_bytes']} column bytes, "
-                f"{stats['total_bytes']} bytes total",
+                f"arena: {stats['store.arena.nodes']} nodes, "
+                f"{stats['store.arena.column_bytes']} column bytes, "
+                f"{stats['store.arena.total_bytes']} bytes total",
                 file=sys.stderr,
             )
         print(
             f"peak memory: {peak} bytes (resident after run: {current})",
             file=sys.stderr,
         )
+        for name in sorted(stats):
+            if name.startswith("engine.planner.chosen."):
+                print(f"{name}: {stats[name]}", file=sys.stderr)
     return 0
 
 
@@ -302,6 +323,22 @@ def _cmd_store_rollback(args: argparse.Namespace) -> int:
 def _cmd_store_stat(args: argparse.Namespace) -> int:
     with locked_state(args.state, save=False) as store:
         stats = store.stats()
+        if getattr(args, "json", False):
+            import json
+
+            from repro.obs import MetricsRegistry
+
+            registry = MetricsRegistry()
+            store.bind_metrics(registry)
+            for name in stats["documents"]:
+                doc = store.documents.get(name)
+                with doc.lock:
+                    arena_stats = doc.arena().stats()
+                stats["documents"][name]["arena"] = arena_stats
+            print(json.dumps(
+                {"store": stats, "metrics": registry.snapshot()}, sort_keys=True
+            ))
+            return 0
     if not stats["documents"]:
         print(f"store at {args.state!r} is empty")
         return 0
@@ -356,6 +393,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     populate it over the wire with ``load`` frames.
     """
     import signal
+    import threading
 
     from repro.service import QueryService, ServiceConfig, ServiceServer
 
@@ -385,6 +423,38 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         def _terminate(signum, frame):  # SIGTERM → same graceful path
             raise KeyboardInterrupt
 
+        stop_reporting = threading.Event()
+        reporter = None
+        if args.metrics_interval > 0:
+
+            def _report_loop() -> None:
+                while not stop_reporting.wait(args.metrics_interval):
+                    counts = service.metrics()
+                    latency = service.registry.get("service.request.latency")
+                    latency = latency if isinstance(latency, dict) else {}
+
+                    def _ms(key: str) -> str:
+                        value = latency.get(key)
+                        return f"{value * 1000.0:.2f}" if value is not None else "-"
+
+                    print(
+                        "repro serve: metrics "
+                        f"requests={counts['requests']} "
+                        f"shed={counts['shed']} "
+                        f"batches={counts['batches']} "
+                        f"evaluations={counts['evaluations']} "
+                        f"memo_hits={counts['memo_hits']} "
+                        f"snapshot_reads={counts['snapshot_reads']} "
+                        f"p50_ms={_ms('p50')} p99_ms={_ms('p99')}",
+                        file=sys.stderr,
+                        flush=True,
+                    )
+
+            reporter = threading.Thread(
+                target=_report_loop, name="repro-serve-metrics", daemon=True
+            )
+            reporter.start()
+
         previous = signal.signal(signal.SIGTERM, _terminate)
         try:
             server.serve_forever()
@@ -392,6 +462,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print("repro serve: shutting down", file=sys.stderr)
         finally:
             signal.signal(signal.SIGTERM, previous)
+            stop_reporting.set()
+            if reporter is not None:
+                reporter.join()
         server.stop()  # drains admitted requests, stops the pool
         if args.state:
             save_store(service.store, args.state)
@@ -452,7 +525,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_query.add_argument(
         "--stats", action="store_true",
-        help="print backend choice, arena memory and peak memory to stderr",
+        help="print backend choice, arena memory, peak memory and the "
+        "engine's metric snapshot to stderr",
+    )
+    p_query.add_argument(
+        "--json", action="store_true",
+        help='emit one {"results": …, "stats": …} JSON object on stdout',
     )
     p_query.set_defaults(func=_cmd_query)
 
@@ -559,7 +637,13 @@ def build_parser() -> argparse.ArgumentParser:
         "-c", "--count", type=int, help="drop only the last COUNT staged updates"
     )
 
-    _store_parser("stat", "show documents, views and cache state", _cmd_store_stat)
+    p_stat = _store_parser(
+        "stat", "show documents, views and cache state", _cmd_store_stat
+    )
+    p_stat.add_argument(
+        "--json", action="store_true",
+        help="emit the store stats and metric snapshot as one JSON object",
+    )
 
     p_serve = sub.add_parser(
         "serve",
@@ -598,6 +682,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-queue", type=int, default=256,
         help="admission-control bound; beyond it requests are shed "
         "with a typed 'overloaded' error",
+    )
+    p_serve.add_argument(
+        "--metrics-interval", type=float, default=0.0,
+        help="log one metrics line to stderr every SECONDS while "
+        "serving (0 disables)",
     )
     p_serve.set_defaults(func=_cmd_serve)
 

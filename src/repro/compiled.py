@@ -178,3 +178,30 @@ class CompiledCache:
 
     def stats(self) -> dict:
         return {name: cache.stats() for name, cache in self._caches().items()}
+
+    def dfa_stats(self) -> dict:
+        """Aggregate lazy-DFA table sizes across every cached
+        :class:`CompiledPath` — the one place the per-automaton
+        ``LazyDFA.stats()`` counters roll up under normalized names
+        (``automata.dfa.sets`` …, via the owner's metrics registry)
+        instead of being scattered per prepared statement."""
+        totals = {
+            "paths": 0, "nfa_states": 0, "sets": 0, "moves": 0,
+            "tracked_moves": 0,
+        }
+        for compiled in self.compiled_paths.values():
+            totals["paths"] += 1
+            for table in (compiled.selecting.dfa(), compiled.filtering.dfa()):
+                stats = table.stats()
+                totals["nfa_states"] += stats["nfa_states"]
+                totals["sets"] += stats["sets"]
+                totals["moves"] += stats["moves"]
+                totals["tracked_moves"] += stats["tracked_moves"]
+        return totals
+
+    def bind_metrics(self, registry, prefix: str = "engine.compiled") -> None:
+        """Expose every cache's hit/miss/eviction tallies and the
+        aggregate DFA table sizes through a metrics registry."""
+        for name, cache in self._caches().items():
+            registry.probe(f"{prefix}.{name}", cache.stats)
+        registry.probe("automata.dfa.tables", self.dfa_stats)

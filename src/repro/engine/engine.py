@@ -37,6 +37,7 @@ from repro.engine.prepared import (
 )
 from repro.compiled import CompiledCache
 from repro.lru import LRUCache
+from repro.obs import span
 from repro.transform.query import TransformQuery
 from repro.xmltree.node import Element
 
@@ -67,8 +68,15 @@ class Engine:
         found = self._prepared.get(key)
         if found is not None:
             return found
+
+        def build():
+            # Only a cold build is a "compile": warm lookups above (and
+            # the double-checked hit inside get_or_compute) emit no span.
+            with span("compile"):
+                return factory()
+
         with self._build_lock:
-            return self._prepared.get_or_compute(key, factory)
+            return self._prepared.get_or_compute(key, build)
 
     # ------------------------------------------------------------------
     # Preparation (parse + compile exactly once per distinct text)
@@ -182,6 +190,15 @@ class Engine:
             "compiled": self.cache.stats(),
             "planner": self.planner.stats(),
         }
+
+    def bind_metrics(self, registry) -> None:
+        """Expose the engine's caches, planner tallies and aggregate
+        DFA table sizes through a :class:`~repro.obs.registry.
+        MetricsRegistry` — all as lazily sampled probes, so preparing
+        and running pay nothing extra."""
+        registry.probe("engine.prepared.cache", self._prepared.stats)
+        self.cache.bind_metrics(registry)
+        self.planner.bind_metrics(registry)
 
 
 _default_engine: Optional[Engine] = None

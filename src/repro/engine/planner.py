@@ -43,6 +43,7 @@ from repro.engine.features import (
     profile_input,
 )
 from repro.lru import LRUCache
+from repro.obs import span
 from repro.transform.query import TransformQuery
 from repro.xmltree.node import Element
 
@@ -162,7 +163,8 @@ class Planner:
     ) -> Plan:
         if features is None:
             features = self._features_for(query)
-        plan = self._choose(features, profile)
+        with span("plan"):
+            plan = self._choose(features, profile)
         if record:
             self.record(plan)
         else:
@@ -185,6 +187,10 @@ class Planner:
         else walks the Node tree.  Both backends' estimated costs are
         surfaced so ``explain()`` shows what freezing would buy.
         """
+        with span("plan"):
+            return self._plan_read(doc_or_input, features, record)
+
+    def _plan_read(self, doc_or_input, features, record) -> Plan:
         profile = (
             doc_or_input
             if isinstance(doc_or_input, InputProfile)
@@ -258,6 +264,24 @@ class Planner:
                 "chosen": dict(self.counters),
                 "last": self.last_plan.strategy if self.last_plan else None,
             }
+
+    def normalized_counters(self) -> dict:
+        """The execution tallies under the ``layer.component.metric``
+        naming scheme: the legacy ``scan[arena]``-style backend tags
+        become dotted segments (``scan.arena``), so the registry's
+        snapshot shows ``engine.planner.chosen.scan.arena`` next to
+        ``store.arena.reads`` instead of two divergent spellings."""
+        with self._lock:
+            return {
+                key.replace("[", ".").rstrip("]"): count
+                for key, count in self.counters.items()
+            }
+
+    def bind_metrics(self, registry) -> None:
+        """Expose the execution counters through a
+        :class:`~repro.obs.registry.MetricsRegistry` (as a lazily
+        sampled probe; the planning hot path is untouched)."""
+        registry.probe("engine.planner.chosen", self.normalized_counters)
 
     # ------------------------------------------------------------------
     # The cost model

@@ -30,6 +30,7 @@ from repro.engine.features import (
 )
 from repro.engine.planner import Plan, Planner
 from repro.lru import LRUCache
+from repro.obs import span
 from repro.transform.query import TransformQuery
 from repro.transform.sax_twopass import transform_sax_events, transform_sax_file
 from repro.xmltree.arena import FrozenDocument, thaw
@@ -318,7 +319,7 @@ class PreparedTransform:
             self.planner.record(plan)
             from repro.automata.arena_run import write_arena_transformed
 
-            with open(out_path, "w", encoding="utf-8") as handle:
+            with span("serialize"), open(out_path, "w", encoding="utf-8") as handle:
                 handle.write('<?xml version="1.0" encoding="utf-8"?>\n')
                 write_arena_transformed(
                     arena, self.query.update, self.selecting, handle.write
@@ -498,14 +499,16 @@ class PreparedQuery:
 
     def run(self, doc_or_path: Input) -> list:
         if isinstance(doc_or_path, FrozenDocument):
-            if self.planner is not None:
-                self.planner.plan_read(doc_or_path)
-            from repro.xquery.arena_eval import evaluate_query_arena
+            with span("scan"):
+                if self.planner is not None:
+                    self.planner.plan_read(doc_or_path)
+                from repro.xquery.arena_eval import evaluate_query_arena
 
-            return evaluate_query_arena(
-                doc_or_path, self.query, nfa_for=self._nfa_for()
-            )
-        return evaluate_query(_as_tree(doc_or_path), self.query)
+                return evaluate_query_arena(
+                    doc_or_path, self.query, nfa_for=self._nfa_for()
+                )
+        with span("scan"):
+            return evaluate_query(_as_tree(doc_or_path), self.query)
 
     def run_refs(self, arena: FrozenDocument) -> list:
         """Zero-thaw evaluation: element results stay pre-order indices
@@ -513,9 +516,10 @@ class PreparedQuery:
         """
         from repro.xquery.arena_eval import ArenaEvaluator
 
-        if self.planner is not None:
-            self.planner.plan_read(arena)
-        return ArenaEvaluator(arena, self._nfa_for()).evaluate_refs(self.query)
+        with span("scan"):
+            if self.planner is not None:
+                self.planner.plan_read(arena)
+            return ArenaEvaluator(arena, self._nfa_for()).evaluate_refs(self.query)
 
     def run_many(self, inputs: Iterable[Input]) -> list[list]:
         return [self.run(item) for item in inputs]

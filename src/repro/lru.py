@@ -75,6 +75,12 @@ class LRUCache:
                 del self._data[key]
             return len(doomed)
 
+    def values(self) -> list:
+        """A point-in-time list of the cached values (most-recently
+        used last) — what aggregate metrics probes iterate over."""
+        with self._lock:
+            return list(self._data.values())
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._data)

@@ -1,0 +1,55 @@
+"""``repro.obs`` — the unified telemetry substrate.
+
+Every layer of the reproduction (store, engine, planner, automata,
+service, CLI) reports through the two primitives here:
+
+* :class:`~repro.obs.registry.MetricsRegistry` — named counters,
+  gauges and fixed-bucket latency histograms (p50/p95/p99 snapshots),
+  plus *probes* that sample existing attribute counters lazily at
+  snapshot time, all under one ``layer.component.metric`` naming
+  scheme.  Thread-safe; near-zero overhead when disabled (every
+  instrument collapses to a shared no-op singleton).
+* :class:`~repro.obs.trace.Tracer` — per-request traces of nested
+  spans (``span("plan")``, ``span("compile")``, ``span("scan")``,
+  ``span("serialize")``), sampled, kept in a ring buffer, dumpable as
+  JSON-line records.  A thread-local *active trace* lets deep engine
+  code emit spans without threading a trace object through every
+  signature: :func:`~repro.obs.trace.span` is a no-op unless a trace
+  is active on the calling thread.
+
+This package is dependency-free and imports nothing from the rest of
+``repro`` — it sits below :mod:`repro.lru` in the layering so every
+other layer may use it.
+"""
+
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    check_metric_name,
+)
+from repro.obs.trace import (
+    NULL_SPAN,
+    NULL_TRACE,
+    Trace,
+    Tracer,
+    current_trace,
+    span,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "NULL_TRACE",
+    "Trace",
+    "Tracer",
+    "check_metric_name",
+    "current_trace",
+    "span",
+]

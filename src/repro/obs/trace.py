@@ -1,0 +1,360 @@
+"""Query-lifecycle tracing: per-request traces of nested spans.
+
+A :class:`Trace` is one request's timeline.  Code inside the request
+opens **spans** — ``span("plan")``, ``span("compile")``,
+``span("scan")``, ``span("serialize")`` — and each records its start
+offset, duration and nesting depth.  When the trace finishes, its
+record (a plain JSON-serializable dict) lands in the owning
+:class:`Tracer`'s ring buffer, from which it can be dumped as JSON
+lines (:meth:`Tracer.dump_jsonl`) or fetched over the service's wire
+protocol (the ``traces`` op).
+
+Two ways to open a span:
+
+* ``trace.span("scan")`` — explicit, when the trace object is at hand.
+* :func:`span` (module level) — resolves the calling thread's *active*
+  trace.  Deep engine code (the planner, prepared statements, the
+  arena serializer) uses this form so tracing needs no signature
+  changes: when no trace is active — the overwhelmingly common case —
+  it returns a shared no-op singleton and costs one thread-local read.
+
+Activation: ``with trace:`` activates on the current thread and
+finishes on exit (the request-scoped form); ``with trace.activate():``
+activates without finishing (how the service's worker threads attach
+their evaluation spans to a trace created on the submitting thread).
+
+Sampling is deterministic — every *N*-th trace records, the rest are
+the shared :data:`NULL_TRACE` — so overhead scales down without a
+random-number draw on the hot path.
+
+Trace record schema (one JSON line each)::
+
+    {"trace": 7, "name": "service.query", "start": 1754650000.123,
+     "dur_us": 1834, "meta": {"target": "xmark"},
+     "spans": [{"name": "queue", "start_us": 0, "dur_us": 210, "depth": 0},
+               {"name": "scan",  "start_us": 215, "dur_us": 1500, "depth": 0},
+               {"name": "plan",  "start_us": 220, "dur_us": 12,  "depth": 1}]}
+
+Spans are listed in *completion* order; sort by ``start_us`` for the
+timeline, use ``depth`` for nesting.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from typing import Optional
+
+__all__ = [
+    "NULL_SPAN",
+    "NULL_TRACE",
+    "Trace",
+    "Tracer",
+    "current_trace",
+    "span",
+]
+
+_active = threading.local()
+
+
+def current_trace() -> Optional["Trace"]:
+    """The trace active on the calling thread, or None."""
+    return getattr(_active, "trace", None)
+
+
+def span(name: str):
+    """A span on the calling thread's active trace (no-op without one).
+
+    The form deep engine code uses: ``with span("plan"): …`` costs one
+    thread-local read when tracing is off.
+    """
+    trace = getattr(_active, "trace", None)
+    if trace is None:
+        return NULL_SPAN
+    return trace.span(name)
+
+
+class _NullSpan:
+    """Shared no-op span: entering and exiting touches nothing."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _NullTrace:
+    """Shared no-op trace handed out for unsampled requests: every
+    operation is accepted and discarded, so call sites never branch on
+    whether their request was sampled."""
+
+    __slots__ = ()
+
+    sampled = False
+
+    def span(self, name):
+        return NULL_SPAN
+
+    def record_span(self, name, dur, start=None, depth=0) -> None:
+        pass
+
+    def note(self, **meta) -> None:
+        pass
+
+    def activate(self):
+        return NULL_SPAN  # enter/exit no-op, reused as a null context
+
+    def finish(self, **meta) -> None:
+        pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return False
+
+
+NULL_TRACE = _NullTrace()
+
+
+class _SpanContext:
+    """One open span; appends its record to the trace on exit."""
+
+    __slots__ = ("trace", "name", "_start", "_depth")
+
+    def __init__(self, trace: "Trace", name: str):
+        self.trace = trace
+        self.name = name
+
+    def __enter__(self):
+        self._depth = self.trace._enter_span()
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info):
+        end = time.perf_counter()
+        self.trace._exit_span(self.name, self._start, end, self._depth)
+        return False
+
+
+class _Activation:
+    """Context manager that makes a trace the thread's active trace,
+    restoring whatever was active before on exit."""
+
+    __slots__ = ("trace", "_previous")
+
+    def __init__(self, trace: "Trace"):
+        self.trace = trace
+
+    def __enter__(self):
+        self._previous = getattr(_active, "trace", None)
+        _active.trace = self.trace
+        return self.trace
+
+    def __exit__(self, *exc_info):
+        _active.trace = self._previous
+        return False
+
+
+class Trace:
+    """One request's timeline of spans (see the module docstring)."""
+
+    __slots__ = (
+        "tracer", "name", "trace_id", "meta", "started_at", "_t0",
+        "_lock", "_spans", "_depth", "_finished", "_activations",
+    )
+
+    sampled = True
+
+    def __init__(self, tracer: Optional["Tracer"], name: str, trace_id: int, meta: dict):
+        self.tracer = tracer
+        self.name = name
+        self.trace_id = trace_id
+        self.meta = dict(meta)
+        self.started_at = time.time()
+        self._t0 = time.perf_counter()
+        self._lock = threading.Lock()
+        self._spans: list = []
+        self._depth = 0
+        self._finished = False
+        self._activations: list = []
+
+    # ------------------------------------------------------------------
+    # Spans
+    # ------------------------------------------------------------------
+
+    def span(self, name: str) -> _SpanContext:
+        return _SpanContext(self, name)
+
+    def _enter_span(self) -> int:
+        with self._lock:
+            depth = self._depth
+            self._depth += 1
+            return depth
+
+    def _exit_span(self, name: str, start: float, end: float, depth: int) -> None:
+        record = {
+            "name": name,
+            "start_us": int((start - self._t0) * 1e6),
+            "dur_us": int((end - start) * 1e6),
+            "depth": depth,
+        }
+        with self._lock:
+            self._depth = depth
+            self._spans.append(record)
+
+    def record_span(
+        self,
+        name: str,
+        dur: float,
+        start: Optional[float] = None,
+        depth: int = 0,
+    ) -> None:
+        """Record a span measured externally: *dur* seconds, starting
+        at *start* (a ``time.perf_counter()`` instant; default: *dur*
+        seconds ago).  How the service accounts queue wait measured on
+        a different thread than the one that evaluates."""
+        now = time.perf_counter()
+        begin = start if start is not None else now - dur
+        record = {
+            "name": name,
+            "start_us": int((begin - self._t0) * 1e6),
+            "dur_us": int(dur * 1e6),
+            "depth": depth,
+        }
+        with self._lock:
+            self._spans.append(record)
+
+    def note(self, **meta) -> None:
+        """Attach metadata to the trace record (merged on finish)."""
+        with self._lock:
+            self.meta.update(meta)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def activate(self) -> _Activation:
+        """Make this trace the calling thread's active trace (without
+        finishing it on exit)."""
+        return _Activation(self)
+
+    def finish(self, **meta) -> None:
+        """Close the trace and push its record to the tracer's ring.
+        Idempotent — only the first call records."""
+        end = time.perf_counter()
+        with self._lock:
+            if self._finished:
+                return
+            self._finished = True
+            if meta:
+                self.meta.update(meta)
+            record = {
+                "trace": self.trace_id,
+                "name": self.name,
+                "start": self.started_at,
+                "dur_us": int((end - self._t0) * 1e6),
+                "meta": dict(self.meta),
+                "spans": list(self._spans),
+            }
+        if self.tracer is not None:
+            self.tracer._record(record)
+
+    def __enter__(self) -> "Trace":
+        activation = _Activation(self)
+        activation.__enter__()
+        self._activations.append(activation)
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        if self._activations:
+            self._activations.pop().__exit__(exc_type, exc, tb)
+        if exc is not None:
+            self.note(error=str(exc))
+        self.finish()
+        return False
+
+
+class Tracer:
+    """Creates traces, samples them, and keeps finished records in a
+    bounded ring buffer.
+
+    * ``sample_every=N`` records every N-th trace (1 = all); ``0`` or
+      ``enabled=False`` disables tracing entirely — every request gets
+      the shared :data:`NULL_TRACE`.
+    * ``ring`` bounds the record buffer; old records fall off the far
+      end (``dropped`` counts them).
+    """
+
+    def __init__(self, ring: int = 256, sample_every: int = 1, enabled: bool = True):
+        if ring < 1:
+            raise ValueError(f"ring must be positive, got {ring}")
+        if sample_every < 0:
+            raise ValueError(f"sample_every must be >= 0, got {sample_every}")
+        self.enabled = enabled and sample_every > 0
+        self.sample_every = max(1, sample_every)
+        self._lock = threading.Lock()
+        self._ring: deque = deque(maxlen=ring)
+        self._seq = 0
+        self._recorded = 0
+        self._dropped = 0
+
+    # ------------------------------------------------------------------
+
+    def trace(self, name: str, **meta) -> Trace:
+        """Begin a trace (or hand back :data:`NULL_TRACE` when this one
+        is not sampled)."""
+        if not self.enabled:
+            return NULL_TRACE  # type: ignore[return-value]
+        with self._lock:
+            self._seq += 1
+            seq = self._seq
+        if (seq - 1) % self.sample_every:
+            return NULL_TRACE  # type: ignore[return-value]
+        return Trace(self, name, seq, meta)
+
+    def _record(self, record: dict) -> None:
+        with self._lock:
+            if len(self._ring) == self._ring.maxlen:
+                self._dropped += 1
+            self._ring.append(record)
+            self._recorded += 1
+
+    # ------------------------------------------------------------------
+    # Reading the ring
+    # ------------------------------------------------------------------
+
+    def records(self) -> list:
+        """The buffered trace records, oldest first (non-destructive)."""
+        with self._lock:
+            return list(self._ring)
+
+    def drain(self) -> list:
+        """Pop and return every buffered record."""
+        with self._lock:
+            out = list(self._ring)
+            self._ring.clear()
+            return out
+
+    def dump_jsonl(self) -> str:
+        """The buffered records as newline-delimited JSON."""
+        return "\n".join(json.dumps(r, separators=(",", ":")) for r in self.records())
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "enabled": self.enabled,
+                "sample_every": self.sample_every,
+                "started": self._seq,
+                "recorded": self._recorded,
+                "buffered": len(self._ring),
+                "dropped": self._dropped,
+            }

@@ -140,6 +140,16 @@ class Client:
     def stats(self) -> dict:
         return self.call("stats")
 
+    def metrics(self) -> dict:
+        """The server's metrics-registry snapshot: flat
+        ``layer.component.metric`` names → values."""
+        return self.call("metrics")
+
+    def traces(self, *, drain: bool = False) -> list:
+        """The server's buffered trace records (destructively when
+        *drain*)."""
+        return self.call("traces", drain=drain or None)
+
     # ------------------------------------------------------------------
 
     def close(self) -> None:

@@ -26,6 +26,10 @@ Ops and their arguments (all strings unless noted):
 ``commit``   ``name``, optional ``text`` (stage-then-commit)
 ``rollback`` ``name``, optional ``count`` (int)
 ``stats``    —
+``metrics``  — the registry snapshot: flat ``layer.component.metric``
+             names → values (histograms as summary dicts)
+``traces``   optional ``drain`` (bool) — buffered trace records,
+             oldest first; ``drain`` empties the ring
 ``ping``     — liveness probe, returns ``"pong"``
 ===========  ==========================================================
 
@@ -57,7 +61,7 @@ __all__ = [
 #: lifecycle — SIGINT/SIGTERM — not a wire op).
 OPS = (
     "load", "defview", "query", "transform", "stage", "commit",
-    "rollback", "stats", "ping",
+    "rollback", "stats", "metrics", "traces", "ping",
 )
 
 
@@ -134,6 +138,10 @@ def handle_request(service, frame: dict):
         return "pong"
     if op == "stats":
         return service.stats()
+    if op == "metrics":
+        return service.registry.snapshot()
+    if op == "traces":
+        return service.traces(drain=bool(frame.get("drain", False)))
     if op == "load":
         name = _require(frame, "name")
         replace = bool(frame.get("replace", False))

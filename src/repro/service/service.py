@@ -55,6 +55,8 @@ from typing import Optional
 from repro.automata.arena_run import serialize_arena_items
 from repro.engine.engine import Engine
 from repro.lru import LRUCache
+from repro.obs import NULL_TRACE, MetricsRegistry, Tracer, span
+from repro.obs.registry import COUNT_BUCKETS
 from repro.service.errors import (
     DeadlineError,
     OverloadedError,
@@ -87,11 +89,20 @@ class ServiceConfig:
       result memo.
     * ``default_deadline`` — seconds applied to requests that do not
       carry their own deadline (``None``: wait forever).
+    * ``metrics`` — ``False`` disables the whole telemetry substrate
+      (registry *and* tracing): every instrument becomes a shared
+      no-op, the fast path ``benchmarks/bench_service.py`` measures
+      the instrumented path against.
+    * ``trace_sample`` — record every N-th request's lifecycle trace
+      (``0`` disables tracing; the default samples 1/16 so tracing
+      stays within the instrumentation-overhead budget).
+    * ``trace_ring`` — how many finished trace records are buffered
+      (older records fall off; see the ``traces`` wire op).
     """
 
     __slots__ = (
         "workers", "mode", "batch_window", "max_queue", "memo_size",
-        "default_deadline",
+        "default_deadline", "metrics", "trace_sample", "trace_ring",
     )
 
     def __init__(
@@ -102,23 +113,33 @@ class ServiceConfig:
         max_queue: int = 256,
         memo_size: int = 1024,
         default_deadline: Optional[float] = None,
+        metrics: bool = True,
+        trace_sample: int = 16,
+        trace_ring: int = 256,
     ):
         if workers < 1:
             raise ValueError(f"workers must be positive, got {workers}")
         if max_queue < 1:
             raise ValueError(f"max_queue must be positive, got {max_queue}")
+        if trace_sample < 0:
+            raise ValueError(f"trace_sample must be >= 0, got {trace_sample}")
         self.workers = workers
         self.mode = mode
         self.batch_window = batch_window
         self.max_queue = max_queue
         self.memo_size = memo_size
         self.default_deadline = default_deadline
+        self.metrics = metrics
+        self.trace_sample = trace_sample
+        self.trace_ring = trace_ring
 
 
 class _Request:
-    """One queued read: target, query text, waiter, deadline."""
+    """One queued read: target, query text, waiter, deadline, trace."""
 
-    __slots__ = ("target", "text", "staged", "deadline", "future")
+    __slots__ = (
+        "target", "text", "staged", "deadline", "future", "trace", "submitted",
+    )
 
     def __init__(
         self,
@@ -126,12 +147,16 @@ class _Request:
         text: str,
         staged: bool,
         deadline: Optional[float],
+        trace=NULL_TRACE,
     ):
         self.target = target
         self.text = text
         self.staged = staged
         self.deadline = deadline  # absolute time.monotonic() instant
         self.future: Future = Future()
+        #: The request's lifecycle trace (NULL_TRACE when unsampled).
+        self.trace = trace
+        self.submitted = time.perf_counter()
 
     def expired(self, now: float) -> bool:
         return self.deadline is not None and now >= self.deadline
@@ -139,6 +164,25 @@ class _Request:
 
 #: Queue sentinel that tells the dispatcher to drain and exit.
 _STOP = object()
+
+
+#: Legacy metric key → registry metric name.  ``metrics()`` keeps
+#: returning the short keys the tests and benchmarks always read, but
+#: the counters themselves live in the registry under the
+#: ``layer.component.metric`` scheme.
+_METRIC_NAMES = {
+    "requests": "service.requests.total",
+    "shed": "service.requests.shed",
+    "deadline_misses": "service.requests.deadline_miss",
+    "batches": "service.dispatch.batches",
+    "evaluations": "service.dispatch.evaluations",
+    "coalesced": "service.dispatch.coalesced",
+    "memo_hits": "service.dispatch.memo_hits",
+    "snapshot_reads": "service.reads.snapshot",
+    "stale_reads": "service.reads.stale",
+    "locked_reads": "service.reads.locked",
+    "transforms": "service.reads.transform",
+}
 
 
 class QueryService:
@@ -150,6 +194,7 @@ class QueryService:
         store: Optional[ViewStore] = None,
         engine: Optional[Engine] = None,
         config: Optional[ServiceConfig] = None,
+        registry: Optional[MetricsRegistry] = None,
     ):
         self.store = store if store is not None else ViewStore()
         self.config = config if config is not None else ServiceConfig()
@@ -159,6 +204,35 @@ class QueryService:
         self.engine = (
             engine if engine is not None else Engine(planner=self.store.planner)
         )
+        # One registry per service (unless injected): its snapshot is
+        # what stats()/the `metrics` wire op return, and what the
+        # store's and engine's probes report into.
+        self.registry = (
+            registry
+            if registry is not None
+            else MetricsRegistry(enabled=self.config.metrics)
+        )
+        self.tracer = Tracer(
+            ring=self.config.trace_ring,
+            sample_every=self.config.trace_sample,
+            enabled=self.config.metrics and self.config.trace_sample > 0,
+        )
+        self._counters = {
+            key: self.registry.counter(name) for key, name in _METRIC_NAMES.items()
+        }
+        #: Client-observed request latency (submit → result), seconds.
+        self._latency = self.registry.histogram("service.request.latency")
+        #: One observation per arena evaluation group handed to the pool.
+        self._eval_latency = self.registry.histogram("service.eval.latency")
+        #: Requests per dispatcher window.
+        self._batch_size = self.registry.histogram(
+            "service.dispatch.batch_size", buckets=COUNT_BUCKETS
+        )
+        self.store.bind_metrics(self.registry)
+        self.engine.bind_metrics(self.registry)
+        self.registry.probe("service.queue.depth", lambda: self._queue.qsize())
+        self.registry.probe("service.memo.cache", lambda: self._memo.stats())
+        self.registry.probe("service.trace.ring", lambda: self.tracer.stats())
         # Keyed (name, arena uid, query text): the uid is process-
         # unique per arena build, so entries can never alias across a
         # commit OR a drop-and-reload (which restarts versions at 1) —
@@ -172,20 +246,6 @@ class QueryService:
         # flag-set and the dispatcher's final drain would sit on the
         # queue forever with nobody left to serve it.
         self._admission_lock = threading.Lock()
-        self._metrics_lock = threading.Lock()
-        self._metrics = {
-            "requests": 0,
-            "batches": 0,
-            "evaluations": 0,
-            "coalesced": 0,
-            "memo_hits": 0,
-            "snapshot_reads": 0,
-            "stale_reads": 0,
-            "locked_reads": 0,
-            "transforms": 0,
-            "shed": 0,
-            "deadline_misses": 0,
-        }
         self._closed = False
         self._workers = make_workers(self.config.mode, self.config.workers)
         self._dispatcher = threading.Thread(
@@ -220,13 +280,15 @@ class QueryService:
             # error rather than racing this wait.
             timeout = max(0.0, request.deadline - time.monotonic()) + 0.25
         try:
-            return request.future.result(timeout=timeout)
+            result = request.future.result(timeout=timeout)
         except FutureTimeoutError:
             self._count("deadline_misses")
             raise DeadlineError(f"no result within {timeout:.3f}s") from None
         except DeadlineError:
             self._count("deadline_misses")
             raise
+        self._latency.observe(time.perf_counter() - request.submitted)
+        return result
 
     def query_direct(self, target: str, query_text: str) -> list:
         """The serial one-request-at-a-time reference path: pin the
@@ -240,7 +302,11 @@ class QueryService:
         snapshot = self.store.pin(target)
         self._count("requests")
         self._count("snapshot_reads")
-        return self._evaluate_snapshot(snapshot, query_text)
+        start = time.perf_counter()
+        with self.tracer.trace("service.query_direct", target=target):
+            result = self._evaluate_snapshot(snapshot, query_text)
+        self._latency.observe(time.perf_counter() - start)
+        return result
 
     def submit(
         self,
@@ -255,7 +321,12 @@ class QueryService:
         if deadline is None:
             deadline = self.config.default_deadline
         absolute = time.monotonic() + deadline if deadline is not None else None
-        request = _Request(target, query_text, staged, absolute)
+        request = _Request(
+            target, query_text, staged, absolute,
+            trace=self.tracer.trace(
+                "service.query", target=target, query=query_text
+            ),
+        )
         with self._admission_lock:
             if self._closed:
                 raise ServiceClosedError()
@@ -263,6 +334,7 @@ class QueryService:
                 self._queue.put_nowait(request)
             except queue.Full:
                 self._count("shed")
+                request.trace.finish(outcome="shed")
                 raise OverloadedError(
                     f"{self.config.max_queue} requests queued"
                 ) from None
@@ -308,6 +380,7 @@ class QueryService:
     def _dispatch(self, batch: list) -> None:
         """Group one window's requests and hand them to the pool."""
         self._count("batches")
+        self._batch_size.observe(float(len(batch)))
         doc_groups: dict = {}
         for request in batch:
             if request.staged or request.target in self.store.views:
@@ -342,6 +415,12 @@ class QueryService:
         snapshot = self.store.pin(name)
         self._count("snapshot_reads", total)
         now = time.monotonic()
+        dispatched = time.perf_counter()
+        for requests in by_text.values():
+            for request in requests:
+                # Queue wait is measured here because submit() ran on a
+                # different thread than the one that evaluates.
+                request.trace.record_span("queue", dispatched - request.submitted)
         todo: list = []
         for text, requests in by_text.items():
             key = (name, snapshot.uid, text)
@@ -351,26 +430,48 @@ class QueryService:
                 self._count("coalesced", len(requests) - 1)
                 for request in requests:
                     request.future.set_result(cached)
+                    request.trace.finish(outcome="memo")
             elif all(request.expired(now) for request in requests):
                 for request in requests:
                     request.future.set_exception(DeadlineError("expired in queue"))
+                    request.trace.finish(outcome="deadline")
             else:
                 todo.append(text)
         if todo:
-            outcomes = self._workers.evaluate_group(
-                snapshot, todo, self._evaluate_snapshot
-            )
+            # Coalesced waiters share one evaluation, so only a single
+            # sampled trace per distinct text — the primary — carries
+            # the engine's plan/scan/serialize spans.
+            primaries = {
+                text: next(
+                    (r.trace for r in by_text[text] if r.trace.sampled),
+                    NULL_TRACE,
+                )
+                for text in todo
+            }
+
+            def evaluate(snapshot: Snapshot, text: str) -> list:
+                begin = time.perf_counter()
+                with primaries[text].activate():
+                    result = self._evaluate_snapshot(snapshot, text)
+                self._eval_latency.observe(time.perf_counter() - begin)
+                return result
+
+            outcomes = self._workers.evaluate_group(snapshot, todo, evaluate)
             for text, (status, value) in zip(todo, outcomes):
                 requests = by_text[text]
                 if status != "ok":
                     for request in requests:
                         request.future.set_exception(value)
+                        request.trace.finish(outcome="error", error=str(value))
                     continue
                 self._count("evaluations")
                 self._count("coalesced", len(requests) - 1)
                 self._memo.put((name, snapshot.uid, text), value)
                 for request in requests:
                     request.future.set_result(value)
+                    request.trace.finish(
+                        outcome="ok", coalesced=len(requests) - 1
+                    )
         # Stale-read accounting: did a commit supersede the pinned
         # version while we were answering from it?
         try:
@@ -387,24 +488,33 @@ class QueryService:
         columns."""
         cache = self.engine.cache
         evaluator = ArenaEvaluator(snapshot.arena, cache.selecting_nfa_for)
-        refs = evaluator.evaluate_refs(cache.user_query(text))
-        return serialize_arena_items(snapshot.arena, refs)
+        with span("scan"):
+            refs = evaluator.evaluate_refs(cache.user_query(text))
+        with span("serialize"):
+            return serialize_arena_items(snapshot.arena, refs)
 
     def _run_fallback(self, request: _Request) -> None:
         """View targets and staged previews: the store's lock-holding
         serialized read path, one request at a time."""
         self._count("locked_reads")
+        request.trace.record_span(
+            "queue", time.perf_counter() - request.submitted
+        )
         if request.expired(time.monotonic()):
             request.future.set_exception(DeadlineError("expired in queue"))
+            request.trace.finish(outcome="deadline")
             return
         try:
-            result = self.store.query_serialized(
-                request.target, request.text, include_staged=request.staged
-            )
+            with request.trace.activate():
+                result = self.store.query_serialized(
+                    request.target, request.text, include_staged=request.staged
+                )
         except Exception as exc:  # noqa: BLE001 - forwarded to the waiter
             request.future.set_exception(exc)
+            request.trace.finish(outcome="error", error=str(exc))
             return
         request.future.set_result(result)
+        request.trace.finish(outcome="locked")
 
     # ------------------------------------------------------------------
     # Writes (single-writer discipline)
@@ -485,8 +595,11 @@ class QueryService:
             raise ServiceClosedError()
         snapshot = self.store.pin(name)
         self._count("transforms")
-        prepared = self.engine.prepare_transform(transform_text)
-        return serialize(prepared.run(snapshot.arena))
+        with self.tracer.trace("service.transform", target=name):
+            prepared = self.engine.prepare_transform(transform_text)
+            result = prepared.run(snapshot.arena)
+            with span("serialize"):
+                return serialize(result)
 
     # ------------------------------------------------------------------
     # Lifecycle and introspection
@@ -520,12 +633,17 @@ class QueryService:
         self.close()
 
     def _count(self, key: str, amount: int = 1) -> None:
-        with self._metrics_lock:
-            self._metrics[key] += amount
+        self._counters[key].inc(amount)
 
     def metrics(self) -> dict:
-        with self._metrics_lock:
-            return dict(self._metrics)
+        """The service tallies under their legacy short keys (the
+        counters themselves live in the registry — see
+        :data:`_METRIC_NAMES`)."""
+        return {key: counter.value for key, counter in self._counters.items()}
+
+    def traces(self, drain: bool = False) -> list:
+        """The buffered trace records (destructively when *drain*)."""
+        return self.tracer.drain() if drain else self.tracer.records()
 
     def stats(self) -> dict:
         return {
@@ -539,4 +657,6 @@ class QueryService:
                 "memo": self._memo.stats(),
             },
             "store": self.store.stats(),
+            "metrics": self.registry.snapshot(),
+            "traces": self.tracer.stats(),
         }

@@ -40,6 +40,7 @@ import threading
 from typing import Optional, Union
 
 from repro.engine.planner import Planner
+from repro.obs import span
 from repro.store.cache import CompiledCache, LRUCache
 from repro.store.documents import DocumentStore, Snapshot, StoredDocument
 from repro.store.errors import DuplicateNameError, StoreError, UnknownNameError
@@ -218,7 +219,8 @@ class ViewStore:
             self.arena_reads += 1
         self.planner.plan_read(arena)
         evaluator = ArenaEvaluator(arena, self.compiled.selecting_nfa_for)
-        return arena, evaluator, evaluator.evaluate_refs(user_query)
+        with span("scan"):
+            return arena, evaluator, evaluator.evaluate_refs(user_query)
 
     def _answer_arena(self, doc: StoredDocument, query_text: str) -> list:
         """Answer a user query from the document's frozen snapshot
@@ -259,7 +261,8 @@ class ViewStore:
             if cached is not None:
                 return cached
             arena, _, refs = self._arena_refs(doc, query_text)
-            result = serialize_arena_items(arena, refs)
+            with span("serialize"):
+                result = serialize_arena_items(arena, refs)
             self.results.put(key, result)
         return result
 
@@ -403,6 +406,30 @@ class ViewStore:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+
+    def bind_metrics(self, registry) -> None:
+        """Expose the store's counters through a
+        :class:`~repro.obs.registry.MetricsRegistry`, all as lazily
+        sampled probes under the ``layer.component.metric`` scheme
+        (``store.arena.reads`` next to the planner's
+        ``engine.planner.chosen.scan.arena`` — one spelling for the
+        arena read path, ending the seed's ``arena_reads`` vs
+        ``scan[arena]`` divergence).  The read/commit hot paths keep
+        their plain attribute bumps; nothing here adds per-request
+        cost."""
+        registry.probe("store.arena.reads", lambda: self.arena_reads)
+        registry.probe("store.snapshot.pins", lambda: self.snapshot_pins)
+        registry.probe("store.cache.results", self.results.stats)
+        self.compiled.bind_metrics(registry, prefix="store.cache.compiled")
+        registry.probe("store.documents.count", lambda: len(self.documents))
+        registry.probe(
+            "store.arena.builds",
+            lambda: sum(
+                info["arena_builds"] for info in self.documents.stats().values()
+            ),
+        )
+        registry.probe("store.views.count", lambda: len(self.views))
+        self.planner.bind_metrics(registry)
 
     def stats(self) -> dict:
         log_stats = self.log.stats()
