@@ -89,8 +89,8 @@ def run_speedup_table(factor: float) -> tuple[list, float]:
     for name, query in _workload():
         nfa = build_selecting_nfa(query.path)
         transform_topdown(tree, query, nfa=nfa)  # warm the DFA tables
-        dfa_time = _best_of(lambda: transform_topdown(tree, query, nfa=nfa))
-        nfa_time = _best_of(lambda: transform_topdown_nfa(tree, query, nfa=nfa))
+        dfa_time = _best_of(lambda q=query, n=nfa: transform_topdown(tree, q, nfa=n))
+        nfa_time = _best_of(lambda q=query, n=nfa: transform_topdown_nfa(tree, q, nfa=n))
         ratio = nfa_time / dfa_time
         ratios.append(ratio)
         rows.append((name, f"{nfa_time * 1000:.1f}", f"{dfa_time * 1000:.1f}",

@@ -1,0 +1,52 @@
+"""``repro.analysis`` — the concurrency & layering static-analysis pass.
+
+Three AST-based checkers enforce the invariants the concurrent parts of
+this codebase rest on, so they are machine-checked instead of
+hand-maintained:
+
+* **Lock discipline** (:mod:`repro.analysis.guards`): classes declare
+  which lock guards each shared mutable attribute (``# guarded-by:
+  self._lock``), and the checker proves every read/write of a guarded
+  attribute is lexically inside ``with <lock>:`` — or inside a method
+  declared ``# holds: <lock>`` because its callers own the lock.
+* **Import layering** (:mod:`repro.analysis.layers`): a declared layer
+  manifest (``xmltree`` at the bottom, ``cli`` at the top) is verified
+  against the *real* import graph; any back-edge or module-level import
+  cycle fails the build.
+* **Hot-path purity** (:mod:`repro.analysis.hotpath`): functions marked
+  ``# hot-path`` (the arena DFA scan, the no-op telemetry instruments)
+  must not use allocation-heavy constructs or take locks.
+
+Violations are waived line-by-line with ``# unguarded: <reason>``; every
+waiver's reason is printed in the report, so the cost of an exemption is
+permanent visibility.  The gate is exact: ``repro lint`` (or ``python
+-m repro.analysis``) exits non-zero on any finding not in the shipped
+baseline file, and ``--json`` emits a machine-readable report whose
+summary keys follow the obs registry's ``layer.component.metric``
+scheme (``analysis.lock.violations`` …).
+
+This package deliberately imports nothing from the rest of ``repro`` —
+it sits at the bottom of the layer manifest it enforces and analyzes
+source text only, so it can lint a broken tree.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.findings import Finding, Report, load_baseline, write_baseline
+from repro.analysis.guards import check_guards
+from repro.analysis.hotpath import check_hotpaths
+from repro.analysis.layers import DEFAULT_MANIFEST, check_layers
+from repro.analysis.runner import analyze_tree, main
+
+__all__ = [
+    "DEFAULT_MANIFEST",
+    "Finding",
+    "Report",
+    "analyze_tree",
+    "check_guards",
+    "check_hotpaths",
+    "check_layers",
+    "load_baseline",
+    "main",
+    "write_baseline",
+]

@@ -1,0 +1,206 @@
+"""Drive the three checkers over a source tree and render the report.
+
+Entry points: ``repro lint`` (the CLI subcommand) and ``python -m
+repro.analysis`` both land in :func:`main`.  The default root is the
+installed ``repro`` package directory, so the shipped tree is what gets
+checked with no arguments; ``--root`` points anywhere else (tests use
+this against fixture trees).
+
+Exit status: 0 when no violation survives the baseline, 1 otherwise,
+2 on usage errors — mirroring the main CLI's error boundary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import os
+import sys
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.findings import Finding, Report, load_baseline, write_baseline
+from repro.analysis.guards import check_guards
+from repro.analysis.hotpath import check_hotpaths
+from repro.analysis.layers import (
+    DEFAULT_MANIFEST,
+    check_layers,
+    module_name,
+    scan_imports,
+)
+
+__all__ = ["add_arguments", "analyze_tree", "main", "run_from_options"]
+
+#: Directories never scanned (caches, scratch).
+_SKIP_DIRS = {"__pycache__", ".git"}
+
+
+def _iter_sources(root: str) -> List[Tuple[str, str]]:
+    """``(relative path, absolute path)`` for every ``.py`` under root,
+    sorted for deterministic reports."""
+    out: List[Tuple[str, str]] = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(d for d in dirnames if d not in _SKIP_DIRS)
+        for name in sorted(filenames):
+            if not name.endswith(".py"):
+                continue
+            abs_path = os.path.join(dirpath, name)
+            rel = os.path.relpath(abs_path, root).replace(os.sep, "/")
+            out.append((rel, abs_path))
+    return out
+
+
+def analyze_tree(
+    root: str,
+    package: str = "repro",
+    manifest: Sequence[Sequence[str]] = DEFAULT_MANIFEST,
+) -> Report:
+    """Run all three checkers over the package rooted at *root*."""
+    report = Report()
+    sources: Dict[str, Tuple[str, str, ast.Module]] = {}  # rel -> (abs, src, tree)
+    known: "set[str]" = set()
+
+    for rel, abs_path in _iter_sources(root):
+        with open(abs_path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        try:
+            tree = ast.parse(source, filename=rel)
+        except SyntaxError as exc:
+            report.violations.append(
+                Finding(
+                    "layers", rel, exc.lineno or 1, "parse.error", rel,
+                    f"syntax error: {exc.msg}",
+                )
+            )
+            continue
+        sources[rel] = (abs_path, source, tree)
+        name = module_name(rel, package)
+        if name is not None:
+            known.add(name)
+
+    modules: Dict[str, Tuple[str, List[Tuple[str, int, bool]]]] = {}
+    for rel, (_abs, source, tree) in sources.items():
+        report.files_scanned += 1
+
+        findings, declared = check_guards(rel, source, tree)
+        report.extend(findings)
+        for guards in declared:
+            for attr, lock in sorted(guards.guarded.items()):
+                report.guarded_attrs.append(
+                    {"path": rel, "cls": guards.name, "attr": attr, "lock": lock}
+                )
+            for attr, reason in sorted(guards.unguarded.items()):
+                report.declared_unguarded.append(
+                    {"path": rel, "cls": guards.name, "attr": attr,
+                     "reason": reason}
+                )
+
+        findings, hot = check_hotpaths(rel, source, tree)
+        report.extend(findings)
+        module = module_name(rel, package)
+        prefix = module if module is not None else rel
+        report.hot_functions.extend(f"{prefix}.{name}" for name in hot)
+
+        if module is not None:
+            modules[module] = (rel, scan_imports(module, source, known, tree, package))
+
+    report.extend(check_layers(modules, manifest, package))
+    return report
+
+
+def _default_root() -> str:
+    """The installed ``repro`` package directory — derived from this
+    file's location rather than ``import repro``, keeping the analysis
+    package importable (and layer-clean) even when the tree is broken."""
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the lint flags on *parser* (shared with ``repro lint``)."""
+    parser.add_argument(
+        "--root",
+        default=None,
+        help="package directory to scan (default: the installed repro package)",
+    )
+    parser.add_argument(
+        "--package",
+        default="repro",
+        help="dotted package name the scanned tree roots (default: repro)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the machine-readable report"
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline file of accepted finding keys "
+        "(default: .analysis-baseline.json next to the scanned root's "
+        "repo, when present)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file; report everything",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="PATH",
+        default=None,
+        help="write the surviving violations as a new baseline and exit 0",
+    )
+
+
+def build_parser(prog: str = "repro-lint") -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description="Static analysis: lock discipline, import layering, "
+        "hot-path purity.",
+    )
+    add_arguments(parser)
+    return parser
+
+
+def _find_baseline(root: str) -> Optional[str]:
+    """Walk up from *root* looking for ``.analysis-baseline.json``."""
+    current = os.path.abspath(root)
+    for _ in range(6):
+        candidate = os.path.join(current, ".analysis-baseline.json")
+        if os.path.isfile(candidate):
+            return candidate
+        parent = os.path.dirname(current)
+        if parent == current:
+            break
+        current = parent
+    return None
+
+
+def run_from_options(opts: argparse.Namespace) -> int:
+    """Execute a lint run from parsed options (``repro lint`` lands
+    here with the main CLI's namespace)."""
+    root = opts.root if opts.root is not None else _default_root()
+    if not os.path.isdir(root):
+        print(f"error: not a directory: {root}", file=sys.stderr)
+        return 2
+
+    report = analyze_tree(root, package=opts.package)
+
+    baseline_path = opts.baseline
+    if baseline_path is None and not opts.no_baseline:
+        baseline_path = _find_baseline(root)
+    if baseline_path is not None and not opts.no_baseline:
+        try:
+            report.apply_baseline(load_baseline(baseline_path))
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    if opts.write_baseline is not None:
+        count = write_baseline(opts.write_baseline, report)
+        print(f"wrote {count} accepted key(s) to {opts.write_baseline}")
+        return 0
+
+    print(report.to_json() if opts.json else report.to_text())
+    return 0 if report.ok else 1
+
+
+def main(argv: Optional[Sequence[str]] = None, prog: str = "repro-lint") -> int:
+    return run_from_options(build_parser(prog).parse_args(argv))

@@ -63,6 +63,7 @@ def initial_id_for(selecting, arena: FrozenDocument, context: int = 0) -> Option
     return dfa.intern_set(selecting.initial_states())
 
 
+# hot-path
 def select_indices(
     selecting, arena: FrozenDocument, context: int = 0
 ) -> list:

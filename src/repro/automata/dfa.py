@@ -97,6 +97,15 @@ class LazyDFA:
     i.e. as long as the compiled caches keep it.
     """
 
+    # The compiled tables are deliberately read LOCK-FREE; writes go
+    # through _grow_lock with publish-last ordering.  Declared rather
+    # than guarded so the checker documents (and the report surfaces)
+    # exactly which shared state rides on that discipline:
+    # unguarded[_sets, final_flags, set_nq, set_qual_positions, _final_masks]: grow-only parallel tables; a set_id is published into _ids only after its row in every table is complete (publish-last under _grow_lock), so lock-free readers always see complete facts
+    # unguarded[_ids, _moves, _tracked]: grow-only dicts with idempotent inserts; two threads compiling the same entry write equivalent values (last write wins, both valid)
+    # unguarded[_arena_checks]: built once under _grow_lock (double-checked locking); immutable after publication
+    # unguarded[moves_compiled, tracked_compiled]: stats-only tallies; a lost increment under contention skews introspection, never correctness
+
     def __init__(self, automaton: Automaton, symbols: Optional[SymbolTable] = None):
         self.nfa = automaton
         self.symbols = symbols if symbols is not None else global_symbols()
@@ -237,7 +246,7 @@ class LazyDFA:
             move.targets[mask] = target
         return target
 
-    def apply_move(self, move: _Move, node: Element, checkp: Optional[CheckP]) -> int:
+    def apply_move(self, move: _Move, node: Element, checkp: Optional[CheckP]) -> int:  # hot-path
         """Decide a qualifier-bearing move at *node* (the slow half of
         :meth:`step`, exposed so hot loops can inline the fast half)."""
         mask = 0
@@ -253,6 +262,7 @@ class LazyDFA:
             return move.target0
         return self._target_for_mask(move, mask)
 
+    # hot-path
     def step(
         self,
         set_id: int,
@@ -308,7 +318,7 @@ class LazyDFA:
             checks = self._arena_checks
         return checks
 
-    def apply_move_arena(self, move: _Move, arena, i: int) -> int:
+    def apply_move_arena(self, move: _Move, arena, i: int) -> int:  # hot-path
         """Decide a qualifier-bearing move at arena index *i* — the
         columnar twin of :meth:`apply_move` (compiled arena closures
         instead of Node closures; same outcome-bitmask targets)."""
@@ -323,7 +333,7 @@ class LazyDFA:
             return move.target0
         return self._target_for_mask(move, mask)
 
-    def step_sym(self, set_id: int, sym: int, arena, i: int) -> int:
+    def step_sym(self, set_id: int, sym: int, arena, i: int) -> int:  # hot-path
         """``nextStates`` keyed directly by an interned symbol id — the
         transition the arena runners take (no label string in sight).
         """
@@ -355,7 +365,7 @@ class LazyDFA:
     # The tracked-alive mode (SAX pass 2, streaming select)
     # ------------------------------------------------------------------
 
-    def tracked_move(self, set_id: int, label: str) -> _TrackedMove:
+    def tracked_move(self, set_id: int, label: str) -> _TrackedMove:  # hot-path
         """The compiled pass-2 transition for ``(set_id, label)``.
 
         The caller holds ``(set_id, alive-bitmask)``; applying the move
@@ -420,6 +430,7 @@ class LazyDFA:
             cursor += 1
         return set_id, alive, cursor
 
+    # hot-path
     def advance_tracked(
         self, set_id: int, alive: int, label: str, ld: list, cursor: int
     ) -> tuple:

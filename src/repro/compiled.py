@@ -17,6 +17,8 @@ stays one-directional (store → engine → here).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Any, Dict, cast
+
 from repro.automata.dfa import LazyDFA
 from repro.automata.filtering import FilteringNFA, build_filtering_nfa
 from repro.automata.selecting import SelectingNFA, build_selecting_nfa
@@ -27,6 +29,9 @@ from repro.xpath.ast import Path
 from repro.xpath.parser import parse_xpath
 from repro.xquery.ast import Expr, UserQuery
 from repro.xquery.parser import parse_user_query
+
+if TYPE_CHECKING:
+    from repro.obs.registry import MetricsRegistry
 
 __all__ = ["CompiledCache", "CompiledPath"]
 
@@ -58,7 +63,7 @@ class CompiledPath:
     def filtering_dfa(self) -> LazyDFA:
         return self.filtering.dfa()
 
-    def stats(self) -> dict:
+    def stats(self) -> Dict[str, Any]:
         """Compiled-table sizes for both automata (see
         :meth:`repro.automata.dfa.LazyDFA.stats`)."""
         return {
@@ -93,17 +98,18 @@ class CompiledCache:
     # ------------------------------------------------------------------
 
     def xpath(self, text: str) -> Path:
-        return self.paths.get_or_compute(text, lambda: parse_xpath(text))
+        # The LRU stores Any; the casts re-assert what each cache holds.
+        return cast(Path, self.paths.get_or_compute(text, lambda: parse_xpath(text)))
 
     def transform(self, text: str) -> TransformQuery:
-        return self.transforms.get_or_compute(
+        return cast(TransformQuery, self.transforms.get_or_compute(
             text, lambda: parse_transform_query(text)
-        )
+        ))
 
     def user_query(self, text: str) -> UserQuery:
-        return self.user_queries.get_or_compute(
+        return cast(UserQuery, self.user_queries.get_or_compute(
             text, lambda: parse_user_query(text)
-        )
+        ))
 
     # ------------------------------------------------------------------
     # Automata and plans
@@ -113,14 +119,14 @@ class CompiledCache:
         # NFAs are keyed by the parsed Path (hashable, structural
         # equality): rendered text does not round-trip quoted string
         # literals, so it must never be the cache key.
-        return self.selecting.get_or_compute(
+        return cast(SelectingNFA, self.selecting.get_or_compute(
             path, lambda: build_selecting_nfa(path)
-        )
+        ))
 
     def filtering_nfa_for(self, path: Path) -> FilteringNFA:
-        return self.filtering.get_or_compute(
+        return cast(FilteringNFA, self.filtering.get_or_compute(
             path, lambda: build_filtering_nfa(path)
-        )
+        ))
 
     def selecting_nfa(self, path_text: str) -> SelectingNFA:
         return self.selecting_nfa_for(self.xpath(path_text))
@@ -131,12 +137,12 @@ class CompiledCache:
     def compiled_path_for(self, path: Path) -> CompiledPath:
         """The :class:`CompiledPath` bundle for a parsed path — shares
         the NFA caches, so the bundle is pure bookkeeping on top."""
-        return self.compiled_paths.get_or_compute(
+        return cast(CompiledPath, self.compiled_paths.get_or_compute(
             path,
             lambda: CompiledPath(
                 path, self.selecting_nfa_for(path), self.filtering_nfa_for(path)
             ),
-        )
+        ))
 
     def compiled_path(self, path_text: str) -> CompiledPath:
         return self.compiled_path_for(self.xpath(path_text))
@@ -157,7 +163,7 @@ class CompiledCache:
                 nfa=self.selecting_nfa_for(transform.path),
             )
 
-        return self.plans.get_or_compute((user_text, transform_text), build)
+        return cast(Expr, self.plans.get_or_compute((user_text, transform_text), build))
 
     # ------------------------------------------------------------------
 
@@ -165,7 +171,7 @@ class CompiledCache:
         for cache in self._caches().values():
             cache.invalidate()
 
-    def _caches(self) -> dict:
+    def _caches(self) -> Dict[str, LRUCache]:
         return {
             "paths": self.paths,
             "transforms": self.transforms,
@@ -176,10 +182,10 @@ class CompiledCache:
             "plans": self.plans,
         }
 
-    def stats(self) -> dict:
+    def stats(self) -> Dict[str, Any]:
         return {name: cache.stats() for name, cache in self._caches().items()}
 
-    def dfa_stats(self) -> dict:
+    def dfa_stats(self) -> Dict[str, int]:
         """Aggregate lazy-DFA table sizes across every cached
         :class:`CompiledPath` — the one place the per-automaton
         ``LazyDFA.stats()`` counters roll up under normalized names
@@ -199,7 +205,7 @@ class CompiledCache:
                 totals["tracked_moves"] += stats["tracked_moves"]
         return totals
 
-    def bind_metrics(self, registry, prefix: str = "engine.compiled") -> None:
+    def bind_metrics(self, registry: "MetricsRegistry", prefix: str = "engine.compiled") -> None:
         """Expose every cache's hit/miss/eviction tallies and the
         aggregate DFA table sizes through a metrics registry."""
         for name, cache in self._caches().items():

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Callable, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 _MISSING = object()
 
@@ -26,17 +26,19 @@ class LRUCache:
     the same value once each; the cache stays consistent either way).
     """
 
+    # guarded-by[hits, misses, evictions, _data]: self._lock
+
     def __init__(self, maxsize: int = 128):
         if maxsize < 1:
             raise ValueError(f"maxsize must be positive, got {maxsize}")
-        self.maxsize = maxsize
+        self.maxsize = maxsize  # immutable after construction
         self.hits = 0
         self.misses = 0
         self.evictions = 0
-        self._data: OrderedDict = OrderedDict()
+        self._data: "OrderedDict[Any, Any]" = OrderedDict()
         self._lock = threading.Lock()
 
-    def get(self, key, default=None):
+    def get(self, key: Any, default: Any = None) -> Any:
         with self._lock:
             value = self._data.get(key, _MISSING)
             if value is _MISSING:
@@ -46,7 +48,7 @@ class LRUCache:
             self.hits += 1
             return value
 
-    def put(self, key, value) -> None:
+    def put(self, key: Any, value: Any) -> None:
         with self._lock:
             if key in self._data:
                 self._data.move_to_end(key)
@@ -55,14 +57,14 @@ class LRUCache:
                 self._data.popitem(last=False)
                 self.evictions += 1
 
-    def get_or_compute(self, key, factory: Callable):
+    def get_or_compute(self, key: Any, factory: Callable[[], Any]) -> Any:
         value = self.get(key, _MISSING)
         if value is _MISSING:
             value = factory()
             self.put(key, value)
         return value
 
-    def invalidate(self, predicate: Optional[Callable] = None) -> int:
+    def invalidate(self, predicate: Optional[Callable[[Any], bool]] = None) -> int:
         """Drop every entry (or those whose *key* satisfies *predicate*);
         returns the number of entries removed."""
         with self._lock:
@@ -75,7 +77,7 @@ class LRUCache:
                 del self._data[key]
             return len(doomed)
 
-    def values(self) -> list:
+    def values(self) -> List[Any]:
         """A point-in-time list of the cached values (most-recently
         used last) — what aggregate metrics probes iterate over."""
         with self._lock:
@@ -85,11 +87,11 @@ class LRUCache:
         with self._lock:
             return len(self._data)
 
-    def __contains__(self, key) -> bool:
+    def __contains__(self, key: Any) -> bool:
         with self._lock:
             return key in self._data
 
-    def stats(self) -> dict:
+    def stats(self) -> Dict[str, int]:
         with self._lock:
             return {
                 "size": len(self._data),

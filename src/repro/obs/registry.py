@@ -36,7 +36,7 @@ from __future__ import annotations
 import re
 import threading
 from bisect import bisect_left
-from typing import Callable, Optional, Sequence, Union
+from typing import Any, Callable, Dict, Optional, Sequence, Type, Union, cast
 
 __all__ = [
     "Counter",
@@ -74,6 +74,8 @@ class Counter:
 
     __slots__ = ("name", "_lock", "_value")
 
+    # guarded-by[_value]: self._lock
+
     def __init__(self, name: str):
         self.name = name
         self._lock = threading.Lock()
@@ -99,6 +101,8 @@ class Gauge:
     """A named point-in-time value (thread-safe)."""
 
     __slots__ = ("name", "_lock", "_value")
+
+    # guarded-by[_value]: self._lock
 
     def __init__(self, name: str):
         self.name = name
@@ -143,6 +147,8 @@ class Histogram:
         "name", "bounds", "_counts", "_lock", "_count", "_sum", "_min", "_max",
     )
 
+    # guarded-by[_counts, _count, _sum, _min, _max]: self._lock
+
     def __init__(self, name: str, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS):
         if not buckets or list(buckets) != sorted(buckets):
             raise ValueError("histogram buckets must be a sorted non-empty sequence")
@@ -177,7 +183,7 @@ class Histogram:
         with self._lock:
             return self._percentile_locked(q)
 
-    def _percentile_locked(self, q: float) -> Optional[float]:
+    def _percentile_locked(self, q: float) -> Optional[float]:  # holds: self._lock
         if self._count == 0:
             return None
         rank = q / 100.0 * self._count
@@ -205,7 +211,7 @@ class Histogram:
             seen += bucket_count
         return self._max
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> Dict[str, Any]:
         with self._lock:
             if self._count == 0:
                 return {"count": 0, "sum": 0.0}
@@ -235,26 +241,26 @@ class _NullInstrument:
     __slots__ = ()
 
     name = "disabled"
-    bounds = ()
+    bounds: "tuple[float, ...]" = ()
     value = 0
     count = 0
 
-    def inc(self, amount=1) -> None:
+    def inc(self, amount: float = 1) -> None:  # hot-path
         pass
 
-    def dec(self, amount=1) -> None:
+    def dec(self, amount: float = 1) -> None:  # hot-path
         pass
 
-    def set(self, value) -> None:
+    def set(self, value: float) -> None:  # hot-path
         pass
 
-    def observe(self, value) -> None:
+    def observe(self, value: float) -> None:  # hot-path
         pass
 
-    def percentile(self, q):
+    def percentile(self, q: float) -> None:
         return None
 
-    def snapshot(self):
+    def snapshot(self) -> int:
         return 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -285,17 +291,21 @@ class MetricsRegistry:
       same probe twice, harmlessly).
     """
 
+    # guarded-by[_instruments, _probes]: self._lock
+
     def __init__(self, enabled: bool = True):
-        self.enabled = enabled
+        self.enabled = enabled  # immutable after construction
         self._lock = threading.Lock()
-        self._instruments: "dict[str, Instrument]" = {}
-        self._probes: "dict[str, Callable]" = {}
+        self._instruments: Dict[str, Instrument] = {}
+        self._probes: Dict[str, Callable[[], Any]] = {}
 
     # ------------------------------------------------------------------
     # Instrument creation (memoized by name)
     # ------------------------------------------------------------------
 
-    def _instrument(self, name: str, kind: type, factory: Callable) -> Instrument:
+    def _instrument(
+        self, name: str, kind: Type[Instrument], factory: Callable[[], Instrument]
+    ) -> Instrument:
         if not self.enabled:
             return NULL_INSTRUMENT
         check_metric_name(name)
@@ -313,17 +323,23 @@ class MetricsRegistry:
             return made
 
     def counter(self, name: str) -> Counter:
-        return self._instrument(name, Counter, lambda: Counter(name))
+        # The disabled registry returns the null singleton, which
+        # quacks like every instrument kind; the cast keeps call sites
+        # typed against the real one.
+        return cast(Counter, self._instrument(name, Counter, lambda: Counter(name)))
 
     def gauge(self, name: str) -> Gauge:
-        return self._instrument(name, Gauge, lambda: Gauge(name))
+        return cast(Gauge, self._instrument(name, Gauge, lambda: Gauge(name)))
 
     def histogram(
         self, name: str, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS
     ) -> Histogram:
-        return self._instrument(name, Histogram, lambda: Histogram(name, buckets))
+        return cast(
+            Histogram,
+            self._instrument(name, Histogram, lambda: Histogram(name, buckets)),
+        )
 
-    def probe(self, name: str, fn: Callable) -> None:
+    def probe(self, name: str, fn: Callable[[], Any]) -> None:
         """Register a lazily-sampled metric source under *name*: a
         callable returning a number or a nested dict (flattened into
         ``name.key…`` at snapshot time)."""
@@ -337,7 +353,7 @@ class MetricsRegistry:
     # Snapshots
     # ------------------------------------------------------------------
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> Dict[str, Any]:
         """Every instrument and probe, flattened to ``{name: value}``
         (histograms appear as their summary dicts), sorted by name."""
         if not self.enabled:
@@ -345,14 +361,14 @@ class MetricsRegistry:
         with self._lock:
             instruments = list(self._instruments.items())
             probes = list(self._probes.items())
-        out: dict = {}
+        out: Dict[str, Any] = {}
         for name, instrument in instruments:
             out[name] = instrument.snapshot()
         for name, fn in probes:
             _flatten_into(out, name, fn())
         return dict(sorted(out.items()))
 
-    def get(self, name: str):
+    def get(self, name: str) -> Any:
         """The current snapshot value of one metric (or None)."""
         return self.snapshot().get(name)
 
@@ -361,7 +377,7 @@ class MetricsRegistry:
             return name in self._instruments or name in self._probes
 
 
-def _flatten_into(out: dict, prefix: str, value) -> None:
+def _flatten_into(out: Dict[str, Any], prefix: str, value: Any) -> None:
     if isinstance(value, dict):
         for key, sub in value.items():
             _flatten_into(out, f"{prefix}.{_sanitize(str(key))}", sub)

@@ -45,7 +45,7 @@ import json
 import threading
 import time
 from collections import deque
-from typing import Optional
+from typing import Any, Deque, Dict, List, Optional, Union
 
 __all__ = [
     "NULL_SPAN",
@@ -64,13 +64,14 @@ def current_trace() -> Optional["Trace"]:
     return getattr(_active, "trace", None)
 
 
-def span(name: str):
+# hot-path
+def span(name: str) -> "Union[_SpanContext, _NullSpan]":
     """A span on the calling thread's active trace (no-op without one).
 
     The form deep engine code uses: ``with span("plan"): …`` costs one
     thread-local read when tracing is off.
     """
-    trace = getattr(_active, "trace", None)
+    trace = getattr(_active, "trace", None)  # unguarded: one thread-local read is the documented cost of the off path
     if trace is None:
         return NULL_SPAN
     return trace.span(name)
@@ -81,10 +82,10 @@ class _NullSpan:
 
     __slots__ = ()
 
-    def __enter__(self):
+    def __enter__(self) -> "_NullSpan":  # hot-path
         return self
 
-    def __exit__(self, *exc_info):
+    def __exit__(self, *exc_info: object) -> bool:  # hot-path
         return False
 
 
@@ -100,25 +101,25 @@ class _NullTrace:
 
     sampled = False
 
-    def span(self, name):
+    def span(self, name: str) -> _NullSpan:  # hot-path
         return NULL_SPAN
 
-    def record_span(self, name, dur, start=None, depth=0) -> None:
+    def record_span(self, name: str, dur: float, start: Optional[float] = None, depth: int = 0) -> None:  # hot-path
         pass
 
-    def note(self, **meta) -> None:
+    def note(self, **meta: Any) -> None:  # hot-path
         pass
 
-    def activate(self):
+    def activate(self) -> _NullSpan:  # hot-path
         return NULL_SPAN  # enter/exit no-op, reused as a null context
 
-    def finish(self, **meta) -> None:
+    def finish(self, **meta: Any) -> None:  # hot-path
         pass
 
-    def __enter__(self):
+    def __enter__(self) -> "_NullTrace":  # hot-path
         return self
 
-    def __exit__(self, *exc_info):
+    def __exit__(self, *exc_info: object) -> bool:  # hot-path
         return False
 
 
@@ -134,12 +135,12 @@ class _SpanContext:
         self.trace = trace
         self.name = name
 
-    def __enter__(self):
+    def __enter__(self) -> "_SpanContext":
         self._depth = self.trace._enter_span()
         self._start = time.perf_counter()
         return self
 
-    def __exit__(self, *exc_info):
+    def __exit__(self, *exc_info: object) -> bool:
         end = time.perf_counter()
         self.trace._exit_span(self.name, self._start, end, self._depth)
         return False
@@ -154,12 +155,12 @@ class _Activation:
     def __init__(self, trace: "Trace"):
         self.trace = trace
 
-    def __enter__(self):
+    def __enter__(self) -> "Trace":
         self._previous = getattr(_active, "trace", None)
         _active.trace = self.trace
         return self.trace
 
-    def __exit__(self, *exc_info):
+    def __exit__(self, *exc_info: object) -> bool:
         _active.trace = self._previous
         return False
 
@@ -172,9 +173,12 @@ class Trace:
         "_lock", "_spans", "_depth", "_finished", "_activations",
     )
 
+    # guarded-by[meta, _spans, _depth, _finished]: self._lock
+    # unguarded[_activations]: only touched by __enter__/__exit__ on the thread using the trace as a context manager (thread-confined by contract)
+
     sampled = True
 
-    def __init__(self, tracer: Optional["Tracer"], name: str, trace_id: int, meta: dict):
+    def __init__(self, tracer: Optional["Tracer"], name: str, trace_id: int, meta: Dict[str, Any]):
         self.tracer = tracer
         self.name = name
         self.trace_id = trace_id
@@ -182,10 +186,10 @@ class Trace:
         self.started_at = time.time()
         self._t0 = time.perf_counter()
         self._lock = threading.Lock()
-        self._spans: list = []
+        self._spans: List[Dict[str, Any]] = []
         self._depth = 0
         self._finished = False
-        self._activations: list = []
+        self._activations: List[_Activation] = []
 
     # ------------------------------------------------------------------
     # Spans
@@ -201,7 +205,7 @@ class Trace:
             return depth
 
     def _exit_span(self, name: str, start: float, end: float, depth: int) -> None:
-        record = {
+        record: Dict[str, Any] = {
             "name": name,
             "start_us": int((start - self._t0) * 1e6),
             "dur_us": int((end - start) * 1e6),
@@ -224,7 +228,7 @@ class Trace:
         a different thread than the one that evaluates."""
         now = time.perf_counter()
         begin = start if start is not None else now - dur
-        record = {
+        record: Dict[str, Any] = {
             "name": name,
             "start_us": int((begin - self._t0) * 1e6),
             "dur_us": int(dur * 1e6),
@@ -233,7 +237,7 @@ class Trace:
         with self._lock:
             self._spans.append(record)
 
-    def note(self, **meta) -> None:
+    def note(self, **meta: Any) -> None:
         """Attach metadata to the trace record (merged on finish)."""
         with self._lock:
             self.meta.update(meta)
@@ -247,7 +251,7 @@ class Trace:
         finishing it on exit)."""
         return _Activation(self)
 
-    def finish(self, **meta) -> None:
+    def finish(self, **meta: Any) -> None:
         """Close the trace and push its record to the tracer's ring.
         Idempotent — only the first call records."""
         end = time.perf_counter()
@@ -257,7 +261,7 @@ class Trace:
             self._finished = True
             if meta:
                 self.meta.update(meta)
-            record = {
+            record: Dict[str, Any] = {
                 "trace": self.trace_id,
                 "name": self.name,
                 "start": self.started_at,
@@ -274,7 +278,7 @@ class Trace:
         self._activations.append(activation)
         return self
 
-    def __exit__(self, exc_type, exc, tb):
+    def __exit__(self, exc_type: object, exc: Optional[BaseException], tb: object) -> bool:
         if self._activations:
             self._activations.pop().__exit__(exc_type, exc, tb)
         if exc is not None:
@@ -294,6 +298,8 @@ class Tracer:
       end (``dropped`` counts them).
     """
 
+    # guarded-by[_ring, _seq, _recorded, _dropped]: self._lock
+
     def __init__(self, ring: int = 256, sample_every: int = 1, enabled: bool = True):
         if ring < 1:
             raise ValueError(f"ring must be positive, got {ring}")
@@ -302,14 +308,14 @@ class Tracer:
         self.enabled = enabled and sample_every > 0
         self.sample_every = max(1, sample_every)
         self._lock = threading.Lock()
-        self._ring: deque = deque(maxlen=ring)
+        self._ring: Deque[Dict[str, Any]] = deque(maxlen=ring)
         self._seq = 0
         self._recorded = 0
         self._dropped = 0
 
     # ------------------------------------------------------------------
 
-    def trace(self, name: str, **meta) -> Trace:
+    def trace(self, name: str, **meta: Any) -> Trace:
         """Begin a trace (or hand back :data:`NULL_TRACE` when this one
         is not sampled)."""
         if not self.enabled:
@@ -321,7 +327,7 @@ class Tracer:
             return NULL_TRACE  # type: ignore[return-value]
         return Trace(self, name, seq, meta)
 
-    def _record(self, record: dict) -> None:
+    def _record(self, record: Dict[str, Any]) -> None:
         with self._lock:
             if len(self._ring) == self._ring.maxlen:
                 self._dropped += 1
@@ -332,12 +338,12 @@ class Tracer:
     # Reading the ring
     # ------------------------------------------------------------------
 
-    def records(self) -> list:
+    def records(self) -> List[Dict[str, Any]]:
         """The buffered trace records, oldest first (non-destructive)."""
         with self._lock:
             return list(self._ring)
 
-    def drain(self) -> list:
+    def drain(self) -> List[Dict[str, Any]]:
         """Pop and return every buffered record."""
         with self._lock:
             out = list(self._ring)
@@ -348,7 +354,7 @@ class Tracer:
         """The buffered records as newline-delimited JSON."""
         return "\n".join(json.dumps(r, separators=(",", ":")) for r in self.records())
 
-    def stats(self) -> dict:
+    def stats(self) -> Dict[str, Any]:
         with self._lock:
             return {
                 "enabled": self.enabled,

@@ -189,6 +189,8 @@ class QueryService:
     """A concurrent front for one :class:`ViewStore` (see the module
     docstring for the concurrency and batching discipline)."""
 
+    # guarded-by[_closed]: self._admission_lock
+
     def __init__(
         self,
         store: Optional[ViewStore] = None,
@@ -297,7 +299,7 @@ class QueryService:
         what a naive server would do per request, and the baseline the
         service benchmarks compare the batched path against.
         """
-        if self._closed:
+        if self._is_closed():
             raise ServiceClosedError()
         snapshot = self.store.pin(target)
         self._count("requests")
@@ -520,12 +522,25 @@ class QueryService:
     # Writes (single-writer discipline)
     # ------------------------------------------------------------------
 
+    def _is_closed(self) -> bool:
+        """Read the closed flag under its lock.  The seed read it bare
+        from the read paths; on CPython that "worked", but the flag's
+        contract (no admission after close) only holds when the check
+        synchronizes with close()'s write.  The lock is uncontended in
+        steady state, so this costs one atomic acquire per call.
+
+        Ordering: writers hold ``_write_lock`` when they reach this
+        (write → admission), while :meth:`close` takes the two locks
+        strictly in sequence, never nested — no cycle either way."""
+        with self._admission_lock:
+            return self._closed
+
     def _check_open(self) -> None:
         """Refuse writes on a closed service (called INSIDE the write
         lock): after :meth:`close` returns, the store is guaranteed
         quiescent — what lets ``repro serve`` save the durable state
         without racing a straggling connection thread's commit."""
-        if self._closed:
+        if self._is_closed():
             raise ServiceClosedError()
 
     def load(self, name: str, path: str, *, replace: bool = False) -> dict:
@@ -591,7 +606,7 @@ class QueryService:
         arena (thawing internally as its planned strategy requires),
         so a concurrent commit cannot tear the tree being read.
         """
-        if self._closed:
+        if self._is_closed():
             raise ServiceClosedError()
         snapshot = self.store.pin(name)
         self._count("transforms")

@@ -155,7 +155,7 @@ class ProcessWorkers(ThreadWorkers):
             self.pool.shutdown(wait=False)
             raise ServiceError(f"process worker pool unavailable: {exc}") from exc
         self._columns_lock = threading.Lock()
-        self._columns_cache: "OrderedDict[tuple, dict]" = OrderedDict()
+        self._columns_cache: "OrderedDict[tuple, dict]" = OrderedDict()  # guarded-by: self._columns_lock
 
     def _columns_for(self, snapshot) -> dict:
         key = (snapshot.name, snapshot.uid)

@@ -88,6 +88,9 @@ class StoredDocument:
         "_arena", "_arena_version", "_arena_uid", "arena_builds",
     )
 
+    # guarded-by[root, version, dirty, arena_builds]: self.lock
+    # guarded-by[_arena, _arena_version, _arena_uid]: self.lock
+
     def __init__(
         self,
         name: str,
@@ -108,7 +111,7 @@ class StoredDocument:
         self._arena_uid = 0
         self.arena_builds = 0
 
-    def bump(self) -> int:
+    def bump(self) -> int:  # holds: self.lock
         """Advance the version (callers hold :attr:`lock`); the frozen
         snapshot of the old version is released (readers holding it
         are unaffected — it is immutable)."""
@@ -116,7 +119,7 @@ class StoredDocument:
         self._arena = None
         return self.version
 
-    def arena(self):
+    def arena(self):  # holds: self.lock
         """The frozen columnar snapshot of the current version,
         building it on first access (callers hold :attr:`lock`)."""
         if self._arena is None or self._arena_version != self.version:
@@ -142,26 +145,31 @@ class StoredDocument:
             return Snapshot(self.name, self.version, arena, self._arena_uid)
 
     def stats(self) -> dict:
-        info = {
-            "version": self.version,
-            "nodes": self.root.size(),
-            "depth": self.root.depth(),
-            "source": self.source,
-            "arena_builds": self.arena_builds,
-        }
-        arena = self._arena
-        if arena is not None and self._arena_version == self.version:
-            arena_stats = arena.stats()
-            info["arena_bytes"] = arena_stats["total_bytes"]
-            info["arena_column_bytes"] = arena_stats["column_bytes"]
-        return info
+        # Taken under the document lock: a commit in flight could
+        # otherwise tear version/tree/arena into an inconsistent row.
+        with self.lock:
+            info = {
+                "version": self.version,
+                "nodes": self.root.size(),
+                "depth": self.root.depth(),
+                "source": self.source,
+                "arena_builds": self.arena_builds,
+            }
+            arena = self._arena
+            if arena is not None and self._arena_version == self.version:
+                arena_stats = arena.stats()
+                info["arena_bytes"] = arena_stats["total_bytes"]
+                info["arena_column_bytes"] = arena_stats["column_bytes"]
+            return info
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"StoredDocument({self.name!r}, v{self.version})"
+        return f"StoredDocument({self.name!r}, v{self.version})"  # unguarded: debug repr; a torn version read is harmless
 
 
 class DocumentStore:
     """The name → :class:`StoredDocument` table."""
+
+    # guarded-by[_docs]: self._lock
 
     def __init__(self):
         self._docs: dict[str, StoredDocument] = {}

@@ -49,6 +49,8 @@ class StagedUpdate:
 class UpdateLog:
     """Per-document staging areas and commit history."""
 
+    # guarded-by[_staged, _history]: self._lock
+
     def __init__(self, planner: Optional[Planner] = None):
         self._staged: dict[str, list[StagedUpdate]] = {}
         self._history: dict[str, list[str]] = {}

@@ -58,6 +58,8 @@ from repro.xquery.parser import parse_user_query
 class ViewStore:
     """A resident multi-document store with stacked virtual views."""
 
+    # guarded-by[arena_reads, snapshot_pins]: self._counter_lock
+
     def __init__(
         self,
         policy: Optional[MaterializationPolicy] = None,
@@ -407,6 +409,14 @@ class ViewStore:
     # Introspection
     # ------------------------------------------------------------------
 
+    def _counter_values(self) -> tuple[int, int]:
+        """One consistent ``(arena_reads, snapshot_pins)`` row — the
+        only sanctioned way to read the store-wide counters (the seed
+        read them bare from stats() and the metric probes, which could
+        observe a torn pair mid-increment)."""
+        with self._counter_lock:
+            return self.arena_reads, self.snapshot_pins
+
     def bind_metrics(self, registry) -> None:
         """Expose the store's counters through a
         :class:`~repro.obs.registry.MetricsRegistry`, all as lazily
@@ -417,8 +427,8 @@ class ViewStore:
         ``scan[arena]`` divergence).  The read/commit hot paths keep
         their plain attribute bumps; nothing here adds per-request
         cost."""
-        registry.probe("store.arena.reads", lambda: self.arena_reads)
-        registry.probe("store.snapshot.pins", lambda: self.snapshot_pins)
+        registry.probe("store.arena.reads", lambda: self._counter_values()[0])
+        registry.probe("store.snapshot.pins", lambda: self._counter_values()[1])
         registry.probe("store.cache.results", self.results.stats)
         self.compiled.bind_metrics(registry, prefix="store.cache.compiled")
         registry.probe("store.documents.count", lambda: len(self.documents))
@@ -432,6 +442,7 @@ class ViewStore:
         self.planner.bind_metrics(registry)
 
     def stats(self) -> dict:
+        arena_reads, snapshot_pins = self._counter_values()
         log_stats = self.log.stats()
         documents = {}
         for name, info in self.documents.stats().items():
@@ -446,6 +457,6 @@ class ViewStore:
                 "results": self.results.stats(),
             },
             "planner": self.planner.stats(),
-            "arena_reads": self.arena_reads,
-            "snapshot_pins": self.snapshot_pins,
+            "arena_reads": arena_reads,
+            "snapshot_pins": snapshot_pins,
         }

@@ -55,6 +55,11 @@ class View:
         "materialized_version",
     )
 
+    # A View's mutable state is guarded by the *owning document's*
+    # lock, which the View cannot name: every query/commit path in
+    # ViewStore touches these fields only inside `with doc.lock:`.
+    # unguarded[query_count, materialized_root, materialized_version]: guarded by the owning document's lock (held by every ViewStore query/commit path); a View cannot name it
+
     def __init__(
         self, name: str, base: str, transform: TransformQuery, transform_text: str
     ):
@@ -87,6 +92,8 @@ class View:
 
 class ViewRegistry:
     """The name → :class:`View` table and its stacking structure."""
+
+    # guarded-by[_views]: self._lock
 
     def __init__(self, policy: Optional[MaterializationPolicy] = None):
         self.policy = policy if policy is not None else MaterializationPolicy()

@@ -126,7 +126,7 @@ class XMarkGenerator:
             "United States" if self.rng.random() < 0.4 else self.rng.choice(COUNTRIES[1:])
         )
         mails = []
-        for mail_index in range(self.rng.randint(0, 2)):
+        for _mail_index in range(self.rng.randint(0, 2)):
             mails.append(
                 element(
                     "mail",

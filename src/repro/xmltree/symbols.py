@@ -50,6 +50,8 @@ class SymbolTable:
 
     __slots__ = ("_ids", "strings", "_lock")
 
+    # unguarded[_ids, strings]: grow-only with double-checked locking writes under _lock; an id is appended to strings before it is published into _ids, so lock-free readers never see a dangling id
+
     def __init__(self):
         self._ids: dict[str, int] = {}
         self.strings: list[str] = []   # id -> canonical label
@@ -69,7 +71,7 @@ class SymbolTable:
                 self._ids[label] = sym
         return sym
 
-    def id_of(self, label: str) -> Optional[int]:
+    def id_of(self, label: str) -> Optional[int]:  # hot-path
         """The id of *label* if it has been seen, else None."""
         return self._ids.get(label)
 

@@ -503,3 +503,79 @@ def test_readers_never_observe_partial_commits():
     assert not errors
     assert not violations, f"readers saw torn commits: {violations}"
     assert len(read_counts) > 1, "hammer never overlapped distinct versions"
+
+
+class TestClosedFlagDiscipline:
+    """Regression: the closed flag is guarded by the admission lock.
+
+    The seed read ``_closed`` bare from ``query_direct``, ``transform``
+    and ``_check_open``; the reads now go through ``_is_closed()``
+    under the admission lock (what ``repro lint``'s guarded-by checker
+    enforces), so a close() on one thread is guaranteed visible to the
+    next read or write on any other.
+    """
+
+    def test_every_entry_point_refuses_after_close(self):
+        svc = QueryService()
+        svc.put("db", CATALOG)
+        svc.close()
+        with pytest.raises(ServiceClosedError):
+            svc.query_direct("db", "for $x in part return $x")
+        with pytest.raises(ServiceClosedError):
+            svc.transform("db", HIDE_A)
+        with pytest.raises(ServiceClosedError):
+            svc.submit("db", "for $x in part return $x")
+        with pytest.raises(ServiceClosedError):
+            svc.commit("db", HIDE_A)
+
+    def test_closed_check_synchronizes_with_admission_lock(self):
+        """_is_closed() actually takes the admission lock: a thread
+        holding it stalls the check (the synchronization the bare read
+        lacked)."""
+        svc = QueryService()
+        svc.put("db", CATALOG)
+        try:
+            results: list = []
+            svc._admission_lock.acquire()
+            probe = threading.Thread(
+                target=lambda: results.append(svc._is_closed())
+            )
+            probe.start()
+            probe.join(timeout=0.2)
+            assert probe.is_alive(), "_is_closed() returned without the lock"
+            svc._admission_lock.release()
+            probe.join(timeout=2.0)
+            assert results == [False]
+        finally:
+            if svc._admission_lock.locked():  # pragma: no cover - cleanup
+                svc._admission_lock.release()
+            svc.close()
+
+    def test_close_during_reads_never_hangs_or_corrupts(self):
+        """Races between readers and close() end in exactly two ways:
+        a served result or ServiceClosedError — never a hang."""
+        svc = QueryService()
+        svc.put("db", CATALOG)
+        expected = svc.store.query_serialized("db", "for $x in part/pname return $x")
+        outcomes: list = []
+
+        def reader():
+            try:
+                outcomes.append(
+                    ("ok", svc.query_direct("db", "for $x in part/pname return $x"))
+                )
+            except ServiceClosedError:
+                outcomes.append(("closed", None))
+
+        threads = [threading.Thread(target=reader) for _ in range(8)]
+        for t in threads[:4]:
+            t.start()
+        svc.close()
+        for t in threads[4:]:
+            t.start()
+        for t in threads:
+            t.join(timeout=5.0)
+        assert not any(t.is_alive() for t in threads)
+        for kind, value in outcomes:
+            if kind == "ok":
+                assert value == expected

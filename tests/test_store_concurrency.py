@@ -360,3 +360,99 @@ def test_save_store_excluded_from_concurrent_save(tmp_path):
     final = open_store(state_dir)
     assert final.documents.names() == ["a", "b"]
     save_store(final, state_dir)  # plain save still works outside the lock
+
+
+# ----------------------------------------------------------------------
+# Lock-discipline regressions (found by `repro lint`'s guarded-by checker)
+# ----------------------------------------------------------------------
+
+
+def test_store_counter_reads_go_through_the_counter_lock():
+    """Regression: stats() and the metric probes read arena_reads/
+    snapshot_pins through _counter_values() under _counter_lock (the
+    seed read the attributes bare, racing the increments in
+    _arena_refs/pin)."""
+    from repro.obs import MetricsRegistry
+
+    store = ViewStore()
+    store.put("db", "<db><part><pname>kb</pname></part></db>")
+    registry = MetricsRegistry()
+    store.bind_metrics(registry)
+
+    errors: list = []
+
+    def hammer():
+        try:
+            for _ in range(50):
+                store.query_serialized("db", "for $x in part/pname return $x")
+                store.results.invalidate()  # force a real arena read each time
+                store.pin("db")
+        except Exception as exc:  # noqa: BLE001 - assert below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=hammer) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    # Counts are exact — every increment and every read synchronized.
+    assert store.stats()["arena_reads"] == 200
+    assert store.stats()["snapshot_pins"] == 200
+    snapshot = registry.snapshot()
+    assert snapshot["store.arena.reads"] == 200
+    assert snapshot["store.snapshot.pins"] == 200
+    assert store._counter_values() == (200, 200)
+
+
+def test_document_stats_takes_the_document_lock():
+    """Regression: StoredDocument.stats() reads version/tree/arena under
+    the document lock (the seed read them bare, so a commit in flight
+    could tear the row)."""
+    store = ViewStore()
+    doc = store.put("db", "<db><part><pname>kb</pname></part></db>")
+    results: list = []
+
+    with doc.lock:
+        probe = threading.Thread(target=lambda: results.append(doc.stats()))
+        probe.start()
+        probe.join(timeout=0.2)
+        assert probe.is_alive(), "stats() returned without the document lock"
+    probe.join(timeout=2.0)
+    assert not probe.is_alive()
+    assert results and results[0]["version"] == 1
+
+
+def test_document_stats_row_is_consistent_under_commits():
+    """stats() polled during a commit storm always reports a row whose
+    arena fields (when present) belong to the version it reports."""
+    store = ViewStore()
+    doc = store.put("db", "<db><part><x/></part></db>")
+    stop = threading.Event()
+    errors: list = []
+
+    def committer():
+        try:
+            while not stop.is_set():
+                store.commit(
+                    "db",
+                    'transform copy $a := doc("db") modify do '
+                    "insert <tick/> into $a/part return $a",
+                )
+        except Exception as exc:  # noqa: BLE001 - assert below
+            errors.append(exc)
+
+    writer = threading.Thread(target=committer)
+    writer.start()
+    try:
+        last_version = 0
+        for _ in range(200):
+            store.query_serialized("db", "for $x in part return $x")
+            row = doc.stats()
+            assert row["version"] >= last_version
+            last_version = row["version"]
+            assert row["nodes"] >= 3
+    finally:
+        stop.set()
+        writer.join()
+    assert not errors
