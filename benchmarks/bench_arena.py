@@ -240,17 +240,19 @@ def test_zero_copy_snapshots():
     with doc.lock:
         snapshot = doc.arena()
         assert doc.arena() is snapshot, "reads must share one object"
-    # A commit rebuilds the snapshot exactly once, on the next read.
+    # A commit splices the next snapshot from the current one — the
+    # initial freeze stays the only full column build.
     store.commit("db", str(delete_transform("U5")))
     for text in queries:
         store.query("db", text)
-    assert doc.arena_builds == 2, (
-        f"{doc.arena_builds} arena builds after one commit (expected 2)"
+    assert doc.arena_builds == 1 and doc.splices == 1, (
+        f"{doc.arena_builds} arena builds / {doc.splices} splices after "
+        "one commit (expected the commit to splice, not rebuild)"
     )
     print()
     print(
         f"zero-copy snapshots: {store.arena_reads} arena reads, "
-        f"{doc.arena_builds} builds (1 initial + 1 post-commit)"
+        f"{doc.arena_builds} build(s) + {doc.splices} splice(s)"
     )
 
 

@@ -1,0 +1,177 @@
+"""Commit-path benchmark: spliced incremental commits vs full rebuild.
+
+One small committed insert (a two-element audit record into
+``regions/samerica``) against an XMark document, measured end to end —
+commit plus the first post-commit snapshot pin, which is where the
+rebuild path pays its deferred O(document) freeze:
+
+* **splice** — the default ``ViewStore``: the staged update's select
+  result becomes a handful of patches, the next frozen arena is spliced
+  from the current one (untouched columns shared), and delta-scoped
+  invalidation re-keys every cached result whose query is provably
+  label-disjoint from the delta.
+* **rebuild** — ``ViewStore(incremental_commits=False)``: the seed's
+  destructive path (mutate the Node tree, bump the version, blanket
+  cache purge, full columnar re-freeze on the next read).
+
+The acceptance bar (full mode): the spliced commit is >= 5x faster,
+with >= 50% of the unaffected cached results retained — both
+counter-asserted against the commit receipt, and the two stores'
+documents must serialize identically afterwards (splice == rebuild).
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_commit.py -q -s
+"""
+
+import gc
+import time
+
+from repro.bench.harness import (
+    DATASET_SEED,
+    SMOKE,
+    dataset,
+    format_table,
+    smoke_factor,
+    smoke_rounds,
+)
+from repro.store import ViewStore
+from repro.xmltree.node import deep_copy
+from repro.xmltree.serializer import serialize
+
+FACTOR = smoke_factor(0.1)  # ~10.4MB of XMark in full mode
+ROUNDS = smoke_rounds(5, 2)
+
+#: The small delta: one insert into a single regions subtree.
+SMALL_COMMIT = (
+    'transform copy $a := doc("xmark") modify do '
+    "insert <audit><entry>delta</entry></audit> into $a/regions/samerica "
+    "return $a"
+)
+
+#: Cached queries provably untouched by the delta (label sets disjoint
+#: from {site, regions, samerica, audit, entry}) — these must survive.
+RETAINED = [
+    "for $x in people/person return $x/name",
+    "for $x in people/person[@id = 'person0'] return $x",
+    "for $x in open_auctions/open_auction[initial > 10] return $x/bidder",
+    "for $x in closed_auctions/closed_auction return $x/price",
+]
+
+#: Cached queries that mention a delta label — these must drop.
+DROPPED = [
+    "for $x in regions//item return $x/location",
+    "for $x in regions/samerica//item return $x",
+]
+
+
+def _stores() -> "tuple[ViewStore, ViewStore]":
+    """Two stores over identical trees: the incremental default and the
+    rebuild baseline.  The shared benchmark dataset is deep-copied —
+    the rebuild path mutates its tree in place."""
+    tree = dataset(FACTOR, seed=DATASET_SEED)
+    spliced = ViewStore()
+    spliced.put("xmark", deep_copy(tree))
+    rebuild = ViewStore(incremental_commits=False)
+    rebuild.put("xmark", deep_copy(tree))
+    return spliced, rebuild
+
+
+def _commit_and_pin(store: ViewStore) -> float:
+    """Seconds for one staged small commit plus the first post-commit
+    snapshot pin (where the rebuild path pays its arena re-freeze)."""
+    store.stage("xmark", SMALL_COMMIT)
+    gc.collect()  # keep collector pauses for prior rounds' garbage out
+    start = time.perf_counter()
+    store.commit("xmark")
+    store.pin("xmark")
+    return time.perf_counter() - start
+
+
+def test_small_commit_splices_5x_faster_with_cache_retention():
+    spliced_store, rebuild_store = _stores()
+    # Warm both arenas so neither side pays the initial freeze inside
+    # the timed region, then seed the result cache on both.
+    for store in (spliced_store, rebuild_store):
+        store.pin("xmark")
+        for text in RETAINED + DROPPED:
+            store.query("xmark", text)
+
+    splice_times = []
+    rebuild_times = []
+    deltas = []
+    for _ in range(ROUNDS):
+        splice_times.append(_commit_and_pin(spliced_store))
+        deltas.append(spliced_store.last_delta)
+        rebuild_times.append(_commit_and_pin(rebuild_store))
+        # Re-seed what the commits invalidated so every round observes
+        # retention against a fully warmed cache.
+        for store in (spliced_store, rebuild_store):
+            for text in RETAINED + DROPPED:
+                store.query("xmark", text)
+    splice_s = min(splice_times)
+    rebuild_s = min(rebuild_times)
+
+    # --- The receipts: every commit really spliced, and delta-scoped
+    # invalidation kept every provably-unaffected cached result.
+    for delta in deltas:
+        assert delta is not None and delta.spliced, delta
+        assert delta.entries == 1 and delta.patches == 1, delta
+        assert delta.results_kept >= len(RETAINED), delta
+        assert delta.results_dropped >= len(DROPPED), delta
+        kept_ratio = delta.results_kept / (
+            delta.results_kept + delta.results_dropped
+        )
+        assert kept_ratio >= 0.5, delta
+    doc = spliced_store.documents.get("xmark")
+    assert doc.splices == ROUNDS
+
+    # --- Structural sharing: the chain's newest entry shares its
+    # untouched payload strings and attr tuples with its predecessor,
+    # so it owns far less than the full (first) arena does.
+    chain = spliced_store.chain_info("xmark")
+    assert chain["length"] >= 2 and chain["splices"] == ROUNDS
+    newest = chain["per_version"][-1]
+    oldest = chain["per_version"][0]
+    assert newest["shared_bytes"] > 0, chain
+    assert newest["owned_bytes"] < oldest["owned_bytes"], chain
+
+    # --- Splice == rebuild: both stores hold the same document.
+    assert serialize(spliced_store.documents.get("xmark").root) == serialize(
+        rebuild_store.documents.get("xmark").root
+    )
+
+    speedup = rebuild_s / splice_s if splice_s > 0 else float("inf")
+    print()
+    print(format_table(
+        f"small-delta commit, factor {FACTOR} ({ROUNDS} rounds, best)",
+        ["path", "ms", "speedup"],
+        [
+            ("rebuild (mutate+refreeze)", f"{rebuild_s * 1000:.2f}", "1.0x"),
+            ("splice (delta arena)", f"{splice_s * 1000:.2f}", f"{speedup:.1f}x"),
+        ],
+    ))
+    last = deltas[-1]
+    print(
+        f"  retention: {last.results_kept} results kept / "
+        f"{last.results_dropped} dropped; delta touched "
+        f"{last.touched_nodes} node(s) of {len(doc.chain.latest().arena)}"
+    )
+    # The acceptance bar (informational at smoke sizes, where the
+    # document is a few hundred nodes and constant overheads dominate).
+    if not SMOKE:
+        assert splice_s * 5 <= rebuild_s, (
+            f"splice {splice_s:.4f}s not 5x faster than rebuild {rebuild_s:.4f}s"
+        )
+
+
+def test_noop_commit_is_free():
+    spliced_store, _ = _stores()
+    doc = spliced_store.documents.get("xmark")
+    spliced_store.query("xmark", RETAINED[0])
+    before = doc.version
+    assert spliced_store.commit("xmark") == before
+    delta = spliced_store.last_delta
+    assert delta.entries == 0 and delta.old_version == delta.new_version
+    key = ("xmark", before, RETAINED[0])
+    assert spliced_store.results.get(key) is not None, "no-op must not purge"

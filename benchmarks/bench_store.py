@@ -84,20 +84,25 @@ def test_cold_vs_warm_cache():
 
 
 def test_compiled_plans_reused_across_result_misses():
-    """Even when results cannot be reused (version bumped), the compiled
-    plans survive — only evaluation is paid again."""
+    """Even when a result cannot be reused, the compiled plans survive —
+    only evaluation is paid again.  The commit is spliced and its
+    invalidation delta-scoped: only the requests whose labels intersect
+    the deleted person subtree drop (U1 names ``person``; U4's
+    ``/name`` collides with ``person/name``), and each re-evaluation is
+    a plan-cache hit, never a rebuild."""
     store = _fresh_store(policy=MaterializationPolicy(enabled=False))
     _serve(store, "flagged")
     built_once = store.compiled.plans.stats()["misses"]
-    # A commit invalidates every result but no compiled artifact.
-    store.commit(
+    delta = store.commit_delta(
         "xmark",
         'transform copy $a := doc("xmark") modify do '
         "delete $a/people/person[@id = 'person10'] return $a",
     )
+    assert delta.spliced, delta
+    assert delta.results_dropped >= 1 and delta.results_kept >= 1, delta
     _serve(store, "flagged")
     assert store.compiled.plans.stats()["misses"] == built_once
-    assert store.compiled.plans.stats()["hits"] >= len(REQUESTS)
+    assert store.compiled.plans.stats()["hits"] >= delta.results_dropped
 
 
 @pytest.mark.parametrize("max_depth", [6])

@@ -99,16 +99,24 @@ def run_load(
     clients: int = 4,
     target: str = "xmark",
     write_every: int = 50,
+    write_ratio: float = 0.0,
     label: str = "",
 ) -> dict:
     """Drive the open-loop load and return one trajectory entry.
 
     Every ``write_every``-th scheduled request is a committed write
     (``0`` disables writes); the rest cycle through :data:`READS`.
-    Latencies are seconds from *scheduled arrival* to completion.
+    ``write_ratio`` (0.0–1.0) overrides ``write_every`` with a
+    write-heavy mix profile: the commit-path trajectory wants writes
+    dense enough (say 0.1–0.5) that splice latency and cache retention
+    dominate the percentiles, which ``write_every``'s sparse fixed
+    cadence cannot express.  Latencies are seconds from *scheduled
+    arrival* to completion.
     """
     if qps <= 0:
         raise ValueError(f"qps must be positive, got {qps}")
+    if not 0.0 <= write_ratio <= 1.0:
+        raise ValueError(f"write-ratio must be in [0, 1], got {write_ratio}")
     total = max(1, int(qps * duration))
     clients = max(1, min(clients, total))
     outcomes: list = [None] * clients
@@ -125,7 +133,12 @@ def run_load(
                 delay = scheduled - time.perf_counter()
                 if delay > 0:
                     time.sleep(delay)
-                is_write = write_every > 0 and j % write_every == write_every - 1
+                if write_ratio > 0.0:
+                    # Evenly interleaved by schedule index: request j is
+                    # a write when the running quota crosses an integer.
+                    is_write = int((j + 1) * write_ratio) > int(j * write_ratio)
+                else:
+                    is_write = write_every > 0 and j % write_every == write_every - 1
                 try:
                     if is_write:
                         client.commit(target, WRITE.format(name=target))
@@ -164,6 +177,7 @@ def run_load(
         "requests": len(latencies),
         "errors": errors,
         "writes": writes,
+        "write_ratio": write_ratio,
         "p50_ms": round(percentile(latencies, 50.0) * 1000.0, 4),
         "p95_ms": round(percentile(latencies, 95.0) * 1000.0, 4),
         "p99_ms": round(percentile(latencies, 99.0) * 1000.0, 4),
@@ -213,6 +227,11 @@ def main(argv=None) -> int:
         help="every N-th request is a committed write (0: reads only)",
     )
     parser.add_argument(
+        "--write-ratio", type=float, default=0.0,
+        help="write-heavy mix: fraction of requests that are committed "
+        "writes (overrides --write-every when > 0)",
+    )
+    parser.add_argument(
         "--out", default="BENCH_service.json", help="trajectory file to append to"
     )
     parser.add_argument("--label", default="", help="tag for this run's entry")
@@ -229,6 +248,7 @@ def main(argv=None) -> int:
         clients=args.clients,
         target=args.target,
         write_every=args.write_every,
+        write_ratio=args.write_ratio,
         label=args.label,
     )
     append_run(args.out, entry)

@@ -308,8 +308,17 @@ def _cmd_store_commit(args: argparse.Namespace) -> int:
     if transform is not None:
         transform = read_query_arg(transform)
     with locked_state(args.state) as store:
-        version = store.commit(args.name, transform)
-    print(f"committed {args.name!r}: now v{version}")
+        delta = store.commit_delta(args.name, transform)
+    if delta.entries == 0:
+        print(f"committed {args.name!r}: now v{delta.new_version} (no-op: nothing staged)")
+    else:
+        how = (
+            f"spliced, {delta.patches} patch(es), "
+            f"{delta.touched_nodes} node(s) touched"
+            if delta.spliced
+            else "full rebuild"
+        )
+        print(f"committed {args.name!r}: now v{delta.new_version} ({how})")
     return 0
 
 
@@ -335,6 +344,7 @@ def _cmd_store_stat(args: argparse.Namespace) -> int:
                 with doc.lock:
                     arena_stats = doc.arena().stats()
                 stats["documents"][name]["arena"] = arena_stats
+                stats["documents"][name]["chain"] = store.chain_info(name)
             print(json.dumps(
                 {"store": stats, "metrics": registry.snapshot()}, sort_keys=True
             ))
@@ -362,6 +372,14 @@ def _cmd_store_stat(args: argparse.Namespace) -> int:
             f"{arena_stats['column_bytes']} column bytes, "
             f"{arena_stats['total_bytes']} bytes total"
         )
+        chain = store.chain_info(name)
+        versions = ", ".join(f"v{v}" for v in chain["versions"])
+        print(
+            f"    version chain: {chain['length']} resident ({versions}), "
+            f"{chain['splices']} splice(s); "
+            f"{chain['shared_bytes']} bytes shared / "
+            f"{chain['owned_bytes']} owned"
+        )
     for name, info in stats["views"].items():
         print(
             f"  view {name!r}: over {info['base']!r} "
@@ -374,6 +392,26 @@ def _cmd_store_stat(args: argparse.Namespace) -> int:
         print(
             f"    {name:<14} {cache['hits']}/{cache['misses']}"
             f"/{cache['evictions']} (size {cache['size']}/{cache['maxsize']})"
+        )
+    commits = stats["commits"]
+    ratio = commits["retention_ratio"]
+    ratio_text = "n/a" if ratio is None else f"{ratio:.0%}"
+    print(
+        f"  commits: {commits['spliced']} spliced, "
+        f"{commits['rebuilds']} rebuilt, {commits['noops']} no-op; "
+        f"cache retention {ratio_text} "
+        f"({commits['results_kept']}+{commits['mats_kept']} kept, "
+        f"{commits['results_dropped']}+{commits['mats_dropped']} dropped)"
+    )
+    last = commits.get("last")
+    if last is not None:
+        last_ratio = last["retention_ratio"]
+        last_text = "n/a" if last_ratio is None else f"{last_ratio:.0%}"
+        print(
+            f"    last commit: {last['doc']!r} v{last['version']} "
+            f"({'splice' if last['spliced'] else 'rebuild'}, "
+            f"{last['entries']} entries, {last['touched_nodes']} touched); "
+            f"retention {last_text}"
         )
     return 0
 

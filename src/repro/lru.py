@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 _MISSING = object()
 
@@ -76,6 +76,31 @@ class LRUCache:
             for key in doomed:
                 del self._data[key]
             return len(doomed)
+
+    def rekey(self, mapper: Callable[[Any], Optional[Any]]) -> Tuple[int, int]:
+        """Rewrite every key through *mapper* in one atomic pass.
+
+        *mapper* returns the key unchanged (keep), a new key (move the
+        entry — recency order is preserved), or ``None`` (drop the
+        entry).  This is what delta-scoped commit invalidation uses to
+        carry provably-unaffected results forward to the new version:
+        version-stamped keys cannot be kept in place, they must move.
+        Returns ``(moved, dropped)``.
+        """
+        with self._lock:
+            moved = 0
+            dropped = 0
+            out: "OrderedDict[Any, Any]" = OrderedDict()
+            for key, value in self._data.items():
+                new_key = mapper(key)
+                if new_key is None:
+                    dropped += 1
+                    continue
+                if new_key != key:
+                    moved += 1
+                out[new_key] = value
+            self._data = out
+            return moved, dropped
 
     def values(self) -> List[Any]:
         """A point-in-time list of the cached values (most-recently

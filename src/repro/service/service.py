@@ -178,6 +178,7 @@ _METRIC_NAMES = {
     "evaluations": "service.dispatch.evaluations",
     "coalesced": "service.dispatch.coalesced",
     "memo_hits": "service.dispatch.memo_hits",
+    "memo_retained": "service.dispatch.memo_retained",
     "snapshot_reads": "service.reads.snapshot",
     "stale_reads": "service.reads.stale",
     "locked_reads": "service.reads.locked",
@@ -578,14 +579,46 @@ class QueryService:
 
     def commit(self, name: str, transform_text: Optional[str] = None) -> dict:
         """Apply staged updates; readers pinned to the old version are
-        unaffected, new pins observe the new version."""
+        unaffected, new pins observe the new version.
+
+        A spliced commit holds the document lock only to install the
+        already-built arena (the splice itself runs outside it), so
+        snapshot readers barely stall; memo entries whose query is
+        provably label-disjoint from the delta are re-keyed onto the
+        new arena uid instead of dropped.  A no-op commit (nothing
+        staged) touches no cache at all.
+        """
         with self._write_lock:
             self._check_open()
-            version = self.store.commit(name, transform_text)
-            # Stale memo entries can never be served again (the key is
-            # the arena uid); drop them rather than waiting for LRU.
-            self._memo.invalidate(lambda key: key[0] == name)
-            return {"name": name, "version": version}
+            delta = self.store.commit_delta(name, transform_text)
+            if delta.entries == 0:
+                return {
+                    "name": name, "version": delta.new_version,
+                    "spliced": False, "entries": 0,
+                }
+            if delta.spliced and delta.labels is not None and delta.new_uid:
+
+                def remap(key):
+                    if key[0] != name:
+                        return key
+                    if key[1] == delta.old_uid and self.store.commit_unaffected(
+                        delta, key[2]
+                    ):
+                        return (name, delta.new_uid, key[2])
+                    return None
+
+                retained, _ = self._memo.rekey(remap)
+                if retained:
+                    self._count("memo_retained", retained)
+            else:
+                # Fallback rebuild: stale memo entries can never be
+                # served again (the key is the arena uid); drop them
+                # rather than waiting for LRU.
+                self._memo.invalidate(lambda key: key[0] == name)
+            return {
+                "name": name, "version": delta.new_version,
+                "spliced": delta.spliced, "entries": delta.entries,
+            }
 
     def rollback(self, name: str, count: Optional[int] = None) -> dict:
         with self._write_lock:

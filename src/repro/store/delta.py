@@ -1,0 +1,370 @@
+"""Delta derivation for incremental commits.
+
+The commit fast path: run each staged update's selecting automaton over
+the current frozen arena, turn the matches into splice patches
+(:func:`repro.xmltree.arena.splice`), and derive the next frozen
+version without touching the Node tree or rebuilding columns — O(delta)
+work instead of O(document).
+
+Alongside the patches this module computes the **delta label set**: a
+conservative superset of every element label whose presence, absence,
+content or position the commit may have changed — labels inside removed
+ranges, labels a segment introduces, rename sources/targets, and the
+labels on each attach point's ancestor chain (a result subtree that
+*contains* a patch is reachable only through those).  Delta-scoped
+invalidation keeps a cached result whose query provably mentions none
+of them (:func:`query_labels` / :func:`transform_labels` — ``None``
+means "unanalyzable, assume affected").
+
+A commit that cannot be expressed as a splice — an unsupported
+selector, or a delta spanning most of the document — raises
+:class:`DeltaUnsupported` and the store falls back to the destructive
+rebuild path.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Optional
+
+from repro.automata.arena_run import select_indices
+from repro.updates.ops import Update
+from repro.xmltree.arena import FrozenDocument, freeze_segment, rename_splice, splice
+from repro.xpath.ast import (
+    AndQual,
+    CmpQual,
+    LabelQual,
+    NotQual,
+    OrQual,
+    Path,
+    PathQual,
+    TrueQual,
+)
+from repro.xquery import ast as xq
+
+__all__ = [
+    "DeltaUnsupported",
+    "SpliceOutcome",
+    "apply_entries_spliced",
+    "query_labels",
+    "ranges_swallowed_by",
+    "transform_labels",
+]
+
+#: Exceptions the selecting/compile machinery raises on inputs it does
+#: not support over arenas (mismatched symbol tables, unsupported
+#: qualifier shapes).  Anything else is a real bug and must surface.
+_COMPILE_ERRORS = (ValueError, KeyError, NotImplementedError)
+
+
+class DeltaUnsupported(Exception):
+    """This commit cannot be applied as a splice; fall back to the
+    destructive rebuild path."""
+
+
+class SpliceOutcome:
+    """What :func:`apply_entries_spliced` produced.
+
+    ``ranges`` is the patch list ``[(kind, start, stop, attach), …]``
+    against ``base_arena`` — populated only for single-entry commits
+    (multi-entry patch positions refer to intermediate arenas), where
+    it feeds the materialization swallow test.
+    """
+
+    __slots__ = (
+        "arena", "base_arena", "labels", "touched_nodes", "patches",
+        "entries", "ranges",
+    )
+
+    def __init__(self, arena, base_arena, labels, touched_nodes, patches,
+                 entries, ranges):
+        self.arena = arena
+        self.base_arena = base_arena
+        self.labels = labels
+        self.touched_nodes = touched_nodes
+        self.patches = patches
+        self.entries = entries
+        self.ranges = ranges
+
+
+def _segment_for(update: Update, symbols):
+    """The update's constant content as a splice segment, cached on the
+    update object (updates live in the compiled cache, so the segment
+    is frozen once per distinct transform text per symbol table)."""
+    cached = getattr(update, "_splice_segment", None)
+    if cached is not None and cached.symbols is symbols:
+        return cached
+    segment = freeze_segment(update.content, symbols)
+    update._splice_segment = segment
+    return segment
+
+
+def _chain_labels(arena: FrozenDocument, index: int, labels: set, seen: set) -> None:
+    """Add the labels on the ancestor chain of *index* (inclusive)."""
+    sym = arena.sym
+    parent = arena.parent
+    strings = arena.symbols.strings
+    c = index
+    while c >= 0 and c not in seen:
+        seen.add(c)
+        s = sym[c]
+        if s >= 0:
+            labels.add(strings[s])
+        c = parent[c]
+
+
+def _topmost(matches: list, end) -> list:
+    """Filter doc-order matches to topmost-wins (delete/replace)."""
+    top: list = []
+    boundary = 0
+    for m in matches:
+        if m >= boundary:
+            top.append(m)
+            boundary = end[m]
+    return top
+
+
+def apply_entries_spliced(
+    base_arena: FrozenDocument,
+    entries: list,
+    compiled,
+    *,
+    max_touched_fraction: float = 0.5,
+) -> SpliceOutcome:
+    """Apply staged entries to *base_arena* by splicing, sequentially
+    (entry *i+1* selects against entry *i*'s result, matching the
+    destructive commit's semantics).  Raises :class:`DeltaUnsupported`
+    when any entry cannot be expressed as a splice or the accumulated
+    delta spans most of the document (a root-spanning delta gains
+    nothing over a rebuild and would fragment sharing)."""
+    arena = base_arena
+    labels: set = set()
+    touched = 0
+    patch_count = 0
+    ranges: Optional[list] = [] if len(entries) == 1 else None
+    budget = max(1, int(len(base_arena) * max_touched_fraction))
+    for entry in entries:
+        update = entry.transform.update
+        try:
+            nfa = compiled.selecting_nfa_for(update.path)
+            matches = select_indices(nfa, arena)
+        except _COMPILE_ERRORS as exc:
+            raise DeltaUnsupported(f"cannot select delta ranges: {exc}") from exc
+        if not matches:
+            continue
+        sym = arena.sym
+        parent = arena.parent
+        end = arena.end
+        strings = arena.symbols.strings
+        seen_chain: set = set()
+        kind = update.kind
+        if kind == "rename":
+            # Point-writes on the symbol column; full column aliasing
+            # for everything else.
+            touched += len(matches)
+            if touched > budget:
+                raise DeltaUnsupported("delta spans most of the document")
+            labels.add(update.new_label)
+            for m in matches:
+                labels.add(strings[sym[m]])
+                _chain_labels(arena, parent[m], labels, seen_chain)
+                if ranges is not None:
+                    ranges.append(("rename", m, m + 1, parent[m]))
+            patch_count += len(matches)
+            arena = rename_splice(arena, matches, update.new_label)
+            continue
+        if kind == "insert":
+            segment = _segment_for(update, arena.symbols)
+            patches = [(end[m], end[m], m, segment) for m in matches]
+        else:  # delete / replace: topmost match wins
+            top = _topmost(matches, end)
+            if top and top[0] == 0:
+                # The whole document is the delta; nothing to share.
+                raise DeltaUnsupported("delta removes the document root")
+            segment = _segment_for(update, arena.symbols) if kind == "replace" else None
+            patches = [(m, end[m], parent[m], segment) for m in top]
+        for start, stop, attach, segment in patches:
+            touched += (stop - start) + (len(segment.sym) if segment is not None else 0)
+            for s in sym[start:stop]:
+                if s >= 0:
+                    labels.add(strings[s])
+            if segment is not None:
+                labels |= segment.labels
+            _chain_labels(arena, attach, labels, seen_chain)
+            if ranges is not None:
+                ranges.append((kind, start, stop, attach))
+        if touched > budget:
+            raise DeltaUnsupported("delta spans most of the document")
+        patch_count += len(patches)
+        arena = splice(arena, patches)
+    return SpliceOutcome(
+        arena, base_arena, frozenset(labels), touched, patch_count,
+        len(entries), ranges,
+    )
+
+
+# ----------------------------------------------------------------------
+# Label analysis: which labels can a query's answer depend on?
+# ----------------------------------------------------------------------
+
+
+def _path_labels(path: Path, labels: set) -> bool:
+    """Collect the element labels a path mentions; ``False`` when the
+    path is unanalyzable (a wildcard step can match anything)."""
+    for step in path.steps:
+        if step.kind == "label":
+            labels.add(step.name)
+        elif step.kind == "wildcard":
+            return False
+        # dos/self/attr steps constrain no element label themselves.
+        for qual in step.quals:
+            if not _qual_labels(qual, labels):
+                return False
+    return True
+
+
+def _qual_labels(qual, labels: set) -> bool:
+    if isinstance(qual, TrueQual):
+        return True
+    if isinstance(qual, PathQual):
+        return _path_labels(qual.path, labels)
+    if isinstance(qual, CmpQual):
+        return _path_labels(qual.path, labels)
+    if isinstance(qual, LabelQual):
+        labels.add(qual.label)
+        return True
+    if isinstance(qual, (AndQual, OrQual)):
+        return _qual_labels(qual.left, labels) and _qual_labels(qual.right, labels)
+    if isinstance(qual, NotQual):
+        return _qual_labels(qual.operand, labels)
+    return False
+
+
+def _expr_labels(expr, labels: set) -> bool:
+    if isinstance(expr, xq.PathFrom):
+        return _path_labels(expr.path, labels)
+    if isinstance(expr, (xq.VarRef, xq.Literal, xq.EmptySeq, xq.ConstTree)):
+        return True
+    if isinstance(expr, xq.Sequence):
+        return all(_expr_labels(part, labels) for part in expr.parts)
+    if isinstance(expr, xq.ElementTemplate):
+        return all(_expr_labels(part, labels) for part in expr.parts)
+    if isinstance(expr, xq.For):
+        return _expr_labels(expr.source, labels) and _expr_labels(expr.body, labels)
+    if isinstance(expr, xq.Let):
+        return _expr_labels(expr.value, labels) and _expr_labels(expr.body, labels)
+    if isinstance(expr, xq.Conditional):
+        return (
+            _bool_labels(expr.cond, labels)
+            and _expr_labels(expr.then, labels)
+            and _expr_labels(expr.orelse, labels)
+        )
+    return False  # TransformedSubtree and anything unknown
+
+
+def _bool_labels(expr, labels: set) -> bool:
+    if isinstance(expr, xq.BoolConst):
+        return True
+    if isinstance(expr, xq.Exists):
+        return _expr_labels(expr.expr, labels)
+    if isinstance(expr, xq.Compare):
+        return _expr_labels(expr.left, labels) and _expr_labels(expr.right, labels)
+    if isinstance(expr, (xq.BoolAnd, xq.BoolOr)):
+        return _bool_labels(expr.left, labels) and _bool_labels(expr.right, labels)
+    if isinstance(expr, xq.BoolNot):
+        return _bool_labels(expr.operand, labels)
+    if isinstance(expr, xq.QualCheck):
+        return _qual_labels(expr.qual, labels)
+    return False
+
+
+def query_labels(user_query) -> Optional[frozenset]:
+    """Every element label the user query's answer can depend on, or
+    ``None`` when the query is unanalyzable (wildcards, unknown nodes).
+
+    Soundness against a delta label set: a committed delta can change
+    this query's answer only by changing a node whose label — or one
+    of whose ancestors' labels, all of which the delta set includes via
+    the attach chains — the query mentions.  Disjoint sets therefore
+    prove the cached answer (including the subtrees it serialized, any
+    patch inside which has an ancestor chain in the delta set) is
+    still exact.
+    """
+    labels: set = set()
+    if _expr_labels(user_query.core(), labels):
+        return frozenset(labels)
+    return None
+
+
+def transform_labels(transform) -> Optional[frozenset]:
+    """Every element label that decides *where* a transform applies,
+    plus any label it introduces; ``None`` when unanalyzable."""
+    labels: set = set()
+    if not _path_labels(transform.path, labels):
+        return None
+    update = transform.update
+    if update.kind == "rename":
+        labels.add(update.new_label)
+    elif update.kind in ("insert", "replace"):
+        stack = [update.content]
+        while stack:
+            node = stack.pop()
+            if node.is_text:
+                continue
+            labels.add(node.label)
+            stack.extend(node.children)
+    return frozenset(labels)
+
+
+# ----------------------------------------------------------------------
+# The materialization swallow test
+# ----------------------------------------------------------------------
+
+
+def _qualifier_free(path: Path) -> bool:
+    return all(
+        all(isinstance(q, TrueQual) for q in step.quals) for step in path.steps
+    )
+
+
+def ranges_swallowed_by(
+    transform, base_arena: FrozenDocument, ranges: list, compiled
+) -> bool:
+    """Is every patched range invisible through *transform*'s output?
+
+    True when the transform deletes (or replaces, with constant
+    content) a set of subtrees that swallow every patch.  Restricted to
+    **qualifier-free** paths: with label-only matching, a patch strictly
+    inside a matched subtree cannot flip any node's match status (label
+    chains outside the patch are unchanged), so the transform's output
+    over the new version is byte-identical — the materialization and
+    every cached result over it survive the commit.  Rename patches
+    must fall strictly inside a match (renaming the match root itself
+    changes its label chain); inserts may attach to the match root.
+    """
+    update = transform.update
+    if update.kind not in ("delete", "replace"):
+        return False
+    if not _qualifier_free(update.path):
+        return False
+    try:
+        nfa = compiled.selecting_nfa_for(update.path)
+        matches = select_indices(nfa, base_arena)
+    except _COMPILE_ERRORS:
+        return False
+    end = base_arena.end
+    top = _topmost(matches, end)
+    if not top:
+        return False
+    for kind, start, stop, attach in ranges:
+        anchor = attach if stop == start else start
+        i = bisect_right(top, anchor) - 1
+        if i < 0:
+            return False
+        m = top[i]
+        limit = end[m]
+        if anchor >= limit or stop > limit:
+            return False
+        if kind in ("rename", "replace") and start == m:
+            return False
+    return True

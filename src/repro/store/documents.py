@@ -20,7 +20,13 @@ import re
 import threading
 from typing import Optional
 
-from repro.store.errors import DuplicateNameError, InvalidNameError, UnknownNameError
+from repro.store.chain import ChainVersion, VersionChain
+from repro.store.errors import (
+    DuplicateNameError,
+    InvalidNameError,
+    StoreError,
+    UnknownNameError,
+)
 from repro.xmltree.node import Element
 from repro.xmltree.parser import parse, parse_file
 
@@ -84,11 +90,12 @@ class StoredDocument:
     """
 
     __slots__ = (
-        "name", "root", "version", "lock", "source", "dirty",
+        "name", "_root", "version", "lock", "source", "dirty",
         "_arena", "_arena_version", "_arena_uid", "arena_builds",
+        "chain", "commit_lock", "splices",
     )
 
-    # guarded-by[root, version, dirty, arena_builds]: self.lock
+    # guarded-by[_root, version, dirty, arena_builds, splices]: self.lock
     # guarded-by[_arena, _arena_version, _arena_uid]: self.lock
 
     def __init__(
@@ -99,9 +106,17 @@ class StoredDocument:
         source: Optional[str] = None,
     ):
         self.name = name
-        self.root = root
+        # Invariant: at least one of _root / _arena is always set.  A
+        # spliced commit installs only the arena (_root is thawed back
+        # lazily if a destructive fallback later needs the Node tree).
+        self._root: Optional[Element] = root
         self.version = version
         self.lock = threading.Lock()
+        #: Serializes whole commits (stage-take → splice → install) so
+        #: the splice itself runs *outside* :attr:`lock` without two
+        #: writers deriving from the same base.  Ordering: commit_lock
+        #: is taken strictly before (never under) :attr:`lock`.
+        self.commit_lock = threading.Lock()
         self.source = source  # file path it was loaded from, informational
         #: Tree changed since it was last persisted (commit, fresh put).
         #: The state layer clears it after writing the document file.
@@ -110,6 +125,20 @@ class StoredDocument:
         self._arena_version = 0
         self._arena_uid = 0
         self.arena_builds = 0
+        #: Structurally-shared recent frozen versions (assign-once
+        #: reference; the chain carries its own leaf lock).
+        self.chain = VersionChain()
+        self.splices = 0
+
+    @property
+    def root(self) -> Element:  # holds: self.lock
+        """The mutable Node tree of the current version, thawed back
+        from the arena if the last commit was a splice."""
+        if self._root is None:
+            from repro.xmltree.arena import thaw
+
+            self._root = thaw(self._arena)
+        return self._root
 
     def bump(self) -> int:  # holds: self.lock
         """Advance the version (callers hold :attr:`lock`); the frozen
@@ -129,38 +158,109 @@ class StoredDocument:
             self._arena_version = self.version
             self._arena_uid = next(_ARENA_UIDS)
             self.arena_builds += 1
+            kind = "load" if self.arena_builds == 1 else "rebuild"
+            self.chain.record(
+                ChainVersion(self.version, self._arena_uid, self._arena, kind)
+            )
         return self._arena
 
-    def pin(self) -> Snapshot:
-        """Pin the current committed version for an MVCC reader.
+    def current_uid(self) -> int:  # holds: self.lock
+        """The uid of the current version's arena (callers hold
+        :attr:`lock`); 0 when no arena is resident for this version."""
+        if self._arena is not None and self._arena_version == self.version:
+            return self._arena_uid
+        return 0
 
-        Takes the document lock just long enough to read the version
-        and (re)freeze its arena; the returned :class:`Snapshot` is
-        then consumed lock-free.  A concurrent commit bumps the version
-        and builds a new arena — this snapshot keeps observing the old
-        one, fully consistent, until the reader drops it.
+    def install_spliced(self, arena, touched_nodes: int) -> int:  # holds: self.lock
+        """Install a spliced arena as the next committed version
+        (callers hold :attr:`lock`).  The Node tree is dropped and
+        thawed back lazily only if a later fallback commit needs it."""
+        self.version += 1
+        self._root = None
+        self._arena = arena
+        self._arena_version = self.version
+        self._arena_uid = next(_ARENA_UIDS)
+        self.dirty = True
+        self.splices += 1
+        self.chain.record(
+            ChainVersion(
+                self.version, self._arena_uid, arena, "splice", touched_nodes
+            )
+        )
+        return self.version
+
+    def pin(self, version: Optional[int] = None) -> Snapshot:
+        """Pin a committed version for an MVCC reader.
+
+        With no argument: the current version, taking the document lock
+        just long enough to read the version and (re)freeze its arena;
+        the returned :class:`Snapshot` is then consumed lock-free.  A
+        concurrent commit bumps the version and builds a new arena —
+        this snapshot keeps observing the old one, fully consistent,
+        until the reader drops it.
+
+        With ``version=N``: a time-travel pin onto the version chain.
+        Spliced versions share untouched columns, so recent history
+        stays resident nearly for free; pinning a version that has
+        fallen off the chain raises :class:`StoreError`.
         """
         with self.lock:
-            arena = self.arena()
-            return Snapshot(self.name, self.version, arena, self._arena_uid)
+            if version is None or version == self.version:
+                arena = self.arena()
+                return Snapshot(self.name, self.version, arena, self._arena_uid)
+            entry = self.chain.find(version)
+        if entry is None:
+            resident = self.chain.versions()
+            raise StoreError(
+                f"document {self.name!r} has no resident version {version} "
+                f"(chain holds {resident})"
+            )
+        return Snapshot(self.name, entry.version, entry.arena, entry.uid)
 
     def stats(self) -> dict:
         # Taken under the document lock: a commit in flight could
         # otherwise tear version/tree/arena into an inconsistent row.
         with self.lock:
+            arena = self._arena
+            arena_current = arena is not None and self._arena_version == self.version
+            if self._root is not None:
+                nodes = self._root.size()
+                depth = self._root.depth()
+            else:
+                # Spliced document with no thawed tree: answer from the
+                # arena rather than forcing an O(n) thaw.
+                nodes = len(arena)
+                depth = arena.depth()
             info = {
                 "version": self.version,
-                "nodes": self.root.size(),
-                "depth": self.root.depth(),
+                "nodes": nodes,
+                "depth": depth,
                 "source": self.source,
                 "arena_builds": self.arena_builds,
+                "splices": self.splices,
+                "chain_length": len(self.chain),
             }
-            arena = self._arena
-            if arena is not None and self._arena_version == self.version:
+            if arena_current:
                 arena_stats = arena.stats()
                 info["arena_bytes"] = arena_stats["total_bytes"]
                 info["arena_column_bytes"] = arena_stats["column_bytes"]
             return info
+
+    def chain_info(self) -> dict:
+        """Chain shape for ``store stat``: resident versions plus the
+        shared/owned byte split across consecutive entries."""
+        from repro.store.chain import sharing_stats
+
+        with self.lock:
+            splices = self.splices
+        entries = self.chain.snapshot()
+        info = {
+            "length": len(entries),
+            "versions": [entry.version for entry in entries],
+            "splices": splices,
+        }
+        info.update(sharing_stats(entries))
+        return info
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"StoredDocument({self.name!r}, v{self.version})"  # unguarded: debug repr; a torn version read is harmless

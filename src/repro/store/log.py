@@ -122,6 +122,20 @@ class UpdateLog:
             self._staged[doc_name] = []
             return queue
 
+    def take_any(self, doc_name: str) -> list[StagedUpdate]:
+        """Remove and return the staged updates, empty list included.
+
+        The incremental commit path treats an empty staging area as a
+        no-op commit rather than an error, so it needs the non-raising
+        variant of :meth:`take`.
+        """
+        with self._lock:
+            queue = self._staged.get(doc_name)
+            if not queue:
+                return []
+            self._staged[doc_name] = []
+            return queue
+
     def rollback(self, doc_name: str, count: Optional[int] = None) -> int:
         """Discard the last *count* staged updates (default: all);
         returns how many were dropped."""

@@ -42,6 +42,14 @@ from typing import Optional, Union
 from repro.engine.planner import Planner
 from repro.obs import span
 from repro.store.cache import CompiledCache, LRUCache
+from repro.store.chain import CommitDelta
+from repro.store.delta import (
+    DeltaUnsupported,
+    apply_entries_spliced,
+    query_labels,
+    ranges_swallowed_by,
+    transform_labels,
+)
 from repro.store.documents import DocumentStore, Snapshot, StoredDocument
 from repro.store.errors import DuplicateNameError, StoreError, UnknownNameError
 from repro.store.log import UpdateLog
@@ -59,6 +67,9 @@ class ViewStore:
     """A resident multi-document store with stacked virtual views."""
 
     # guarded-by[arena_reads, snapshot_pins]: self._counter_lock
+    # guarded-by[commit_splices, commit_rebuilds, commit_noops]: self._counter_lock
+    # guarded-by[delta_touched_nodes, delta_results_kept, delta_results_dropped]: self._counter_lock
+    # guarded-by[delta_mats_kept, delta_mats_dropped, last_delta]: self._counter_lock
 
     def __init__(
         self,
@@ -66,6 +77,7 @@ class ViewStore:
         compiled_cache_size: int = 256,
         result_cache_size: int = 512,
         planner: Optional[Planner] = None,
+        incremental_commits: bool = True,
     ):
         self.documents = DocumentStore()
         self.views = ViewRegistry(policy)
@@ -73,15 +85,37 @@ class ViewStore:
         self.results = LRUCache(result_cache_size)
         self.planner = planner if planner is not None else Planner()
         self.log = UpdateLog(planner=self.planner)
+        #: Commit fast path: derive the next frozen arena by splicing
+        #: (O(delta)) instead of mutating the tree and rebuilding
+        #: (O(document)).  ``False`` forces the destructive rebuild
+        #: path everywhere — the benchmark baseline.
+        self.incremental_commits = incremental_commits
         #: Reads served from a frozen columnar snapshot (the zero-copy
         #: fast path for plain-document targets).
         self.arena_reads = 0
         #: MVCC snapshots handed out via :meth:`pin`.
         self.snapshot_pins = 0
+        #: Commit-path outcome counters (``store.commit.delta.*``).
+        self.commit_splices = 0
+        self.commit_rebuilds = 0
+        self.commit_noops = 0
+        self.delta_touched_nodes = 0
+        self.delta_results_kept = 0
+        self.delta_results_dropped = 0
+        self.delta_mats_kept = 0
+        self.delta_mats_dropped = 0
+        #: Receipt of the most recent commit (``store stat`` surfaces
+        #: its retention ratio).
+        self.last_delta: Optional[CommitDelta] = None
         # Store-wide counters are bumped from many documents' read
         # paths at once — one lock keeps their tallies exact (the
         # per-document lock only serializes one document's readers).
         self._counter_lock = threading.Lock()
+        # Conservative label analyses keyed on source text; values are
+        # wrapped in 1-tuples because ``None`` ("unanalyzable") is a
+        # legitimate cached answer.
+        self._query_label_cache = LRUCache(compiled_cache_size)
+        self._transform_label_cache = LRUCache(compiled_cache_size)
 
     def _transform(self, root: Element, transform: TransformQuery) -> Element:
         """Evaluate one transform layer with the planner-chosen
@@ -291,7 +325,7 @@ class ViewStore:
             return self.documents.get(doc_name), stack
         return self.documents.get(target), []
 
-    def pin(self, name: str) -> Snapshot:
+    def pin(self, name: str, version: Optional[int] = None) -> Snapshot:
         """Pin an MVCC read snapshot of document *name*.
 
         The document lock is held only for the version read (and a
@@ -300,6 +334,11 @@ class ViewStore:
         or committing writers never block pinned readers.  Views cannot
         be pinned — their layers evaluate over the live tree under the
         document lock; pin the underlying document instead.
+
+        ``version=N`` is a time-travel pin onto the document's version
+        chain: spliced commits keep recent versions resident (sharing
+        untouched columns with their successors), so pinned readers can
+        keep answering against pre-commit state long after the commit.
         """
         if name in self.views:
             raise StoreError(
@@ -307,7 +346,7 @@ class ViewStore:
                 f"reads; pin its document "
                 f"{self.views.document_of(name)!r} instead"
             )
-        snapshot = self.documents.get(name).pin()
+        snapshot = self.documents.get(name).pin(version)
         with self._counter_lock:
             self.snapshot_pins += 1
         return snapshot
@@ -378,32 +417,229 @@ class ViewStore:
         return self.log.rollback(doc_name, count)
 
     def commit(self, doc_name: str, transform_text: Optional[str] = None) -> int:
-        """Apply the staged updates destructively, in staging order.
+        """Apply the staged updates, in staging order; returns the new
+        version (the current version when nothing was staged — an empty
+        commit is a true no-op).  *transform_text*, if given, is staged
+        first (the one-shot ``stage + commit`` convenience the CLI
+        uses).  See :meth:`commit_delta` for the full receipt."""
+        return self.commit_delta(doc_name, transform_text).new_version
 
-        *transform_text*, if given, is staged first (the one-shot
-        ``stage + commit`` convenience the CLI uses).  Bumps the
-        document version, drops every cached result for the document
-        and its views, and invalidates their materializations.  Returns
-        the new version.
+    def commit_delta(
+        self, doc_name: str, transform_text: Optional[str] = None
+    ) -> CommitDelta:
+        """Commit the staged updates and return the receipt.
+
+        Fast path (``incremental_commits``): the staged updates'
+        select results become splice patches, and the next frozen
+        arena is **spliced** from the current one at O(delta) cost
+        (untouched columns and the payload pool are shared — see
+        :func:`repro.xmltree.arena.splice`); cached results and
+        materializations provably untouched by the delta label set are
+        carried forward to the new version instead of purged.  The
+        splice runs *outside* the document lock (readers keep pinning
+        snapshots meanwhile) under the per-document commit lock.
+
+        Fallback (:class:`~repro.store.delta.DeltaUnsupported`:
+        unsupported selector, root-spanning delta — or
+        ``incremental_commits=False``): the destructive rebuild path —
+        mutate the tree in place, bump the version, blanket-purge the
+        document's caches and materializations.
         """
         doc = self._require_document(doc_name)
         if transform_text is not None:
             self.stage(doc_name, transform_text)
-        with doc.lock:
-            entries = self.log.take(doc_name)
-            for entry in entries:
-                apply_update(doc.root, entry.transform.update)
-            self.log.record_commit(doc_name, entries)
-            doc.dirty = True
-            version = doc.bump()
-            self._invalidate_for(doc_name)
-        return version
+        with doc.commit_lock:
+            with doc.lock:
+                entries = self.log.take_any(doc.name)
+                old_version = doc.version
+                if not entries:
+                    uid = doc.current_uid()
+                    delta = CommitDelta(
+                        doc_name=doc.name,
+                        old_version=old_version,
+                        new_version=old_version,
+                        old_uid=uid,
+                        new_uid=uid,
+                        spliced=False,
+                        entries=0,
+                    )
+                    with self._counter_lock:
+                        self.commit_noops += 1
+                        self.last_delta = delta
+                    return delta
+                base_arena = doc.arena() if self.incremental_commits else None
+                old_uid = doc.current_uid()
+            outcome = None
+            if base_arena is not None:
+                try:
+                    with span("splice"):
+                        outcome = apply_entries_spliced(
+                            base_arena, entries, self.compiled
+                        )
+                except DeltaUnsupported:
+                    outcome = None
+            if outcome is None:
+                with doc.lock:
+                    for entry in entries:
+                        apply_update(doc.root, entry.transform.update)
+                    self.log.record_commit(doc.name, entries)
+                    doc.dirty = True
+                    version = doc.bump()
+                    with span("invalidate"):
+                        self._invalidate_for(doc.name)
+                delta = CommitDelta(
+                    doc_name=doc.name,
+                    old_version=old_version,
+                    new_version=version,
+                    old_uid=old_uid,
+                    new_uid=0,
+                    spliced=False,
+                    entries=len(entries),
+                )
+                with self._counter_lock:
+                    self.commit_rebuilds += 1
+                    self.last_delta = delta
+                return delta
+            with doc.lock:
+                self.log.record_commit(doc.name, entries)
+                version = doc.install_spliced(outcome.arena, outcome.touched_nodes)
+                new_uid = doc.current_uid()
+                with span("invalidate"):
+                    kept_r, dropped_r, kept_m, dropped_m = self._invalidate_delta(
+                        doc, outcome, old_version, version
+                    )
+        delta = CommitDelta(
+            doc_name=doc.name,
+            old_version=old_version,
+            new_version=version,
+            old_uid=old_uid,
+            new_uid=new_uid,
+            spliced=True,
+            entries=len(entries),
+            patches=outcome.patches,
+            touched_nodes=outcome.touched_nodes,
+            labels=outcome.labels,
+            results_kept=kept_r,
+            results_dropped=dropped_r,
+            mats_kept=kept_m,
+            mats_dropped=dropped_m,
+        )
+        with self._counter_lock:
+            self.commit_splices += 1
+            self.delta_touched_nodes += outcome.touched_nodes
+            self.delta_results_kept += kept_r
+            self.delta_results_dropped += dropped_r
+            self.delta_mats_kept += kept_m
+            self.delta_mats_dropped += dropped_m
+            self.last_delta = delta
+        return delta
 
     def _invalidate_for(self, doc_name: str) -> None:
         self.views.invalidate_document(doc_name)
         affected = {doc_name}
         affected.update(v.name for v in self.views.dependents_of_document(doc_name))
         self.results.invalidate(lambda key: key[0] in affected)
+
+    # ------------------------------------------------------------------
+    # Delta-scoped invalidation
+    # ------------------------------------------------------------------
+
+    def _query_label_set(self, query_text: str):
+        """Labels the query's answer can depend on; ``None`` when
+        unanalyzable.  Cached by source text (wrapped in a 1-tuple so a
+        cached ``None`` still hits)."""
+        return self._query_label_cache.get_or_compute(
+            query_text,
+            lambda: (query_labels(self.compiled.user_query(query_text)),),
+        )[0]
+
+    def _transform_label_set(self, transform_text: str, transform: TransformQuery):
+        return self._transform_label_cache.get_or_compute(
+            transform_text, lambda: (transform_labels(transform),)
+        )[0]
+
+    def commit_unaffected(self, delta: CommitDelta, query_text: str) -> bool:
+        """Can a cached answer to *query_text* over the committed
+        document survive this commit?  The label-disjointness test the
+        service's memo re-keying uses: the query is analyzable and
+        mentions no label in the commit's delta set."""
+        if not delta.spliced or delta.labels is None:
+            return False
+        labels = self._query_label_set(query_text)
+        return labels is not None and not (labels & delta.labels)
+
+    def _invalidate_delta(
+        self, doc: StoredDocument, outcome, old_version: int, new_version: int
+    ) -> tuple[int, int, int, int]:  # holds: doc.lock
+        """Carry provably-unaffected cache entries across a spliced
+        commit; drop the rest.  Returns ``(results kept, results
+        dropped, materializations kept, materializations dropped)``.
+
+        A result over the document survives when its query's label set
+        is disjoint from the delta's.  A result over a view also needs
+        every stack layer analyzable and label-disjoint — or the whole
+        stack **swallowed**: every patch strictly inside a subtree the
+        innermost transform deletes/replaces, making the view output
+        byte-identical.  Materializations are exact trees, so only the
+        swallow test (not label disjointness) can keep them.
+        """
+        doc_name = doc.name
+        delta_labels = outcome.labels
+        dependents = self.views.dependents_of_document(doc_name)
+        swallowed: dict[str, bool] = {}
+        stack_labels: dict[str, Optional[frozenset]] = {}
+        for view in dependents:
+            _, stack = self.views.stack(view.name)
+            extra: set = set()
+            analyzable = True
+            for layer in stack:
+                layer_labels = self._transform_label_set(
+                    layer.transform_text, layer.transform
+                )
+                if layer_labels is None:
+                    analyzable = False
+                    break
+                extra |= layer_labels
+            stack_labels[view.name] = frozenset(extra) if analyzable else None
+            swallowed[view.name] = bool(outcome.ranges) and ranges_swallowed_by(
+                stack[0].transform, outcome.base_arena, outcome.ranges, self.compiled
+            )
+        affected = {doc_name}
+        affected.update(swallowed)
+
+        def map_key(key):
+            target = key[0]
+            if target not in affected:
+                return key
+            if key[1] != old_version:
+                return None  # stale leftovers from an even older version
+            if target != doc_name and swallowed[target]:
+                return (target, new_version) + key[2:]
+            needed = self._query_label_set(key[2])
+            if needed is None or delta_labels is None:
+                return None
+            if target != doc_name:
+                extra = stack_labels[target]
+                if extra is None:
+                    return None
+                needed = needed | extra
+            if needed & delta_labels:
+                return None
+            return (target, new_version) + key[2:]
+
+        results_kept, results_dropped = self.results.rekey(map_key)
+        mats_kept = 0
+        mats_dropped = 0
+        for view in dependents:
+            if view.materialized_root is None:
+                continue
+            if swallowed[view.name] and view.materialized_version == old_version:
+                view.rebase_materialization(new_version)
+                mats_kept += 1
+            else:
+                view.invalidate()
+                mats_dropped += 1
+        return results_kept, results_dropped, mats_kept, mats_dropped
 
     # ------------------------------------------------------------------
     # Introspection
@@ -416,6 +652,20 @@ class ViewStore:
         observe a torn pair mid-increment)."""
         with self._counter_lock:
             return self.arena_reads, self.snapshot_pins
+
+    def _commit_counter_values(self) -> dict:
+        """One consistent snapshot of the commit-path counters."""
+        with self._counter_lock:
+            return {
+                "spliced": self.commit_splices,
+                "rebuilds": self.commit_rebuilds,
+                "noops": self.commit_noops,
+                "touched_nodes": self.delta_touched_nodes,
+                "results_kept": self.delta_results_kept,
+                "results_dropped": self.delta_results_dropped,
+                "mats_kept": self.delta_mats_kept,
+                "mats_dropped": self.delta_mats_dropped,
+            }
 
     def bind_metrics(self, registry) -> None:
         """Expose the store's counters through a
@@ -439,6 +689,14 @@ class ViewStore:
             ),
         )
         registry.probe("store.views.count", lambda: len(self.views))
+        for metric in (
+            "spliced", "rebuilds", "noops", "touched_nodes",
+            "results_kept", "results_dropped", "mats_kept", "mats_dropped",
+        ):
+            registry.probe(
+                f"store.commit.delta.{metric}",
+                lambda metric=metric: self._commit_counter_values()[metric],
+            )
         self.planner.bind_metrics(registry)
 
     def stats(self) -> dict:
@@ -449,6 +707,31 @@ class ViewStore:
             info = dict(info)
             info.update(log_stats.get(name, {"staged": 0, "committed": 0}))
             documents[name] = info
+        commits = self._commit_counter_values()
+        retained = commits["results_kept"] + commits["mats_kept"]
+        purged = commits["results_dropped"] + commits["mats_dropped"]
+        commits["retention_ratio"] = (
+            retained / (retained + purged) if retained + purged else None
+        )
+        with self._counter_lock:
+            last = self.last_delta
+        if last is not None:
+            last_kept = last.results_kept + last.mats_kept
+            last_purged = last.results_dropped + last.mats_dropped
+            commits["last"] = {
+                "doc": last.doc_name,
+                "version": last.new_version,
+                "spliced": last.spliced,
+                "entries": last.entries,
+                "touched_nodes": last.touched_nodes,
+                "results_kept": last.results_kept,
+                "results_dropped": last.results_dropped,
+                "retention_ratio": (
+                    last_kept / (last_kept + last_purged)
+                    if last_kept + last_purged
+                    else None
+                ),
+            }
         return {
             "documents": documents,
             "views": self.views.stats(),
@@ -457,6 +740,12 @@ class ViewStore:
                 "results": self.results.stats(),
             },
             "planner": self.planner.stats(),
+            "commits": commits,
             "arena_reads": arena_reads,
             "snapshot_pins": snapshot_pins,
         }
+
+    def chain_info(self, doc_name: str) -> dict:
+        """Version-chain shape and shared/owned byte split for one
+        document (``repro store stat`` surfaces this)."""
+        return self._require_document(doc_name).chain_info()

@@ -85,6 +85,20 @@ class View:
         self.materialized_root = None
         self.materialized_version = None
 
+    def rebase_materialization(self, version: int) -> bool:
+        """Re-stamp the cached tree onto a new committed *version*.
+
+        Delta-scoped invalidation calls this when a spliced commit is
+        provably invisible through this view's stack (every patch
+        swallowed by an inner delete/replace) — the tree is exact for
+        the new version, so it survives the commit instead of being
+        rebuilt.  Returns whether there was a materialization to keep.
+        """
+        if self.materialized_root is None:
+            return False
+        self.materialized_version = version
+        return True
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         hot = " materialized" if self.materialized_root is not None else ""
         return f"View({self.name!r} over {self.base!r}{hot})"

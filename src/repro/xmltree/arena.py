@@ -59,6 +59,7 @@ from __future__ import annotations
 
 import sys
 from array import array
+from bisect import bisect_right
 from typing import Iterable, Iterator, Optional
 
 from repro.xmltree.node import Element, Node, Text
@@ -67,10 +68,14 @@ from repro.xmltree.symbols import SymbolTable, global_symbols
 __all__ = [
     "FrozenBuilder",
     "FrozenDocument",
+    "SpliceSegment",
     "arena_from_columns",
     "arena_to_events",
     "events_to_arena",
     "freeze",
+    "freeze_segment",
+    "rename_splice",
+    "splice",
     "thaw",
 ]
 
@@ -475,6 +480,305 @@ def arena_from_columns(
         columns["payload"],
         columns["attrs"],
         columns["n_elements"],
+    )
+
+
+# ----------------------------------------------------------------------
+# Splicing: deriving the next frozen version at O(delta) cost
+# ----------------------------------------------------------------------
+
+
+class SpliceSegment:
+    """A frozen subtree in *relative* column form, ready to splice.
+
+    Produced by :func:`freeze_segment`.  ``parent`` holds offsets
+    relative to the segment's own first node (``-1`` at the segment
+    root — rewired to the attach point at splice time) and ``end``
+    holds relative pre-order ranges, so one segment can be emitted at
+    any output position by adding a base offset.  ``labels`` is the
+    set of element labels the segment introduces — what delta-scoped
+    cache invalidation intersects against.  Immutable by the same
+    contract as :class:`FrozenDocument`; a segment built once from an
+    update's constant content is reused across every match and every
+    commit of that update.
+    """
+
+    __slots__ = (
+        "symbols", "sym", "parent", "end", "payload", "attrs",
+        "n_elements", "labels",
+    )
+
+    def __init__(
+        self,
+        symbols: SymbolTable,
+        sym: array,
+        parent: array,
+        end: array,
+        payload: list,
+        attrs: dict,
+        n_elements: int,
+        labels: frozenset,
+    ):
+        self.symbols = symbols
+        self.sym = sym
+        self.parent = parent
+        self.end = end
+        self.payload = payload
+        self.attrs = attrs
+        self.n_elements = n_elements
+        self.labels = labels
+
+    def __len__(self) -> int:
+        return len(self.sym)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SpliceSegment({len(self.sym)} nodes, labels={sorted(self.labels)})"
+
+
+def freeze_segment(root: Element, symbols: Optional[SymbolTable] = None) -> SpliceSegment:
+    """Columnarize a subtree into splice-ready relative columns.
+
+    A :class:`FrozenBuilder` run starting at index 0 already produces
+    the relative form — the segment root's parent is ``-1`` and every
+    ``end`` is an offset from the segment start — so this is exactly
+    :func:`freeze` plus a label census.
+    """
+    doc = freeze(root, symbols)
+    strings = doc.symbols.strings
+    labels = frozenset(strings[s] for s in doc.sym if s >= 0)
+    return SpliceSegment(
+        doc.symbols, doc.sym, doc.parent, doc.end, doc.payload,
+        doc.attrs, doc.n_elements, labels,
+    )
+
+
+#: The SWAR fast path in :func:`splice` assumes 4-byte ``array('i')``
+#: lanes laid out in native byte order.
+_LANES32 = array("i").itemsize == 4
+
+
+def _shifted_lanes(col: "array[int]", lo: int, hi: int, shift: int) -> bytes:
+    """``col[lo:hi]`` with *shift* added to every element, as raw bytes.
+
+    SWAR on one big integer: with ``shift > 0`` and every lane a
+    non-negative pre-order index far below ``2**31``, no lane sum can
+    carry into its neighbour, so a single big-int addition shifts the
+    whole slice at C speed instead of boxing one int per node.
+    """
+    lanes = hi - lo
+    ones = ((1 << (32 * lanes)) - 1) // 0xFFFFFFFF
+    big = int.from_bytes(col[lo:hi].tobytes(), sys.byteorder) + shift * ones
+    return big.to_bytes(lanes * 4, sys.byteorder)
+
+
+def splice(base: FrozenDocument, patches: list) -> FrozenDocument:
+    """A new :class:`FrozenDocument` with *patches* applied to *base*.
+
+    Each patch is a ``(start, stop, attach, segment)`` tuple against
+    *base*'s pre-order indices:
+
+    * a **removal** (``stop > start``) drops exactly one subtree range
+      (``stop == base.end[start]``, ``attach == base.parent[start]``)
+      and, when *segment* is not ``None``, emits the segment's nodes
+      in its place (a replace);
+    * an **insertion** (``stop == start``, *segment* required) emits
+      the segment at position ``start`` as the new last child of
+      element *attach* (which must satisfy ``base.end[attach] ==
+      start``).
+
+    Patches must be pairwise disjoint and must never touch the root
+    (``start >= 1``).  Untouched regions are copied as bulk column
+    slices — payload strings and attribute tuples are **shared by
+    reference** with *base* — and only three kinds of pointwise fixups
+    run: parent/end shifts right of the first patch, end growth on the
+    ancestor chain of each attach point, and attribute-key remapping.
+    The returned arena shares *base*'s symbol table; readers holding
+    *base* are unaffected.
+    """
+    if not patches:
+        return base
+    for patch in patches:
+        seg = patch[3]
+        if seg is not None and seg.symbols is not base.symbols:
+            raise ValueError(
+                "splice segment was frozen against a different SymbolTable"
+            )
+    # At equal positions the deeper attach's content must emit first
+    # (it belongs inside the shallower node's subtree): sort by
+    # (start, -attach).
+    patches = sorted(patches, key=lambda p: (p[0], -p[2]))
+    sym0 = base.sym
+    par0 = base.parent
+    end0 = base.end
+    pay0 = base.payload
+    n = len(sym0)
+
+    # -- validate, and compute per-patch size deltas ("nets"), the
+    #    cumulative shift table, and the ancestor-chain end corrections.
+    nets: list[int] = []
+    stops: list[int] = []          # per-patch boundary, bisect key for shifts
+    removal_starts: list[int] = []
+    removal_stops: list[int] = []
+    corr: dict[int, int] = {}      # kept index -> end growth (ancestor chains)
+    removed_elements = 0
+    high_water = 1                 # patches may never touch the root
+    for start, stop, attach, seg in patches:
+        if start < high_water or stop > n or start < 1:
+            raise ValueError(
+                f"splice patch [{start}, {stop}) overlaps an earlier patch "
+                f"or falls outside the document"
+            )
+        if stop == start:
+            if seg is None:
+                raise ValueError("insertion patch requires a segment")
+            if not (0 <= attach < start and end0[attach] == start and sym0[attach] >= 0):
+                raise ValueError(
+                    f"insertion at {start} must attach to the element whose "
+                    f"subtree ends there (got attach={attach})"
+                )
+            idx = bisect_right(removal_starts, attach) - 1
+            if idx >= 0 and attach < removal_stops[idx]:
+                raise ValueError(
+                    f"insertion attach {attach} lies inside a removed range"
+                )
+        else:
+            if end0[start] != stop:
+                raise ValueError(
+                    f"removal [{start}, {stop}) is not one subtree "
+                    f"(end[{start}] == {end0[start]})"
+                )
+            if attach != par0[start]:
+                raise ValueError(
+                    f"removal patch attach must be parent[{start}] == "
+                    f"{par0[start]}, got {attach}"
+                )
+            removal_starts.append(start)
+            removal_stops.append(stop)
+            for j in range(start, stop):
+                if sym0[j] >= 0:
+                    removed_elements += 1
+        net = (len(seg.sym) if seg is not None else 0) - (stop - start)
+        nets.append(net)
+        stops.append(stop)
+        if net:
+            # Every kept node whose subtree contains this patch is, by
+            # laminarity, an ancestor-or-self of the attach point: walk
+            # the chain once and accumulate the end growth.
+            c = attach
+            while c >= 0:
+                corr[c] = corr.get(c, 0) + net
+                c = par0[c]
+        high_water = stop if stop > start else start
+
+    cum = [0]
+    for net in nets:
+        cum.append(cum[-1] + net)
+
+    def newpos(p: int) -> int:
+        """Output index of kept base node *p* (piecewise shift)."""
+        return p + cum[bisect_right(stops, p)]
+
+    first_start = patches[0][0]
+    new_sym = array("i")
+    new_par = array("i")
+    new_end = array("i")
+    new_pay: list = []
+    new_attrs: dict = {}
+    n_elements = base.n_elements - removed_elements
+
+    def emit_kept(lo: int, hi: int, shift: int) -> None:
+        if lo >= hi:
+            return
+        new_sym.extend(sym0[lo:hi])
+        new_pay.extend(pay0[lo:hi])
+        if shift == 0 and hi <= first_start:
+            # The untouched prefix: raw slice copies (ancestor-chain
+            # end growth is applied globally afterwards).
+            new_par.extend(par0[lo:hi])
+            new_end.extend(end0[lo:hi])
+            return
+        # Bulk-shift the whole piece at C speed, then fix the only
+        # nodes whose parent lies *before* the piece: its top-level
+        # subtree roots, reached by jumping end-to-end.  (A node
+        # strictly inside a subtree rooted in the piece has its parent
+        # in the piece, so the uniform shift is already correct.)
+        out0 = len(new_par)
+        if shift == 0:
+            new_par.extend(par0[lo:hi])
+            new_end.extend(end0[lo:hi])
+        elif shift > 0 and _LANES32:
+            new_par.frombytes(_shifted_lanes(par0, lo, hi, shift))
+            new_end.frombytes(_shifted_lanes(end0, lo, hi, shift))
+        else:
+            new_par.extend(map(shift.__add__, par0[lo:hi]))
+            new_end.extend(map(shift.__add__, end0[lo:hi]))
+        b = lo
+        while b < hi:
+            p = par0[b]
+            new_par[out0 + b - lo] = p if p < first_start else newpos(p)
+            b = end0[b]
+
+    prev = 0
+    shift = 0
+    for k, (start, stop, attach, seg) in enumerate(patches):
+        emit_kept(prev, start, shift)
+        if seg is not None:
+            out0 = len(new_sym)
+            attach_new = attach + cum[bisect_right(stops, attach)]
+            append_par = new_par.append
+            for rel in seg.parent:
+                append_par(attach_new if rel < 0 else out0 + rel)
+            new_sym.extend(seg.sym)
+            new_end.extend(map(out0.__add__, seg.end))
+            new_pay.extend(seg.payload)
+            for key, flat in seg.attrs.items():
+                new_attrs[out0 + key] = flat
+            n_elements += seg.n_elements
+        prev = stop
+        shift += nets[k]
+    emit_kept(prev, n, shift)
+
+    # Ancestor-chain end growth: the only kept nodes whose ends move
+    # beyond their piece shift.
+    for c, growth in corr.items():
+        new_end[newpos(c)] += growth
+
+    # Re-key kept attribute tuples (shared by reference); drop removed.
+    if removal_starts:
+        for k, flat in base.attrs.items():
+            idx = bisect_right(removal_starts, k) - 1
+            if idx >= 0 and k < removal_stops[idx]:
+                continue
+            new_attrs[newpos(k)] = flat
+    else:
+        # Insert-only delta: nothing is dropped, and every key left of
+        # the first patch keeps its position.
+        for k, flat in base.attrs.items():
+            new_attrs[k if k < first_start else newpos(k)] = flat
+
+    return FrozenDocument(
+        base.symbols, new_sym, new_par, new_end, new_pay, new_attrs,
+        n_elements,
+    )
+
+
+def rename_splice(base: FrozenDocument, indices: list, new_label: str) -> FrozenDocument:
+    """A new frozen version with the elements at *indices* relabeled.
+
+    A rename changes exactly one column: ``parent``/``end``/``payload``/
+    ``attrs`` are **aliased** from *base* (full structural sharing; both
+    arenas are immutable so aliasing is safe), and only ``sym`` is
+    copied and point-written.
+    """
+    sym = array("i", base.sym)
+    sid = base.symbols.intern(new_label)
+    for i in indices:
+        if sym[i] < 0:
+            raise ValueError(f"cannot rename text node at index {i}")
+        sym[i] = sid
+    return FrozenDocument(
+        base.symbols, sym, base.parent, base.end, base.payload,
+        base.attrs, base.n_elements,
     )
 
 

@@ -306,8 +306,18 @@ class TestCommitRollback:
         assert stacked.rollback("db") == 1
         with pytest.raises(NothingStagedError):
             stacked.rollback("db")
-        with pytest.raises(NothingStagedError):
-            stacked.commit("db")
+        # A commit with nothing staged is a true no-op: the version
+        # does not move and nothing is invalidated.
+        doc = stacked.documents.get("db")
+        before = doc.version
+        warm = stacked.query("db", "for $x in db/part return $x")
+        assert stacked.commit("db") == before
+        assert doc.version == before
+        delta = stacked.last_delta
+        assert delta is not None and delta.entries == 0
+        assert delta.old_version == delta.new_version == before
+        key = ("db", before, "for $x in db/part return $x")
+        assert stacked.results.get(key) is warm
 
     def test_commit_is_sequential_over_stages(self, store):
         store.stage(

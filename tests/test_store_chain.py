@@ -1,0 +1,345 @@
+"""Incremental commits: the version chain and the splice fast path.
+
+The oracle throughout is the destructive rebuild path
+(``ViewStore(incremental_commits=False)``): whatever a spliced commit
+produces must serialize identically to what mutate-and-refreeze
+produces for the same staged sequence — deterministically per update
+kind, and property-based over random trees and random update
+sequences.  On top of equivalence: chain time travel
+(``pin(version=N)``), snapshot isolation for readers pinned to old
+chain versions while a writer splices, structural sharing between
+consecutive chain entries, and the delta-scoped invalidation receipts
+(results kept by label disjointness, materializations kept by the
+swallow test).
+"""
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.store import MaterializationPolicy, StoreError, ViewStore
+from repro.xmltree.node import deep_copy
+from repro.xmltree.serializer import serialize, serialize_arena
+
+from tests.strategies import LABELS, trees
+
+DOC = "<db><a><x>1</x></a><b><y>2</y></b><c>3</c></db>"
+
+
+def _transform(body: str, name: str = "db") -> str:
+    return (
+        f'transform copy $a := doc("{name}") modify do {body} return $a'
+    )
+
+
+def _roots_equal(left: ViewStore, right: ViewStore, name: str = "db") -> bool:
+    return serialize(left.documents.get(name).root) == serialize(
+        right.documents.get(name).root
+    )
+
+
+def _assert_wellformed(arena) -> None:
+    """Structural invariants of a pre-order arena: parents precede
+    their children and subtree ranges nest."""
+    n = len(arena)
+    par = arena.parent
+    end = arena.end
+    assert len(arena.sym) == n and len(end) == n and len(arena.payload) == n
+    assert par[0] == -1 and end[0] == n
+    for i in range(1, n):
+        p = par[i]
+        assert 0 <= p < i, (i, p)
+        assert i < end[i] <= end[p], (i, end[i], end[p])
+    assert arena.n_elements == sum(1 for s in arena.sym if s >= 0)
+
+
+# ----------------------------------------------------------------------
+# Splice == rebuild: deterministic per update kind
+# ----------------------------------------------------------------------
+
+
+class TestSpliceEqualsRebuildPerKind:
+    def _pair(self) -> "tuple[ViewStore, ViewStore]":
+        spliced = ViewStore()
+        spliced.put("db", DOC)
+        rebuild = ViewStore(incremental_commits=False)
+        rebuild.put("db", DOC)
+        return spliced, rebuild
+
+    @pytest.mark.parametrize(
+        "body",
+        [
+            "insert <w><t>9</t></w> into $a/b",
+            "delete $a/a/x",
+            "replace $a/c with <c>9</c>",
+            "rename $a//y as z",
+        ],
+        ids=["insert", "delete", "replace", "rename"],
+    )
+    def test_each_kind_splices_and_matches_the_rebuild(self, body):
+        spliced, rebuild = self._pair()
+        text = _transform(body)
+        delta = spliced.commit_delta("db", text)
+        rebuild.commit("db", text)
+        assert delta.spliced and delta.entries == 1, delta
+        assert delta.new_version == delta.old_version + 1
+        assert _roots_equal(spliced, rebuild)
+        snapshot = spliced.pin("db")
+        _assert_wellformed(snapshot.arena)
+        assert serialize_arena(snapshot.arena) == serialize(
+            rebuild.documents.get("db").root
+        )
+
+    def test_zero_match_update_is_a_spliced_identity(self):
+        spliced, rebuild = self._pair()
+        text = _transform("delete $a/nosuch")
+        delta = spliced.commit_delta("db", text)
+        rebuild.commit("db", text)
+        assert delta.spliced and delta.patches == 0 and delta.touched_nodes == 0
+        assert _roots_equal(spliced, rebuild)
+
+    def test_document_spanning_delete_falls_back_to_rebuild(self):
+        # A delta covering most of the document gains nothing over a
+        # rebuild and would fragment sharing: the commit must take the
+        # destructive path — and still agree with it.
+        wide = "<db><big><x>1</x><y>2</y><z>3</z></big><s/></db>"
+        spliced = ViewStore()
+        spliced.put("db", wide)
+        rebuild = ViewStore(incremental_commits=False)
+        rebuild.put("db", wide)
+        text = _transform("delete $a/big")
+        delta = spliced.commit_delta("db", text)
+        rebuild.commit("db", text)
+        assert not delta.spliced
+        assert _roots_equal(spliced, rebuild)
+
+
+# ----------------------------------------------------------------------
+# Splice == rebuild: property-based over random trees and sequences
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def update_texts(draw):
+    """A random staged update against the shared a..e label alphabet,
+    so updates actually hit (and miss) random trees."""
+    kind = draw(st.sampled_from(["insert", "delete", "replace", "rename"]))
+    path = "$a" + draw(st.sampled_from(["/", "//"])) + draw(st.sampled_from(LABELS))
+    if draw(st.booleans()):
+        path += draw(st.sampled_from(["/", "//"])) + draw(st.sampled_from(LABELS))
+    content_label = draw(st.sampled_from(LABELS))
+    if kind == "insert":
+        body = f"insert <{content_label}><t>9</t></{content_label}> into {path}"
+    elif kind == "delete":
+        body = f"delete {path}"
+    elif kind == "replace":
+        body = f"replace {path} with <{content_label}>9</{content_label}>"
+    else:
+        body = f"rename {path} as {draw(st.sampled_from(LABELS))}"
+    return _transform(body)
+
+
+@settings(max_examples=60, deadline=None)
+@given(tree=trees(), texts=st.lists(update_texts(), min_size=1, max_size=3))
+def test_splice_commit_equals_full_rebuild(tree, texts):
+    spliced = ViewStore()
+    spliced.put("db", deep_copy(tree))
+    rebuild = ViewStore(incremental_commits=False)
+    rebuild.put("db", deep_copy(tree))
+    for text in texts:
+        spliced.stage("db", text)
+        rebuild.stage("db", text)
+    assert spliced.commit("db") == rebuild.commit("db")
+    assert _roots_equal(spliced, rebuild)
+    snapshot = spliced.pin("db")
+    _assert_wellformed(snapshot.arena)
+    assert serialize_arena(snapshot.arena) == serialize(
+        spliced.documents.get("db").root
+    )
+
+
+# ----------------------------------------------------------------------
+# The version chain: time travel and structural sharing
+# ----------------------------------------------------------------------
+
+
+def test_pin_time_travel_on_the_chain():
+    store = ViewStore()
+    store.put("db", "<db><a>1</a></db>")
+    store.commit("db", _transform("insert <b>2</b> into $a/a"))
+    store.commit("db", _transform("insert <c>3</c> into $a/a"))
+    assert store.pin("db").version == 3
+
+    v1 = serialize_arena(store.pin("db", version=1).arena)
+    v2 = serialize_arena(store.pin("db", version=2).arena)
+    assert "<b>2</b>" not in v1 and "<c>3</c>" not in v1
+    assert "<b>2</b>" in v2 and "<c>3</c>" not in v2
+    assert "<c>3</c>" in serialize_arena(store.pin("db", version=3).arena)
+
+    with pytest.raises(StoreError) as excinfo:
+        store.pin("db", version=99)
+    assert "resident" in str(excinfo.value)
+
+
+def test_spliced_versions_share_structure():
+    store = ViewStore()
+    store.put("db", DOC)
+    store.commit("db", _transform("insert <w>9</w> into $a/b"))
+    store.commit("db", _transform("rename $a//y as z"))
+
+    a1 = store.pin("db", version=1).arena
+    a2 = store.pin("db", version=2).arena
+    a3 = store.pin("db", version=3).arena
+    assert a2.symbols is a1.symbols and a3.symbols is a1.symbols
+    # A rename touches only the symbol column: everything else aliases.
+    assert a3.parent is a2.parent and a3.end is a2.end
+    assert a3.payload is a2.payload and a3.attrs is a2.attrs
+
+    info = store.chain_info("db")
+    assert info["length"] == 3 and info["splices"] == 2
+    assert [row["version"] for row in info["per_version"]] == [1, 2, 3]
+    assert info["per_version"][1]["shared_bytes"] > 0
+    assert info["per_version"][2]["shared_bytes"] > 0
+    doc = store.documents.get("db")
+    assert doc.splices == 2 and doc.arena_builds == 1
+
+
+def test_chain_retention_limit_evicts_oldest():
+    store = ViewStore()
+    store.put("db", "<db><a/></db>")
+    doc = store.documents.get("db")
+    for _ in range(doc.chain.limit + 2):
+        store.commit("db", _transform("insert <b/> into $a/a"))
+    assert len(doc.chain) == doc.chain.limit
+    with pytest.raises(StoreError):
+        store.pin("db", version=1)
+
+
+# ----------------------------------------------------------------------
+# Snapshot isolation: readers on old chain versions vs a splicing writer
+# ----------------------------------------------------------------------
+
+
+PAIRED = [
+    _transform("insert <t/> into $a/left"),
+    _transform("insert <t/> into $a/right"),
+]
+
+
+def test_readers_pinned_to_old_versions_never_observe_splices():
+    """A writer splices paired inserts while readers re-pin version 1
+    and the latest version: the old snapshot must stay byte-identical
+    and the latest must never expose half a commit (odd ``<t/>``)."""
+    store = ViewStore()
+    store.put("db", "<db><left><l/></left><right><r/></right></db>")
+    baseline = serialize_arena(store.pin("db").arena)
+    commits = 5  # stays within the chain retention limit
+    done = threading.Event()
+    errors: list = []
+    torn: list = []
+
+    def writer():
+        try:
+            for _ in range(commits):
+                for text in PAIRED:
+                    store.stage("db", text)
+                delta = store.commit_delta("db")
+                if not delta.spliced or delta.entries != 2:
+                    errors.append(AssertionError(f"not spliced: {delta}"))
+                    return
+        except Exception as exc:  # noqa: BLE001 - asserted below
+            errors.append(exc)
+        finally:
+            done.set()
+
+    def reader():
+        try:
+            rounds = 0
+            while rounds < 2000 and not (done.is_set() and rounds >= 20):
+                rounds += 1
+                if serialize_arena(store.pin("db", version=1).arena) != baseline:
+                    torn.append("pinned v1 drifted")
+                    return
+                latest = store.pin("db").arena
+                count = sum(
+                    1
+                    for i in range(len(latest))
+                    if latest.is_element(i) and latest.label(i) == "t"
+                )
+                if count % 2:
+                    torn.append(("odd commit observed", count))
+                    return
+        except Exception as exc:  # noqa: BLE001 - asserted below
+            errors.append(exc)
+
+    writer_thread = threading.Thread(target=writer)
+    reader_threads = [threading.Thread(target=reader) for _ in range(3)]
+    writer_thread.start()
+    for thread in reader_threads:
+        thread.start()
+    for thread in reader_threads:
+        thread.join()
+    writer_thread.join()
+    assert not errors, errors
+    assert not torn, torn
+    assert store.documents.get("db").splices == commits
+    assert serialize_arena(store.pin("db", version=1).arena) == baseline
+
+
+# ----------------------------------------------------------------------
+# Delta-scoped invalidation receipts
+# ----------------------------------------------------------------------
+
+
+def test_disjoint_results_survive_a_spliced_commit():
+    store = ViewStore()
+    store.put("db", DOC)
+    keep_q = "for $x in b/y return $x"
+    drop_q = "for $x in a/x return $x"
+    kept_rows = store.query("db", keep_q)
+    store.query("db", drop_q)
+
+    delta = store.commit_delta("db", _transform("insert <w>9</w> into $a/a"))
+    assert delta.spliced, delta
+    assert delta.labels is not None
+    assert "a" in delta.labels and "b" not in delta.labels
+    assert delta.results_kept == 1 and delta.results_dropped == 1, delta
+    # The kept result was re-keyed to the new version: identity cache hit.
+    assert store.query("db", keep_q) is kept_rows
+
+
+def test_swallowed_commit_keeps_the_view_materialization():
+    """A commit that lands entirely inside a subtree the view deletes
+    cannot change the view's output: its materialization is re-stamped,
+    not rebuilt."""
+    store = ViewStore(policy=MaterializationPolicy(hot_threshold=1))
+    store.put("db", "<db><part><pname>kb</pname><secret><cost>1</cost></secret></part></db>")
+    store.define_view("public", "db", _transform("delete $a//secret"))
+    query = "for $x in part/pname return $x"
+    store.query("public", query)
+    view = store.views.get("public")
+    assert view.materialized_root is not None
+
+    delta = store.commit_delta(
+        "db", _transform("insert <cost>2</cost> into $a/part/secret")
+    )
+    assert delta.spliced, delta
+    assert delta.mats_kept == 1 and delta.mats_dropped == 0, delta
+    assert view.materialized_root is not None
+    assert view.materialized_version == delta.new_version
+    assert [serialize(row) for row in store.query("public", query)] == [
+        serialize(row) for row in store.query_naive("public", query)
+    ]
+
+    # A commit the view does NOT swallow drops the materialization.
+    delta = store.commit_delta(
+        "db", _transform("insert <pname>mouse</pname> into $a/part")
+    )
+    assert delta.spliced, delta
+    assert delta.mats_kept == 0 and delta.mats_dropped == 1, delta
+    assert view.materialized_root is None
+    assert [serialize(row) for row in store.query("public", query)] == [
+        serialize(row) for row in store.query_naive("public", query)
+    ]

@@ -96,8 +96,11 @@ class TestRoundTrip:
         ) == 0
         assert "price" in capsys.readouterr().out  # nothing committed
         assert _store(["rollback", "-n", "db"], state) == 0
-        # Staging area now empty: a bare commit has nothing to apply.
-        assert _store(["commit", "-n", "db"], state) == 2
+        capsys.readouterr()
+        # Staging area now empty: a bare commit is a true no-op that
+        # leaves the version where it was.
+        assert _store(["commit", "-n", "db"], state) == 0
+        assert "now v1" in capsys.readouterr().out
 
     def test_stat(self, state, capsys):
         assert _store(["defview", "-n", "public", "-b", "db", "-t", HIDE_A], state) == 0
