@@ -165,6 +165,54 @@ def test_small_commit_splices_5x_faster_with_cache_retention():
         )
 
 
+def test_wal_fsync_overhead_is_bounded(tmp_path):
+    """Durability bar: an fsync'd write-ahead-logged commit stays
+    within 1.5x of the no-WAL commit on the small-delta profile — the
+    log costs one serialized-texts append and one fsync, never a
+    rewrite of anything proportional to the document."""
+    from repro.store.wal import WalWriter
+
+    tree = dataset(FACTOR, seed=DATASET_SEED)
+    walled = ViewStore()
+    walled.put("xmark", deep_copy(tree))
+    walled.wal = WalWriter(str(tmp_path / "wal.jsonl"))
+    plain = ViewStore()
+    plain.put("xmark", deep_copy(tree))
+    for store in (walled, plain):
+        store.pin("xmark")  # neither side pays the initial freeze
+
+    wal_times = []
+    plain_times = []
+    for _ in range(ROUNDS):
+        wal_times.append(_commit_and_pin(walled))
+        plain_times.append(_commit_and_pin(plain))
+    wal_s = min(wal_times)
+    plain_s = min(plain_times)
+
+    # The receipts: every walled commit really appended and fsync'd.
+    stats = walled.wal.stats()
+    assert stats["appends"] == ROUNDS and stats["fsyncs"] == ROUNDS, stats
+    assert plain.wal is None
+
+    ratio = wal_s / plain_s if plain_s > 0 else float("inf")
+    print()
+    print(format_table(
+        f"small-delta commit durability, factor {FACTOR} "
+        f"({ROUNDS} rounds, best)",
+        ["path", "ms", "vs no-WAL"],
+        [
+            ("no WAL (in-memory)", f"{plain_s * 1000:.2f}", "1.00x"),
+            ("WAL, fsync per commit", f"{wal_s * 1000:.2f}", f"{ratio:.2f}x"),
+        ],
+    ))
+    # Informational at smoke sizes: on a tiny document the fsync is
+    # the whole commit, so the ratio only means something in full mode.
+    if not SMOKE:
+        assert wal_s <= plain_s * 1.5, (
+            f"WAL commit {wal_s:.4f}s exceeds 1.5x no-WAL {plain_s:.4f}s"
+        )
+
+
 def test_noop_commit_is_free():
     spliced_store, _ = _stores()
     doc = spliced_store.documents.get("xmark")

@@ -24,6 +24,7 @@ The trajectory file is one JSON object::
     {"benchmark": "service-loadgen",
      "runs": [{"label": "nightly", "timestamp": …, "target_qps": 200,
                "achieved_qps": 198.2, "requests": 2000, "errors": 0,
+               "retries": 0, "reconnects": 0, "retries_exhausted": 0,
                "writes": 40, "p50_ms": 1.9, "p95_ms": 4.2,
                "p99_ms": 7.8, "max_ms": 12.1, "duration_s": 10.09}, …]}
 
@@ -150,7 +151,7 @@ def run_load(
                 latencies.append(time.perf_counter() - scheduled)
         finally:
             client.close()
-        outcomes[index] = (latencies, errors, writes)
+        outcomes[index] = (latencies, errors, writes, dict(client.retry_stats))
 
     threads = [
         threading.Thread(target=worker, args=(index,), name=f"loadgen-{index}")
@@ -166,6 +167,15 @@ def run_load(
     )
     errors = sum(outcome[1] for outcome in outcomes if outcome)
     writes = sum(outcome[2] for outcome in outcomes if outcome)
+    # The clients' self-healing counters: automatic idempotent-read
+    # retries, socket reconnects, and retry budgets that ran out.  A
+    # run with a healthy server reports zeros; a bent curve here dates
+    # a transport regression even when the percentiles survived it.
+    retry_stats = {"retries": 0, "reconnects": 0, "exhausted": 0}
+    for outcome in outcomes:
+        if outcome:
+            for key in retry_stats:
+                retry_stats[key] += outcome[3].get(key, 0)
     return {
         "label": label,
         "timestamp": time.time(),
@@ -176,6 +186,9 @@ def run_load(
         "duration_s": round(elapsed, 4),
         "requests": len(latencies),
         "errors": errors,
+        "retries": retry_stats["retries"],
+        "reconnects": retry_stats["reconnects"],
+        "retries_exhausted": retry_stats["exhausted"],
         "writes": writes,
         "write_ratio": write_ratio,
         "p50_ms": round(percentile(latencies, 50.0) * 1000.0, 4),
@@ -256,6 +269,7 @@ def main(argv=None) -> int:
         f"loadgen: {entry['requests']} requests in {entry['duration_s']}s "
         f"({entry['achieved_qps']:.1f}/s of {args.qps:.0f} targeted), "
         f"{entry['writes']} writes, {entry['errors']} errors, "
+        f"{entry['retries']} retries ({entry['retries_exhausted']} exhausted), "
         f"p50 {entry['p50_ms']}ms p95 {entry['p95_ms']}ms p99 {entry['p99_ms']}ms "
         f"-> {args.out}"
     )

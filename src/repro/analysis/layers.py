@@ -38,7 +38,7 @@ __all__ = ["DEFAULT_MANIFEST", "check_layers", "component_of", "module_name"]
 #: entry may import each other freely; imports must otherwise point at
 #: strictly lower entries.  ``repro`` is the package ``__init__``.
 DEFAULT_MANIFEST: Tuple[Tuple[str, ...], ...] = (
-    ("xmltree", "lru", "obs", "analysis"),
+    ("xmltree", "lru", "obs", "analysis", "faults"),
     ("xpath",),
     ("updates",),
     ("automata",),

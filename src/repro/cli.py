@@ -413,6 +413,12 @@ def _cmd_store_stat(args: argparse.Namespace) -> int:
             f"{last['entries']} entries, {last['touched_nodes']} touched); "
             f"retention {last_text}"
         )
+    wal = stats["wal"]
+    tail_note = ", torn tail truncated" if wal["truncated_tail"] else ""
+    print(
+        f"  wal: {wal['replayed']} commit(s) replayed at open{tail_note}; "
+        f"{wal.get('seq', 0)} record(s) pending checkpoint"
+    )
     return 0
 
 
@@ -444,7 +450,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     state_lock = StateLock(args.state).acquire() if args.state else None
     try:
         store = open_store(args.state) if args.state else None
-        service = QueryService(store=store, config=config)
+        if store is not None and store.wal_replayed:
+            print(
+                f"repro serve: replayed {store.wal_replayed} commit(s) "
+                f"from the write-ahead log",
+                file=sys.stderr,
+                flush=True,
+            )
+        # Commits are made durable per-commit by the store's WAL; admin
+        # writes (load/defview/drop) change the document set the WAL
+        # cannot describe, so the service checkpoints those eagerly.
+        checkpoint = (
+            (lambda: save_store(store, args.state)) if args.state else None
+        )
+        service = QueryService(store=store, config=config, checkpoint=checkpoint)
         server = ServiceServer(service, args.host, args.port)
         host, port = server.address
         print(

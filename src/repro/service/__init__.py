@@ -39,13 +39,16 @@ Over the wire::
         rows = db.query("db", "for $x in a/v return $x")
 """
 
-from repro.service.client import Client
+from repro.service.client import Client, RetryPolicy
 from repro.service.errors import (
     BadRequestError,
     DeadlineError,
     OverloadedError,
+    ResponseLostError,
+    RetryExhaustedError,
     ServiceClosedError,
     ServiceError,
+    TransportError,
 )
 from repro.service.server import ServiceServer
 from repro.service.service import QueryService, ServiceConfig
@@ -56,8 +59,12 @@ __all__ = [
     "DeadlineError",
     "OverloadedError",
     "QueryService",
+    "ResponseLostError",
+    "RetryExhaustedError",
+    "RetryPolicy",
     "ServiceClosedError",
     "ServiceConfig",
     "ServiceError",
     "ServiceServer",
+    "TransportError",
 ]

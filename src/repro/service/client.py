@@ -18,17 +18,76 @@ in-process :class:`~repro.service.service.QueryService` ports across
 the wire unchanged.  One client is one connection and is **not**
 thread-safe — concurrency comes from many clients (that is what fills
 the server's batch windows), not from sharing one.
+
+Self-healing: transport failures split into two typed classes with
+different retry contracts.  :class:`~repro.service.errors.
+TransportError` means the request was never sent (the connect failed);
+:class:`~repro.service.errors.ResponseLostError` means it was sent —
+or may have been — and the response was lost (timeout, EOF, socket
+error mid-exchange).  **Idempotent reads** (``ping``/``query``/
+``stats``/``metrics``/``traces``) are retried automatically under the
+client's :class:`RetryPolicy` — exponential backoff with jitter,
+reconnecting a fresh socket each attempt — and raise
+:class:`~repro.service.errors.RetryExhaustedError` (carrying the last
+failure) when the budget runs out.  **Writes are never auto-retried**:
+a lost commit may have been applied, and only the caller knows whether
+re-issuing it is correct, so the typed error surfaces immediately.
+An explicit :meth:`Client.close` is permanent; only transport-induced
+teardown leaves the client reconnectable.
 """
 
 from __future__ import annotations
 
+import random
 import socket
+import time
 from typing import Optional
 
-from repro.service.errors import ServiceClosedError, ServiceError, error_for
+from repro.service.errors import (
+    ResponseLostError,
+    RetryExhaustedError,
+    ServiceClosedError,
+    TransportError,
+    error_for,
+)
 from repro.service.protocol import decode_line, encode_frame
 
-__all__ = ["Client"]
+__all__ = ["Client", "IDEMPOTENT_OPS", "RetryPolicy"]
+
+#: Ops whose re-execution is observably equivalent to one execution —
+#: the only ops the client will retry on its own.
+IDEMPOTENT_OPS = frozenset({"ping", "query", "stats", "metrics", "traces"})
+
+
+class RetryPolicy:
+    """Exponential backoff with jitter for idempotent-read retries.
+
+    Attempt *k* (0-based retry index) sleeps
+    ``min(max_delay, base_delay * 2**k)`` scaled by a random factor in
+    ``[1, 1 + jitter]`` — the jitter decorrelates clients that all saw
+    the same server hiccup, so they do not reconnect in lockstep.
+    ``attempts=1`` disables retries entirely.
+    """
+
+    __slots__ = ("attempts", "base_delay", "max_delay", "jitter")
+
+    def __init__(
+        self,
+        attempts: int = 3,
+        base_delay: float = 0.05,
+        max_delay: float = 2.0,
+        jitter: float = 0.5,
+    ):
+        if attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {attempts}")
+        self.attempts = attempts
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self.jitter = jitter
+
+    def delay(self, retry_index: int, rng: "random.Random") -> float:
+        base = min(self.max_delay, self.base_delay * (2 ** retry_index))
+        return base * (1.0 + self.jitter * rng.random())
 
 
 class Client:
@@ -39,46 +98,92 @@ class Client:
         host: str = "127.0.0.1",
         port: int = 7007,
         timeout: Optional[float] = 30.0,
+        retry: Optional[RetryPolicy] = None,
+        retry_seed: Optional[int] = None,
     ):
         self.host = host
         self.port = port
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._file = self._sock.makefile("rwb")
+        self.timeout = timeout
+        self.retry = retry if retry is not None else RetryPolicy()
+        self._rng = random.Random(retry_seed)
+        #: Client-local counters (``service.client.*`` when a loadgen
+        #: or harness surfaces them): retries attempted, sockets
+        #: reconnected, retry budgets exhausted.
+        self.retry_stats = {"retries": 0, "reconnects": 0, "exhausted": 0}
+        self._sock: Optional[socket.socket] = None
+        self._file = None
         self._next_id = 0
+        self._closed = False
+        self._connect()
 
     # ------------------------------------------------------------------
     # Transport
     # ------------------------------------------------------------------
 
-    def call(self, op: str, **args):
-        """One raw request/response round trip; returns the result
-        payload or raises the typed error the server answered with."""
-        if self._file is None:
-            raise ServiceClosedError("client is closed")
+    def _connect(self):
+        """Establish the socket; :class:`TransportError` on failure
+        (the connect phase — nothing was ever sent)."""
+        try:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+            self._file = self._sock.makefile("rwb")
+        except OSError as exc:
+            self._sock = None
+            self._file = None
+            raise TransportError(
+                f"cannot connect to {self.host}:{self.port}: {exc}"
+            ) from None
+        return self._file
+
+    def _teardown(self) -> None:
+        """Drop the socket after a transport failure.  Unlike
+        :meth:`close`, the client stays usable: the next call
+        reconnects."""
+        file, self._file = self._file, None
+        sock, self._sock = self._sock, None
+        for closeable in (file, sock):
+            if closeable is None:
+                continue
+            try:
+                closeable.close()
+            except OSError:
+                pass
+
+    def _call_once(self, op: str, args: dict):
+        """One raw request/response round trip on the live (or a
+        fresh) connection."""
+        file = self._file
+        if file is None:
+            file = self._connect()
+            self.retry_stats["reconnects"] += 1
         self._next_id += 1
         request_id = self._next_id
         frame = {"id": request_id, "op": op}
         frame.update({k: v for k, v in args.items() if v is not None})
         try:
-            self._file.write(encode_frame(frame))
-            self._file.flush()
-            line = self._file.readline()
+            file.write(encode_frame(frame))
+            file.flush()
+            line = file.readline()
         except (ConnectionError, OSError) as exc:
-            # Includes socket.timeout: a reply may still be in flight,
-            # so the stream is desynchronized — close rather than let
-            # the next call read this request's late response.
-            self.close()
-            raise ServiceClosedError(f"connection to {self.host}:{self.port} "
-                                     f"failed: {exc}") from None
+            # Includes socket.timeout: the request was (or may have
+            # been) sent and a reply may still be in flight, so the
+            # stream is desynchronized — tear the socket down rather
+            # than let the next call read this request's late response.
+            self._teardown()
+            raise ResponseLostError(
+                f"connection to {self.host}:{self.port} failed "
+                f"mid-request: {exc}"
+            ) from None
         if not line:
-            self.close()
-            raise ServiceClosedError(
+            self._teardown()
+            raise ResponseLostError(
                 f"server at {self.host}:{self.port} closed the connection"
             )
         response = decode_line(line)
         if response.get("id") != request_id:  # pragma: no cover - defensive
-            self.close()
-            raise ServiceError(
+            self._teardown()
+            raise ResponseLostError(
                 f"out-of-order response: sent id {request_id}, "
                 f"got {response.get('id')!r}"
             )
@@ -86,6 +191,30 @@ class Client:
             return response.get("result")
         error = response.get("error") or {}
         raise error_for(error.get("code", "error"), error.get("message", "unknown"))
+
+    def call(self, op: str, **args):
+        """One request/response exchange; returns the result payload or
+        raises the typed error the server answered with.
+
+        Idempotent reads retry transport failures under the client's
+        :class:`RetryPolicy`; writes surface the first typed failure.
+        """
+        if self._closed:
+            raise ServiceClosedError("client is closed")
+        if op not in IDEMPOTENT_OPS:
+            return self._call_once(op, args)
+        policy = self.retry
+        last: Optional[Exception] = None
+        for attempt in range(policy.attempts):
+            if attempt:
+                self.retry_stats["retries"] += 1
+                time.sleep(policy.delay(attempt - 1, self._rng))
+            try:
+                return self._call_once(op, args)
+            except (TransportError, ResponseLostError) as exc:
+                last = exc
+        self.retry_stats["exhausted"] += 1
+        raise RetryExhaustedError(op, policy.attempts, last)
 
     # ------------------------------------------------------------------
     # Ops
@@ -153,18 +282,9 @@ class Client:
     # ------------------------------------------------------------------
 
     def close(self) -> None:
-        file, self._file = self._file, None
-        if file is None:
-            return
-        try:
-            file.close()
-        except OSError:
-            pass
-        finally:
-            try:
-                self._sock.close()
-            except OSError:  # pragma: no cover - already torn down
-                pass
+        """Permanently close the client (no reconnects after this)."""
+        self._closed = True
+        self._teardown()
 
     def __enter__(self) -> "Client":
         return self

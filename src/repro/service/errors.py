@@ -17,8 +17,11 @@ __all__ = [
     "BadRequestError",
     "DeadlineError",
     "OverloadedError",
+    "ResponseLostError",
+    "RetryExhaustedError",
     "ServiceClosedError",
     "ServiceError",
+    "TransportError",
     "error_for",
 ]
 
@@ -74,6 +77,40 @@ class ServiceClosedError(ServiceError):
 
     def __init__(self, detail: str = "service is closed"):
         super().__init__(detail)
+
+
+class TransportError(ServiceError):
+    """The request was **never sent**: connecting (or reconnecting)
+    failed outright.  Always safe to retry — the server saw nothing —
+    though the client only auto-retries idempotent reads.
+    """
+
+    code = "transport"
+
+
+class ResponseLostError(ServiceError):
+    """The request was sent (or may have been) and the response was
+    lost: a timeout, EOF, or socket error after the connection was
+    established.  The server **may have executed it** — only idempotent
+    reads are safe to retry; a lost write must surface to the caller,
+    who alone knows whether re-issuing it is correct.
+    """
+
+    code = "response-lost"
+
+
+class RetryExhaustedError(ServiceError):
+    """Every retry attempt failed; ``last_error`` is the final one."""
+
+    code = "retry-exhausted"
+
+    def __init__(self, op: str, attempts: int, last_error: ServiceError):
+        super().__init__(
+            f"op {op!r} failed after {attempts} attempt(s): {last_error}"
+        )
+        self.op = op
+        self.attempts = attempts
+        self.last_error = last_error
 
 
 #: Wire codes → exception classes, for the client-side rebuild.

@@ -45,6 +45,7 @@ from __future__ import annotations
 import json
 from typing import Optional
 
+from repro.faults import InjectedFault
 from repro.service.errors import BadRequestError, ServiceError
 from repro.store.errors import StoreError
 
@@ -91,6 +92,8 @@ def error_frame(request_id, exc: BaseException) -> dict:
         code = exc.code
     elif isinstance(exc, StoreError):
         code = "store"
+    elif isinstance(exc, InjectedFault):
+        code = "fault"
     else:
         code = "error"
     return {

@@ -20,6 +20,7 @@ import socketserver
 import threading
 from typing import Optional
 
+from repro.faults import InjectedFault, fault_point
 from repro.service.protocol import (
     decode_line,
     encode_frame,
@@ -52,6 +53,14 @@ class _Handler(socketserver.StreamRequestHandler):
                 request_id = frame.get("id")
                 response = result_frame(request_id, handle_request(service, frame))
             except Exception as exc:  # noqa: BLE001 - every error becomes a frame
+                response = error_frame(request_id, exc)
+            try:
+                # Chaos hook: the request has been *executed* (a commit
+                # is already durable in the WAL) but not yet answered —
+                # crash mode here is the acked-vs-durable gap the
+                # client's retry taxonomy exists for.
+                fault_point("wire.response.pre_send")
+            except InjectedFault as exc:
                 response = error_frame(request_id, exc)
             try:
                 self.wfile.write(encode_frame(response))

@@ -198,9 +198,17 @@ class QueryService:
         engine: Optional[Engine] = None,
         config: Optional[ServiceConfig] = None,
         registry: Optional[MetricsRegistry] = None,
+        checkpoint=None,
     ):
         self.store = store if store is not None else ViewStore()
         self.config = config if config is not None else ServiceConfig()
+        #: Called (under the write lock) after every admin write that
+        #: changes the *document set* — load/put/define_view/drop.  The
+        #: WAL only records commits, and recovery skips records for
+        #: documents it does not know, so ``repro serve`` passes a
+        #: save_store closure here: the document set is always covered
+        #: by a checkpoint, commits by the log.  ``None`` → no-op.
+        self.checkpoint = checkpoint
         # The engine shares the store's planner so strategy-choice
         # counters tally in one place; its compiled cache is what the
         # snapshot read path and the transform op prepare against.
@@ -236,6 +244,10 @@ class QueryService:
         self.registry.probe("service.queue.depth", lambda: self._queue.qsize())
         self.registry.probe("service.memo.cache", lambda: self._memo.stats())
         self.registry.probe("service.trace.ring", lambda: self.tracer.stats())
+        self.registry.probe(
+            "service.workers.restarts",
+            lambda: getattr(self._workers, "restarts", 0),
+        )
         # Keyed (name, arena uid, query text): the uid is process-
         # unique per arena build, so entries can never alias across a
         # commit OR a drop-and-reload (which restarts versions at 1) —
@@ -544,16 +556,25 @@ class QueryService:
         if self._is_closed():
             raise ServiceClosedError()
 
+    def _checkpoint_documents(self) -> None:
+        """Make an admin write durable right away (holds the write
+        lock).  Commits ride the WAL; changes to the document/view
+        *set* do not, so they checkpoint eagerly instead."""
+        if self.checkpoint is not None:
+            self.checkpoint()
+
     def load(self, name: str, path: str, *, replace: bool = False) -> dict:
         with self._write_lock:
             self._check_open()
             doc = self.store.load(name, path, replace=replace)
+            self._checkpoint_documents()
             return {"name": doc.name, "version": doc.version, "nodes": doc.root.size()}
 
     def put(self, name: str, xml: str, *, replace: bool = False) -> dict:
         with self._write_lock:
             self._check_open()
             doc = self.store.put(name, xml, replace=replace)
+            self._checkpoint_documents()
             return {"name": doc.name, "version": doc.version, "nodes": doc.root.size()}
 
     def define_view(self, name: str, base: str, transform_text: str) -> dict:
@@ -561,6 +582,7 @@ class QueryService:
             self._check_open()
             view = self.store.define_view(name, base, transform_text)
             doc_name, stack = self.store.views.stack(name)
+            self._checkpoint_documents()
             return {"name": view.name, "base": view.base, "depth": len(stack),
                     "document": doc_name}
 
@@ -569,6 +591,7 @@ class QueryService:
             self._check_open()
             self.store.drop(name)
             self._memo.invalidate(lambda key: key[0] == name)
+            self._checkpoint_documents()
             return {"name": name}
 
     def stage(self, name: str, transform_text: str) -> dict:

@@ -31,9 +31,10 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import BrokenExecutor, ThreadPoolExecutor
 from typing import Optional
 
+from repro.faults import fault_point
 from repro.service.errors import ServiceError
 
 __all__ = ["ProcessWorkers", "ThreadWorkers"]
@@ -64,6 +65,10 @@ def _worker_evaluate(name: str, uid: int, columns: Optional[dict], texts: list):
     from repro.xmltree.arena import arena_from_columns
     from repro.xquery.arena_eval import ArenaEvaluator
 
+    # Chaos hook: REPRO_FAULTS in the (inherited) environment arms this
+    # in every spawned worker — crash mode kills the worker process,
+    # exercising the parent's respawn path.
+    fault_point("service.worker.evaluate")
     key = (name, uid)
     arena = _worker_arenas.get(key)
     if arena is None:
@@ -131,12 +136,39 @@ class ProcessWorkers(ThreadWorkers):
     reads) and adds a process pool that the arena read groups are
     farmed to.  Snapshots reach workers by the two-step column-payload
     protocol described in the module docstring.
+
+    Self-healing: a crashed worker breaks the whole
+    ``ProcessPoolExecutor`` (every pending and future submission raises
+    ``BrokenProcessPool``), so :meth:`evaluate_group` replaces a broken
+    pool with a fresh one and retries the group — the evaluation is a
+    pure read over a pinned snapshot, so re-running it is always safe.
+    The restart budget is bounded: a pool that keeps dying (a
+    deterministic crasher would otherwise respawn forever) exhausts it
+    and surfaces a typed :class:`ServiceError` instead.
     """
 
     mode = "process"
 
-    def __init__(self, workers: int):
+    # guarded-by[processes, _generation, _restarts_left, restarts]: self._respawn_lock
+
+    def __init__(self, workers: int, restart_budget: int = 3):
         super().__init__(workers)
+        self._workers = workers
+        self._respawn_lock = threading.Lock()
+        self._generation = 0
+        self._restarts_left = restart_budget
+        #: Pools respawned after a worker crash (probed as
+        #: ``service.workers.restarts``).
+        self.restarts = 0
+        try:
+            self.processes = self._spawn_pool()
+        except (OSError, ImportError) as exc:  # pragma: no cover - sandboxed hosts
+            self.pool.shutdown(wait=False)
+            raise ServiceError(f"process worker pool unavailable: {exc}") from exc
+        self._columns_lock = threading.Lock()
+        self._columns_cache: "OrderedDict[tuple, dict]" = OrderedDict()  # guarded-by: self._columns_lock
+
+    def _spawn_pool(self):
         import multiprocessing
 
         from concurrent.futures import ProcessPoolExecutor
@@ -147,15 +179,28 @@ class ProcessWorkers(ThreadWorkers):
         # into the child, deadlocking the first evaluation.  The cost
         # is a one-time interpreter start per worker.
         context = multiprocessing.get_context("spawn")
-        try:
-            self.processes = ProcessPoolExecutor(
-                max_workers=workers, mp_context=context
-            )
-        except (OSError, ImportError) as exc:  # pragma: no cover - sandboxed hosts
-            self.pool.shutdown(wait=False)
-            raise ServiceError(f"process worker pool unavailable: {exc}") from exc
-        self._columns_lock = threading.Lock()
-        self._columns_cache: "OrderedDict[tuple, dict]" = OrderedDict()  # guarded-by: self._columns_lock
+        return ProcessPoolExecutor(
+            max_workers=self._workers, mp_context=context
+        )
+
+    def _respawn(self, generation: int) -> None:
+        """Replace the broken pool (at most once per generation: racing
+        groups that all saw the same breakage respawn one pool, not one
+        each) or raise when the budget is spent."""
+        stale = None
+        with self._respawn_lock:
+            if self._generation == generation:
+                if self._restarts_left <= 0:
+                    raise ServiceError(
+                        "process worker pool crashed and the restart "
+                        "budget is exhausted"
+                    )
+                stale, self.processes = self.processes, self._spawn_pool()
+                self._generation += 1
+                self._restarts_left -= 1
+                self.restarts += 1
+        if stale is not None:
+            stale.shutdown(wait=False)
 
     def _columns_for(self, snapshot) -> dict:
         key = (snapshot.name, snapshot.uid)
@@ -168,15 +213,15 @@ class ProcessWorkers(ThreadWorkers):
                     self._columns_cache.popitem(last=False)
         return found
 
-    def evaluate_group(self, snapshot, texts: list, evaluate_fn) -> list:
+    def _evaluate_group_once(self, pool, snapshot, texts: list) -> list:
         # First try by reference — the worker may already hold this
         # arena (keyed by its process-unique uid); ship the columns
         # only when it says so.
-        status, results = self.processes.submit(
+        status, results = pool.submit(
             _worker_evaluate, snapshot.name, snapshot.uid, None, texts
         ).result()
         if status == NEED_COLUMNS:
-            status, results = self.processes.submit(
+            status, results = pool.submit(
                 _worker_evaluate,
                 snapshot.name,
                 snapshot.uid,
@@ -192,8 +237,24 @@ class ProcessWorkers(ThreadWorkers):
             for kind, value in results
         ]
 
+    def evaluate_group(self, snapshot, texts: list, evaluate_fn) -> list:
+        while True:
+            with self._respawn_lock:
+                generation = self._generation
+                pool = self.processes
+            try:
+                return self._evaluate_group_once(pool, snapshot, texts)
+            except BrokenExecutor:
+                # A worker died mid-group (OOM kill, segfault, injected
+                # crash).  Replace the pool — bounded by the restart
+                # budget — and re-run: the group is a pure snapshot
+                # read, so the retry observes exactly the same state.
+                self._respawn(generation)
+
     def shutdown(self) -> None:
-        self.processes.shutdown(wait=True)
+        with self._respawn_lock:
+            pool = self.processes
+        pool.shutdown(wait=True)
         super().shutdown()
 
 

@@ -92,10 +92,10 @@ class StoredDocument:
     __slots__ = (
         "name", "_root", "version", "lock", "source", "dirty",
         "_arena", "_arena_version", "_arena_uid", "arena_builds",
-        "chain", "commit_lock", "splices",
+        "chain", "commit_lock", "splices", "state_file",
     )
 
-    # guarded-by[_root, version, dirty, arena_builds, splices]: self.lock
+    # guarded-by[_root, version, dirty, arena_builds, splices, state_file]: self.lock
     # guarded-by[_arena, _arena_version, _arena_uid]: self.lock
 
     def __init__(
@@ -121,6 +121,9 @@ class StoredDocument:
         #: Tree changed since it was last persisted (commit, fresh put).
         #: The state layer clears it after writing the document file.
         self.dirty = True
+        #: State-dir filename this tree was last loaded from / saved to
+        #: (set by the state layer; ``None`` for in-memory documents).
+        self.state_file: Optional[str] = None
         self._arena = None
         self._arena_version = 0
         self._arena_uid = 0

@@ -71,6 +71,24 @@ class CorruptStateError(StoreError):
         self.manifest_path = manifest_path
 
 
+class WalCorruptError(StoreError):
+    """The write-ahead log is damaged somewhere other than its tail.
+
+    A torn *final* record is the expected crash artifact and is
+    tolerated (truncate-and-warn); a bad checksum, unparseable line, or
+    sequence gap **mid-log** means records after the damage cannot be
+    trusted, so recovery refuses to replay past it.
+    """
+
+    def __init__(self, wal_path: str, reason: str, line: int = 0) -> None:
+        detail = f" (line {line})" if line else ""
+        super().__init__(
+            f"corrupt write-ahead log {wal_path!r}{detail}: {reason}"
+        )
+        self.wal_path = wal_path
+        self.line = line
+
+
 class InvalidNameError(StoreError):
     """A name the store refuses (it must be a plain identifier-ish
     token: letters, digits, ``_``, ``.`` and ``-`` — names double as

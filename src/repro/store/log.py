@@ -136,6 +136,20 @@ class UpdateLog:
             self._staged[doc_name] = []
             return queue
 
+    def restore(self, doc_name: str, entries: list[StagedUpdate]) -> None:
+        """Put consumed entries back at the *front* of the staging area.
+
+        The failed-commit path: ``take_any`` already drained the queue
+        when the apply raised, so the entries go back where they were —
+        ahead of anything staged meanwhile — and a retry commits the
+        same sequence.
+        """
+        if not entries:
+            return
+        with self._lock:
+            queue = self._staged.setdefault(doc_name, [])
+            queue[:0] = entries
+
     def rollback(self, doc_name: str, count: Optional[int] = None) -> int:
         """Discard the last *count* staged updates (default: all);
         returns how many were dropped."""

@@ -3,8 +3,17 @@ XML file per document plus a JSON manifest.
 
 Layout of a state directory::
 
-    store.json        — versions, view definitions, staged updates
-    doc-<name>.xml    — one serialized tree per document
+    store.json           — versions, view definitions, staged updates
+    doc-<name>-vN.xml    — one serialized tree per document, named by
+                           the version it holds (the manifest records
+                           the exact filename)
+    wal.jsonl            — write-ahead log of commits past the checkpoint
+
+Document files are **never overwritten**: a checkpoint writes changed
+trees under fresh versioned names and the manifest replace is the
+single atomic commit point — a crash anywhere before it leaves the old
+manifest referencing the old (untouched) files.  Files no checkpoint
+references any longer are garbage-collected after the WAL truncate.
 
 The CLI is one process per command, so each invocation rebuilds a
 :class:`~repro.store.store.ViewStore` from the directory, applies its
@@ -15,6 +24,17 @@ definitions in dependency order, and the staged-update texts.
 
 The manifest is written atomically (temp file + ``os.replace``) so an
 interrupted command never leaves a half-written manifest behind.
+
+Durability: :func:`save_store` is an atomic **checkpoint** — every
+temp file is fsync'd before its rename, the directory entry is fsync'd
+after, and only then is the write-ahead log truncated.
+:func:`open_store` **recovers**: after the manifest loads, any WAL tail
+the last checkpoint did not cover is replayed through the ordinary
+commit path (idempotently — each record carries the version it
+produces, so records the checkpoint already covers are skipped).  A
+torn final record is the expected crash artifact and is truncated away
+with a warning; damage anywhere else raises the typed
+:class:`~repro.store.errors.WalCorruptError`.
 
 Cross-process exclusion: a ``state.lock`` file in the directory is
 ``flock``-ed for the duration of every read-modify-write cycle
@@ -32,11 +52,20 @@ import contextlib
 import json
 import os
 import time
+import warnings
 from typing import Iterator, Optional
 
-from repro.store.errors import CorruptStateError, StateLockedError
+from repro.faults import fault_point
+from repro.store.errors import CorruptStateError, StateLockedError, WalCorruptError
 from repro.store.store import ViewStore
 from repro.store.views import MaterializationPolicy
+from repro.store.wal import (
+    WalWriter,
+    effective_commits,
+    read_wal,
+    truncate_torn_tail,
+    wal_path,
+)
 from repro.xmltree.serializer import write_file
 
 try:  # POSIX; on platforms without fcntl the lock degrades to advisory-only
@@ -53,8 +82,10 @@ def _manifest_path(state_dir: str) -> str:
     return os.path.join(state_dir, MANIFEST_NAME)
 
 
-def _document_file(name: str) -> str:
-    return f"doc-{name}.xml"
+def _document_file(name: str, version: int, attempt: int = 0) -> str:
+    if attempt:
+        return f"doc-{name}-v{version}.{attempt}.xml"
+    return f"doc-{name}-v{version}.xml"
 
 
 class StateLock:
@@ -178,14 +209,15 @@ def open_store(
             f"unsupported format {manifest.get('format')!r} "
             f"(this build reads format {_FORMAT})",
         )
+    staged_texts = {}
     try:
         for name, info in manifest.get("documents", {}).items():
             path = os.path.join(state_dir, info["file"])
             doc = store.load(name, path)
             doc.version = int(info.get("version", 1))
             doc.dirty = False  # the tree came from the state file itself
-            for text in info.get("staged", []):
-                store.stage(name, text)
+            doc.state_file = info["file"]
+            staged_texts[name] = list(info.get("staged", []))
             store.log.restore_history(name, info.get("history", []))
         # Views were saved in definition order, so bases always exist.
         for entry in manifest.get("views", []):
@@ -194,33 +226,149 @@ def open_store(
         raise CorruptStateError(
             manifest_path, f"malformed manifest entry ({exc!r})"
         ) from None
+    replayed_docs, last_seq = _replay_wal(store, state_dir)
+    # Checkpoint-time staged texts are restored only for documents with
+    # no replayed commit: a commit consumes the *whole* staging area,
+    # so any replayed commit's record already contains (or supersedes)
+    # everything the checkpoint had staged for that document.  This
+    # must run after replay — replay's commits would otherwise consume
+    # the restored entries as their own.
+    for name, texts in staged_texts.items():
+        if name in replayed_docs:
+            continue
+        for text in texts:
+            store.stage(name, text)
+    # The writer attaches only now: replayed commits must not be
+    # re-appended, and fresh appends continue the surviving sequence.
+    store.wal = WalWriter(wal_path(state_dir), start_seq=last_seq)
     return store
 
 
+def _replay_wal(store: ViewStore, state_dir: str) -> "tuple[set, int]":
+    """Replay the WAL tail past the checkpoint into *store*.
+
+    Returns ``(documents that received a replayed commit, last good
+    sequence number)``.  Each effective commit record is re-staged and
+    committed through the ordinary path; records whose version the
+    checkpoint already covers are skipped (the idempotence that makes a
+    crash *between* manifest replace and WAL truncate harmless).  A
+    version past ``doc.version + 1`` means a record the log should hold
+    is missing — that is mid-log damage, not a tolerable tail.
+    """
+    path = wal_path(state_dir)
+    result = read_wal(path)
+    if result.truncated_tail:
+        truncate_torn_tail(path, result.valid_bytes)
+        store.wal_truncated_tail = 1
+        warnings.warn(
+            f"write-ahead log {path!r}: torn final record truncated "
+            f"(expected after a crash mid-append)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+    replayed_docs: set = set()
+    replayed = 0
+    for rec in effective_commits(result.records):
+        name = rec.get("doc")
+        version = rec.get("version")
+        texts = rec.get("texts")
+        if not isinstance(name, str) or not isinstance(version, int) \
+                or not isinstance(texts, list) or not texts:
+            raise WalCorruptError(path, f"malformed commit record {rec!r}")
+        if name not in store.documents:
+            warnings.warn(
+                f"write-ahead log {path!r}: commit for unknown document "
+                f"{name!r} skipped (dropped after the record was written?)",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            continue
+        doc = store.documents.get(name)
+        if version <= doc.version:
+            continue  # the checkpoint already covers this record
+        if version != doc.version + 1:
+            raise WalCorruptError(
+                path,
+                f"version gap for {name!r}: document at {doc.version}, "
+                f"next record claims {version}",
+            )
+        for text in texts:
+            store.stage(name, text)
+        store.commit(name)
+        replayed += 1
+        replayed_docs.add(name)
+    store.wal_replayed = replayed
+    return replayed_docs, result.last_seq
+
+
+def _fsync_path(path: str) -> None:
+    """fsync a file *or directory* by path (O_RDONLY suffices for both
+    on POSIX — directories cannot be opened for writing at all)."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
 def save_store(store: ViewStore, state_dir: str) -> str:
-    """Write the store's durable state into *state_dir*; returns the
-    manifest path."""
+    """Checkpoint the store's durable state into *state_dir*; returns
+    the manifest path.
+
+    Atomic and durable: changed trees are written under **fresh
+    versioned filenames** (flushed and fsync'd — rename alone only
+    orders the directory entry, not the data), never over a file the
+    on-disk manifest may still reference; the manifest's own
+    temp-write/fsync/``os.replace`` is then the single commit point.
+    The directory entry is fsync'd after the renames, and only then is
+    the write-ahead log truncated (and unreferenced document files
+    collected).  A crash at any point leaves either the old checkpoint
+    — its files untouched — plus a full WAL, or the new checkpoint
+    plus a WAL whose records replay idempotently: never a state that
+    loses a logged commit or replays one onto the wrong tree.
+    """
     os.makedirs(state_dir, exist_ok=True)
     documents = {}
+    wrote_files = False
     for name in store.documents.names():
         doc = store.documents.get(name)
-        filename = _document_file(name)
-        path = os.path.join(state_dir, filename)
         with doc.lock:
+            filename = doc.state_file
             # Only rewrite trees that changed (commit / fresh load): a
             # manifest-only command on a store of large documents must
             # not pay — or risk — a full re-serialization of each one.
-            if doc.dirty or not os.path.exists(path):
+            if doc.dirty or filename is None or not os.path.exists(
+                os.path.join(state_dir, filename)
+            ):
+                # First free versioned name: a replace-put can reuse a
+                # version number whose file an older checkpoint still
+                # references, and that file must survive a crash here.
+                attempt = 0
+                filename = _document_file(name, doc.version)
+                path = os.path.join(state_dir, filename)
+                while os.path.exists(path):
+                    attempt += 1
+                    filename = _document_file(name, doc.version, attempt)
+                    path = os.path.join(state_dir, filename)
                 temp = path + ".tmp"
                 write_file(doc.root, temp)
+                _fsync_path(temp)
+                fault_point("checkpoint.fsync.file")
                 os.replace(temp, path)
+                doc.state_file = filename
                 doc.dirty = False
+                wrote_files = True
             documents[name] = {
                 "file": filename,
                 "version": doc.version,
                 "staged": [entry.text for entry in store.log.staged(name)],
                 "history": store.log.history(name),
             }
+    if wrote_files:
+        # New document entries must be durable before a manifest that
+        # names them can be: otherwise a power loss could persist the
+        # manifest rename but not a file it references.
+        _fsync_path(state_dir)
     views = [
         {"name": view.name, "base": view.base, "transform": view.transform_text}
         for view in store.views.in_definition_order()
@@ -231,5 +379,40 @@ def save_store(store: ViewStore, state_dir: str) -> str:
     with open(temp_path, "w", encoding="utf-8") as handle:
         json.dump(manifest, handle, indent=2, sort_keys=True)
         handle.write("\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    fault_point("checkpoint.fsync.file")
+    fault_point("wal.checkpoint.mid")
     os.replace(temp_path, manifest_path)
+    # The renames are durable only once the directory entries are:
+    # fsync the directory before the WAL is touched, or a crash could
+    # pair the *old* manifest with an already-emptied log.
+    _fsync_path(state_dir)
+    fault_point("checkpoint.fsync.dir")
+    fault_point("wal.checkpoint.pre_truncate")
+    if store.wal is not None:
+        store.wal.truncate()
+    else:
+        # A store built in memory and saved over an existing state dir:
+        # a stale log from the previous store must not replay over this
+        # checkpoint.
+        stale = wal_path(state_dir)
+        if os.path.exists(stale):
+            with open(stale, "wb") as handle:
+                os.fsync(handle.fileno())
+    # The new checkpoint is durable: document files it no longer
+    # references (superseded versions, dropped documents, orphans from
+    # an interrupted earlier checkpoint) are garbage.
+    referenced = {info["file"] for info in documents.values()}
+    for entry in os.listdir(state_dir):
+        stale_doc = (
+            entry.startswith("doc-")
+            and entry.endswith(".xml")
+            and entry not in referenced
+        )
+        # A .tmp can only be the leftover of an interrupted checkpoint:
+        # the exclusive state lock means no concurrent save owns one.
+        if stale_doc or entry.endswith(".tmp"):
+            with contextlib.suppress(OSError):
+                os.remove(os.path.join(state_dir, entry))
     return manifest_path

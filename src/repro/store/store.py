@@ -40,6 +40,7 @@ import threading
 from typing import Optional, Union
 
 from repro.engine.planner import Planner
+from repro.faults import fault_point
 from repro.obs import span
 from repro.store.cache import CompiledCache, LRUCache
 from repro.store.chain import CommitDelta
@@ -107,6 +108,13 @@ class ViewStore:
         #: Receipt of the most recent commit (``store stat`` surfaces
         #: its retention ratio).
         self.last_delta: Optional[CommitDelta] = None
+        #: Write-ahead log writer; ``open_store`` attaches one (after
+        #: replay) when the store is backed by a state directory.
+        #: ``None`` → commits are in-memory only, nothing is logged.
+        self.wal = None
+        #: Recovery receipts from the last ``open_store`` replay.
+        self.wal_replayed = 0
+        self.wal_truncated_tail = 0
         # Store-wide counters are bumped from many documents' read
         # paths at once — one lock keeps their tallies exact (the
         # per-document lock only serializes one document's readers).
@@ -469,45 +477,76 @@ class ViewStore:
                     return delta
                 base_arena = doc.arena() if self.incremental_commits else None
                 old_uid = doc.current_uid()
-            outcome = None
-            if base_arena is not None:
-                try:
-                    with span("splice"):
-                        outcome = apply_entries_spliced(
-                            base_arena, entries, self.compiled
-                        )
-                except DeltaUnsupported:
-                    outcome = None
-            if outcome is None:
-                with doc.lock:
-                    for entry in entries:
-                        apply_update(doc.root, entry.transform.update)
-                    self.log.record_commit(doc.name, entries)
-                    doc.dirty = True
-                    version = doc.bump()
-                    with span("invalidate"):
-                        self._invalidate_for(doc.name)
-                delta = CommitDelta(
-                    doc_name=doc.name,
-                    old_version=old_version,
-                    new_version=version,
-                    old_uid=old_uid,
-                    new_uid=0,
-                    spliced=False,
-                    entries=len(entries),
-                )
-                with self._counter_lock:
-                    self.commit_rebuilds += 1
-                    self.last_delta = delta
-                return delta
-            with doc.lock:
-                self.log.record_commit(doc.name, entries)
-                version = doc.install_spliced(outcome.arena, outcome.touched_nodes)
-                new_uid = doc.current_uid()
-                with span("invalidate"):
-                    kept_r, dropped_r, kept_m, dropped_m = self._invalidate_delta(
-                        doc, outcome, old_version, version
+            # Write-ahead: the staged texts and the version they will
+            # produce are durable before the document is touched.  The
+            # append runs outside doc.lock (readers keep pinning
+            # snapshots while the record fsyncs) but inside the commit
+            # lock, so records reach the log in version order.
+            wal = self.wal
+            if wal is not None:
+                wal.append({
+                    "kind": "commit",
+                    "doc": doc.name,
+                    "version": old_version + 1,
+                    "texts": [entry.text for entry in entries],
+                })
+            try:
+                outcome = None
+                if base_arena is not None:
+                    fault_point("store.commit.mid_splice")
+                    try:
+                        with span("splice"):
+                            outcome = apply_entries_spliced(
+                                base_arena, entries, self.compiled
+                            )
+                    except DeltaUnsupported:
+                        outcome = None
+                if outcome is None:
+                    with doc.lock:
+                        for entry in entries:
+                            apply_update(doc.root, entry.transform.update)
+                        self.log.record_commit(doc.name, entries)
+                        doc.dirty = True
+                        version = doc.bump()
+                        with span("invalidate"):
+                            self._invalidate_for(doc.name)
+                    delta = CommitDelta(
+                        doc_name=doc.name,
+                        old_version=old_version,
+                        new_version=version,
+                        old_uid=old_uid,
+                        new_uid=0,
+                        spliced=False,
+                        entries=len(entries),
                     )
+                    with self._counter_lock:
+                        self.commit_rebuilds += 1
+                        self.last_delta = delta
+                    return delta
+                with doc.lock:
+                    self.log.record_commit(doc.name, entries)
+                    version = doc.install_spliced(
+                        outcome.arena, outcome.touched_nodes
+                    )
+                    new_uid = doc.current_uid()
+                    with span("invalidate"):
+                        kept_r, dropped_r, kept_m, dropped_m = self._invalidate_delta(
+                            doc, outcome, old_version, version
+                        )
+            except BaseException:
+                # The commit did not install: put the consumed entries
+                # back so a retry commits the same sequence, and cancel
+                # the already-durable WAL record — without the abort,
+                # recovery would apply the failed attempt and the
+                # retry's record (same version) would be skipped.
+                self.log.restore(doc.name, entries)
+                if wal is not None:
+                    wal.append({
+                        "kind": "abort",
+                        "doc": doc.name,
+                        "version": old_version + 1,
+                    })
+                raise
         delta = CommitDelta(
             doc_name=doc.name,
             old_version=old_version,
@@ -697,6 +736,18 @@ class ViewStore:
                 f"store.commit.delta.{metric}",
                 lambda metric=metric: self._commit_counter_values()[metric],
             )
+        registry.probe(
+            "store.wal.appends",
+            lambda: self.wal.stats()["appends"] if self.wal is not None else 0,
+        )
+        registry.probe(
+            "store.wal.fsyncs",
+            lambda: self.wal.stats()["fsyncs"] if self.wal is not None else 0,
+        )
+        registry.probe("store.wal.replayed", lambda: self.wal_replayed)
+        registry.probe(
+            "store.wal.truncated_tail", lambda: self.wal_truncated_tail
+        )
         self.planner.bind_metrics(registry)
 
     def stats(self) -> dict:
@@ -732,6 +783,13 @@ class ViewStore:
                     else None
                 ),
             }
+        wal = {
+            "attached": self.wal is not None,
+            "replayed": self.wal_replayed,
+            "truncated_tail": self.wal_truncated_tail,
+        }
+        if self.wal is not None:
+            wal.update(self.wal.stats())
         return {
             "documents": documents,
             "views": self.views.stats(),
@@ -741,6 +799,7 @@ class ViewStore:
             },
             "planner": self.planner.stats(),
             "commits": commits,
+            "wal": wal,
             "arena_reads": arena_reads,
             "snapshot_pins": snapshot_pins,
         }

@@ -17,8 +17,11 @@ from repro.service import (
     Client,
     DeadlineError,
     OverloadedError,
+    RetryExhaustedError,
+    RetryPolicy,
     ServiceClosedError,
     ServiceServer,
+    TransportError,
 )
 from repro.service.protocol import decode_line, encode_frame
 from repro.store import StoreError, ViewStore
@@ -406,19 +409,27 @@ def test_protocol_frame_round_trip():
         decode_line(b"[1, 2]\n")
 
 
-def test_client_timeout_closes_the_desynchronized_connection():
+def test_client_timeout_tears_down_the_desynchronized_connection():
     """A reply slower than the client's socket timeout leaves a late
-    response in the stream; the client must close itself rather than
-    let the next call read the stale frame."""
+    response in the stream; the client must tear the socket down
+    (raising the typed loss error) rather than let the next call read
+    the stale frame — and a reconnect must see fresh, in-order frames."""
     svc = QueryService(config=ServiceConfig(batch_window=0.5))
     svc.put("db", CATALOG)
     server = ServiceServer(svc)
     host, port = server.start()
-    client = Client(host, port, timeout=0.05)
+    client = Client(host, port, timeout=0.05, retry=RetryPolicy(attempts=1))
     try:
         # The 0.5s dispatch window guarantees the reply misses 50ms.
-        with pytest.raises(ServiceClosedError, match="failed"):
+        with pytest.raises(RetryExhaustedError, match="failed after 1 attempt"):
             client.query("db", QUERIES[0])
+        assert client._file is None  # socket was torn down
+        # The client stays usable: the next call reconnects with a
+        # fresh stream (no stale frame to misread).
+        client.timeout = 10.0
+        assert client.ping() == "pong"
+        assert client.retry_stats["reconnects"] == 1
+        client.close()
         with pytest.raises(ServiceClosedError, match="client is closed"):
             client.ping()
     finally:
@@ -435,8 +446,11 @@ def test_server_graceful_shutdown_drains():
         assert client.ping() == "pong"
     server.stop()
     assert svc._closed
-    with pytest.raises((ServiceClosedError, ConnectionError, OSError)):
-        Client(host, port).ping()
+    # A stopped server either refuses the connect (TransportError from
+    # Client.__init__) or accepts-then-closes (ResponseLostError, wrapped
+    # in RetryExhaustedError once the ping retries run out).
+    with pytest.raises((TransportError, RetryExhaustedError)):
+        Client(host, port, retry=RetryPolicy(attempts=2, base_delay=0.01)).ping()
 
 
 # ----------------------------------------------------------------------

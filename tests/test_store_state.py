@@ -50,22 +50,24 @@ class TestRoundTrip:
 
 class TestDirtyTracking:
     def test_manifest_only_save_leaves_document_file_alone(self, state_dir):
-        doc_path = os.path.join(state_dir, "doc-db.xml")
+        doc_path = os.path.join(state_dir, "doc-db-v1.xml")
         before = os.stat(doc_path).st_mtime_ns
         store = open_store(state_dir)
         store.stage("db", DELETE_PRICES)  # manifest-only change
         save_store(store, state_dir)
         assert os.stat(doc_path).st_mtime_ns == before
 
-    def test_commit_rewrites_document_file(self, state_dir):
+    def test_commit_writes_a_fresh_versioned_file(self, state_dir):
         store = open_store(state_dir)
         store.rollback("db")
         store.commit("db", DELETE_PRICES)
         save_store(store, state_dir)
         content = open(
-            os.path.join(state_dir, "doc-db.xml"), encoding="utf-8"
+            os.path.join(state_dir, "doc-db-v2.xml"), encoding="utf-8"
         ).read()
         assert "price" not in content
+        # The superseded version's file was garbage-collected.
+        assert not os.path.exists(os.path.join(state_dir, "doc-db-v1.xml"))
 
     def test_no_temp_files_left_behind(self, state_dir):
         store = open_store(state_dir)
