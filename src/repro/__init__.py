@@ -27,7 +27,7 @@ engine plans across; each subpackage's docstring maps back to the
 paper's sections.
 """
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 # XML substrate
 from repro.xmltree import (

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.obs import current_profile
 from repro.updates.ops import Update
 from repro.xmltree.arena import FrozenDocument
 from repro.xmltree.serializer import serialize
@@ -73,7 +74,15 @@ def select_indices(
     The arena twin of :meth:`~repro.automata.selecting.SelectingNFA.
     run_select` — same automaton, same memoized move tables, ~none of
     the object traffic.
+
+    When an execution profile is active on the calling thread, the
+    walk runs through a counting twin of the loop instead
+    (:func:`_select_indices_profiled`); one thread-local read is the
+    whole cost when it is not, so the plain loop stays untouched.
     """
+    profile = current_profile()  # unguarded: one thread-local read is the documented cost of the off path
+    if profile is not None:
+        return _select_indices_profiled(selecting, arena, context, profile)
     out: list = []
     initial_id = initial_id_for(selecting, arena, context)
     if initial_id is None:
@@ -125,6 +134,82 @@ def select_indices(
             ends.append(e)
             top_set = set_id
             top_end = e
+    return out
+
+
+def _select_indices_profiled(
+    selecting, arena: FrozenDocument, context: int, profile
+) -> list:
+    """The counting twin of :func:`select_indices`: same walk, same
+    results (the equivalence is pinned by a test), plus measured
+    counts deposited into *profile* once at the end — element nodes
+    visited, subtree prunes taken, DFA transitions applied, and the
+    lazy transition-table growth this scan paid (``dfa.stats()``
+    deltas).  Local int counters keep the per-node cost flat; only the
+    final deposit touches the profile object.
+    """
+    out: list = []
+    initial_id = initial_id_for(selecting, arena, context)
+    if initial_id is None:
+        return out
+    dfa = selecting.dfa()
+    before = dfa.stats()
+    moves, compile_move, apply_move_arena = dfa.arena_hot_path()
+    empty_id = dfa.empty_id
+    final_flags = dfa.final_flags
+    sym = arena.sym
+    end = arena.end
+    append = out.append
+    limit = end[context]
+    visited = 0
+    pruned = 0
+    transitions = 0
+    sets = [initial_id]
+    ends = [limit]
+    top_set = initial_id
+    top_end = limit
+    i = context + 1
+    while i < limit:
+        if top_end <= i:
+            sets.pop()
+            ends.pop()
+            while ends[-1] <= i:
+                sets.pop()
+                ends.pop()
+            top_set = sets[-1]
+            top_end = ends[-1]
+        s = sym[i]
+        if s < 0:
+            i += 1
+            continue
+        visited += 1
+        move = moves[top_set].get(s)
+        if move is None:
+            move = compile_move(top_set, s)
+        if move.cond_sids:
+            set_id = apply_move_arena(move, arena, i)
+        else:
+            set_id = move.target0
+        transitions += 1
+        if set_id == empty_id:
+            pruned += 1
+            i = end[i]
+            continue
+        if final_flags[set_id]:
+            append(i)
+        e = end[i]
+        i += 1
+        if e > i:
+            sets.append(set_id)
+            ends.append(e)
+            top_set = set_id
+            top_end = e
+    after = dfa.stats()
+    profile.add_scan(nodes=visited, pruned=pruned, transitions=transitions)
+    profile.add_table_growth(
+        sets=after["sets"] - before["sets"],
+        moves=after["moves"] - before["moves"],
+    )
     return out
 
 
@@ -266,4 +351,8 @@ def serialize_arena_items(arena: FrozenDocument, items) -> list:
             out.append(serialize(item))
         else:
             out.append(str(item))
+    profile = current_profile()
+    if profile is not None:
+        profile.add_serialize_bytes(sum(len(text) for text in out))
+        profile.add_results(len(out))
     return out

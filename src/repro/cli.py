@@ -36,6 +36,7 @@ files, unknown store names) exit with status 2 and a one-line
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import warnings
 
@@ -153,6 +154,20 @@ def _cmd_query(args: argparse.Namespace) -> int:
         engine.bind_metrics(registry)
         tracemalloc.start()
     prepared = engine.prepare_query(query_text)
+    if args.analyze:
+        # Plan-vs-actual: run under an execution profile and print the
+        # estimate next to what the scan measured (results still go to
+        # stdout, the report to stderr, so pipelines keep working).
+        doc = (
+            parse_file(args.input)
+            if args.backend == "node"
+            else parse_file_to_arena(args.input)
+        )
+        report, results = prepared.explain_analyze(doc)
+        for item in results:
+            print(serialize(item) if isinstance(item, Element) else str(item))
+        print(report, file=sys.stderr)
+        return 0
     if args.backend == "node":
         tree = parse_file(args.input)
         results = prepared.run(tree)
@@ -422,6 +437,48 @@ def _cmd_store_stat(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_store_slowlog(args: argparse.Namespace) -> int:
+    """Read the slow-query log a ``repro serve --state`` run streamed
+    to ``<state>/slowlog.jsonl`` (newest last)."""
+    import json
+
+    path = os.path.join(args.state, "slowlog.jsonl")
+    if not os.path.exists(path):
+        print(f"no slow-query log at {path!r} (run `repro serve --state "
+              f"{args.state}` with --slow-ms to produce one)", file=sys.stderr)
+        return 0
+    entries = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entries.append(json.loads(line))
+            except json.JSONDecodeError:
+                print(f"repro: skipping malformed slowlog line", file=sys.stderr)
+    if args.limit:
+        entries = entries[-args.limit:]
+    if args.json:
+        for entry in entries:
+            print(json.dumps(entry, sort_keys=True))
+        return 0
+    if not entries:
+        print(f"slow-query log at {path!r} is empty")
+        return 0
+    for entry in entries:
+        trace = entry.get("trace") or {}
+        spans = trace.get("spans") or []
+        print(
+            f"{entry.get('dur_ms', '?'):>10} ms  {entry.get('outcome', '?'):<8} "
+            f"{entry.get('target', '?')!r}  queue {entry.get('queue_ms', '?')} ms  "
+            f"{len(spans)} span(s)  {entry.get('query', '')[:60]!r}"
+        )
+    print(f"({len(entries)} entr{'y' if len(entries) == 1 else 'ies'})",
+          file=sys.stderr)
+    return 0
+
+
 # ----------------------------------------------------------------------
 # The query service (repro.service): repro serve
 # ----------------------------------------------------------------------
@@ -436,8 +493,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     or SIGTERM).  Without it the store is in-memory only — clients
     populate it over the wire with ``load`` frames.
     """
+    import json
     import signal
     import threading
+    import time
 
     from repro.service import QueryService, ServiceConfig, ServiceServer
 
@@ -446,8 +505,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         mode=args.mode,
         batch_window=args.window_ms / 1000.0,
         max_queue=args.max_queue,
+        slow_threshold=args.slow_ms / 1000.0 if args.slow_ms >= 0 else -1.0,
     )
     state_lock = StateLock(args.state).acquire() if args.state else None
+    slow_file = None
     try:
         store = open_store(args.state) if args.state else None
         if store is not None and store.wal_replayed:
@@ -463,7 +524,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         checkpoint = (
             (lambda: save_store(store, args.state)) if args.state else None
         )
-        service = QueryService(store=store, config=config, checkpoint=checkpoint)
+        # With a state directory, slow queries also stream to
+        # <state>/slowlog.jsonl (write-through, line-buffered) so
+        # `repro store slowlog` can read them after the server exits.
+        slow_sink = None
+        if args.state:
+            slow_path = os.path.join(args.state, "slowlog.jsonl")
+            slow_file = open(slow_path, "a", encoding="utf-8")
+
+            def slow_sink(entry: dict) -> None:
+                slow_file.write(json.dumps(entry, default=str) + "\n")
+                slow_file.flush()
+
+        service = QueryService(
+            store=store, config=config, checkpoint=checkpoint,
+            slow_sink=slow_sink,
+        )
         server = ServiceServer(service, args.host, args.port)
         host, port = server.address
         print(
@@ -477,6 +553,29 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             with open(args.port_file, "w", encoding="utf-8") as handle:
                 handle.write(f"{port}\n")
 
+        exposition = None
+        if args.expose:
+            from repro.obs import ExpositionServer
+
+            exposition = ExpositionServer(
+                snapshot_fn=service.registry.snapshot,
+                events_fn=service.tracer.records,
+                host=args.host,
+                port=args.expose_port,
+            )
+            exposition.start()
+            expose_host, expose_port = exposition.address
+            print(
+                f"repro serve: exposing metrics at "
+                f"http://{expose_host}:{expose_port}/metrics "
+                f"(trace events at /events)",
+                file=sys.stderr,
+                flush=True,
+            )
+            if args.expose_port_file:
+                with open(args.expose_port_file, "w", encoding="utf-8") as handle:
+                    handle.write(f"{expose_port}\n")
+
         def _terminate(signum, frame):  # SIGTERM → same graceful path
             raise KeyboardInterrupt
 
@@ -485,24 +584,47 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if args.metrics_interval > 0:
 
             def _report_loop() -> None:
+                # One JSON object per line (machine-parseable — the CI
+                # loadgen smoke asserts on it): request counters,
+                # latency percentiles, WAL durability counters, worker
+                # restarts, and the slow-query log's tallies.
                 while not stop_reporting.wait(args.metrics_interval):
                     counts = service.metrics()
-                    latency = service.registry.get("service.request.latency")
+                    snapshot = service.registry.snapshot()
+                    latency = snapshot.get("service.request.latency")
                     latency = latency if isinstance(latency, dict) else {}
 
-                    def _ms(key: str) -> str:
+                    def _ms(key: str):
                         value = latency.get(key)
-                        return f"{value * 1000.0:.2f}" if value is not None else "-"
+                        return (
+                            round(value * 1000.0, 3)
+                            if isinstance(value, (int, float))
+                            else None
+                        )
 
+                    line = {
+                        "event": "metrics",
+                        "ts": time.time(),
+                        "requests": counts["requests"],
+                        "shed": counts["shed"],
+                        "batches": counts["batches"],
+                        "evaluations": counts["evaluations"],
+                        "memo_hits": counts["memo_hits"],
+                        "snapshot_reads": counts["snapshot_reads"],
+                        "p50_ms": _ms("p50"),
+                        "p99_ms": _ms("p99"),
+                        "wal": {
+                            key.rsplit(".", 1)[-1]: value
+                            for key, value in snapshot.items()
+                            if key.startswith("store.wal.")
+                        },
+                        "worker_restarts": snapshot.get(
+                            "service.workers.restarts", 0
+                        ),
+                        "slowlog": service.slowlog()["stats"],
+                    }
                     print(
-                        "repro serve: metrics "
-                        f"requests={counts['requests']} "
-                        f"shed={counts['shed']} "
-                        f"batches={counts['batches']} "
-                        f"evaluations={counts['evaluations']} "
-                        f"memo_hits={counts['memo_hits']} "
-                        f"snapshot_reads={counts['snapshot_reads']} "
-                        f"p50_ms={_ms('p50')} p99_ms={_ms('p99')}",
+                        json.dumps(line, default=str),
                         file=sys.stderr,
                         flush=True,
                     )
@@ -522,11 +644,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             stop_reporting.set()
             if reporter is not None:
                 reporter.join()
+            if exposition is not None:
+                exposition.stop()
         server.stop()  # drains admitted requests, stops the pool
         if args.state:
             save_store(service.store, args.state)
             print(f"repro serve: state saved to {args.state!r}", file=sys.stderr)
     finally:
+        if slow_file is not None:
+            slow_file.close()
         if state_lock is not None:
             state_lock.release()
     return 0
@@ -594,6 +720,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument(
         "--json", action="store_true",
         help='emit one {"results": …, "stats": …} JSON object on stdout',
+    )
+    p_query.add_argument(
+        "--analyze", action="store_true",
+        help="run under an execution profile and print the plan's "
+        "estimate next to the measured scan (nodes visited, prunes, "
+        "DFA transitions, serialize bytes) on stderr",
     )
     p_query.set_defaults(func=_cmd_query)
 
@@ -708,6 +840,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the store stats and metric snapshot as one JSON object",
     )
 
+    p_slowlog = _store_parser(
+        "slowlog",
+        "read the slow-query log a `repro serve --state` run streamed "
+        "to <state>/slowlog.jsonl",
+        _cmd_store_slowlog,
+    )
+    p_slowlog.add_argument(
+        "--limit", type=int, default=0, help="show only the newest N entries"
+    )
+    p_slowlog.add_argument(
+        "--json", action="store_true",
+        help="emit raw entries as JSON lines (full trace and profile)",
+    )
+
     p_serve = sub.add_parser(
         "serve",
         help="serve queries over TCP: MVCC snapshot reads, request "
@@ -748,8 +894,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument(
         "--metrics-interval", type=float, default=0.0,
-        help="log one metrics line to stderr every SECONDS while "
-        "serving (0 disables)",
+        help="log one JSON metrics object to stderr every SECONDS "
+        "while serving (0 disables); includes request counters, "
+        "latency percentiles, WAL counters and slow-query tallies",
+    )
+    p_serve.add_argument(
+        "--slow-ms", type=float, default=250.0,
+        help="capture any request slower than this many milliseconds "
+        "in the slow-query log with its trace and profile (0 captures "
+        "everything, negative disables; default 250)",
+    )
+    p_serve.add_argument(
+        "--expose", action="store_true",
+        help="serve a scrape endpoint over HTTP: Prometheus text at "
+        "/metrics, trace events as JSON lines at /events",
+    )
+    p_serve.add_argument(
+        "--expose-port", type=int, default=0,
+        help="port for --expose (0 binds an ephemeral port; see "
+        "--expose-port-file)",
+    )
+    p_serve.add_argument(
+        "--expose-port-file",
+        help="write the exposition port number to this file once "
+        "listening",
     )
     p_serve.set_defaults(func=_cmd_serve)
 

@@ -37,7 +37,7 @@ from repro.engine.prepared import (
 )
 from repro.compiled import CompiledCache
 from repro.lru import LRUCache
-from repro.obs import span
+from repro.obs import current_profile, span
 from repro.transform.query import TransformQuery
 from repro.xmltree.node import Element
 
@@ -72,6 +72,11 @@ class Engine:
         def build():
             # Only a cold build is a "compile": warm lookups above (and
             # the double-checked hit inside get_or_compute) emit no span.
+            # A run profiled through a cold build paid the compile — its
+            # cache class flips from "warm" to "cold".
+            profile = current_profile()
+            if profile is not None:
+                profile.note_compile()
             with span("compile"):
                 return factory()
 

@@ -14,6 +14,7 @@ from typing import Callable, Iterable, Optional
 
 from repro.automata.filtering import FilteringNFA
 from repro.automata.selecting import SelectingNFA
+from repro.obs import current_profile
 from repro.transform.copy_update import transform_copy_update
 from repro.transform.naive import transform_naive
 from repro.transform.query import TransformQuery
@@ -69,6 +70,13 @@ def run_tree_strategy(
 
         if isinstance(root, FrozenDocument):
             root = thaw(root)
+    profile = current_profile()
+    if profile is not None:
+        # Tree strategies all realize at least one full traversal of
+        # the input; the measured walk below *is* that visit count
+        # (prune-level detail is only measurable on the arena backend,
+        # where the DFA loop counts itself — see arena_run).
+        profile.add_scan(nodes=_count_nodes(root))
     if strategy == "topdown":
         return transform_topdown(root, query, nfa=selecting)
     if strategy == "twopass":
@@ -92,3 +100,19 @@ def run_tree_strategy(
             transform_sax_events(source, query, selecting, filtering)
         )
     raise ValueError(f"unknown strategy {strategy!r}")
+
+
+def _count_nodes(root: Element) -> int:
+    """Node count of a resident tree (iterative; profiling only, so the
+    walk is paid exclusively by explain_analyze-style runs).  Counts
+    like ``estimate_nodes``: elements and their text children both."""
+    count = 0
+    stack: list = [root]
+    pop = stack.pop
+    push = stack.extend
+    while stack:
+        node = pop()
+        count += 1
+        if node.is_element:
+            push(node.children)
+    return count

@@ -43,7 +43,7 @@ from repro.engine.features import (
     profile_input,
 )
 from repro.lru import LRUCache
-from repro.obs import span
+from repro.obs import current_profile, span
 from repro.transform.query import TransformQuery
 from repro.xmltree.node import Element
 
@@ -133,6 +133,10 @@ class Planner:
         self.last_plan: Optional[Plan] = None
         self._lock = threading.Lock()
         self._features = LRUCache(1024)
+        # Cumulative estimate-vs-actual drift per strategy[backend]
+        # (runs profiled, estimated node visits, measured visits),
+        # mutated under self._lock like the counters.
+        self._drift: dict[str, dict[str, float]] = {}
 
     # ------------------------------------------------------------------
     # Entry points
@@ -165,6 +169,9 @@ class Planner:
             features = self._features_for(query)
         with span("plan"):
             plan = self._choose(features, profile)
+        active = current_profile()
+        if active is not None:
+            active.set_plan(plan.strategy, plan.backend, plan.cost, profile.nodes)
         if record:
             self.record(plan)
         else:
@@ -219,6 +226,9 @@ class Planner:
                 "store snapshot — to take the columnar backend)",
             )
         plan = Plan("scan", costs, features, profile, reasons, backend=backend)
+        active = current_profile()
+        if active is not None:
+            active.set_plan(plan.strategy, plan.backend, plan.cost, profile.nodes)
         if record:
             self.record(plan)
         else:
@@ -233,6 +243,42 @@ class Planner:
         with self._lock:
             self.counters[key] = self.counters.get(key, 0) + 1
             self.last_plan = plan
+
+    def observe_actual(self, profile) -> None:
+        """Feed one finished execution :class:`~repro.obs.profile.
+        Profile` into the cumulative estimate-vs-actual drift tally.
+
+        Profiles that never reached the planner (no strategy) or never
+        scanned (no visits) are skipped — they carry no comparison.
+        """
+        if not profile.strategy or not profile.est_nodes or profile.nodes_visited <= 0:
+            return
+        key = (
+            f"{profile.strategy}.{profile.backend}"
+            if profile.backend and profile.backend != "node"
+            else profile.strategy
+        )
+        with self._lock:
+            row = self._drift.setdefault(
+                key, {"runs": 0, "est_nodes": 0, "actual_nodes": 0}
+            )
+            row["runs"] += 1
+            row["est_nodes"] += profile.est_nodes
+            row["actual_nodes"] += profile.nodes_visited
+
+    def drift_stats(self) -> dict:
+        """Cumulative plan-vs-actual drift per strategy key: total
+        estimated and measured node visits plus their ratio (> 1 means
+        the cost model underestimates the work; < 1, it overestimates
+        — pruning usually pulls scans well under 1)."""
+        with self._lock:
+            rows = {key: dict(row) for key, row in self._drift.items()}
+        for row in rows.values():
+            if row["est_nodes"]:
+                row["visit_ratio"] = round(
+                    row["actual_nodes"] / float(row["est_nodes"]), 4
+                )
+        return rows
 
     def transform(
         self,
@@ -282,6 +328,7 @@ class Planner:
         :class:`~repro.obs.registry.MetricsRegistry` (as a lazily
         sampled probe; the planning hot path is untouched)."""
         registry.probe("engine.planner.chosen", self.normalized_counters)
+        registry.probe("engine.planner.drift", self.drift_stats)
 
     # ------------------------------------------------------------------
     # The cost model

@@ -30,7 +30,7 @@ from repro.engine.features import (
 )
 from repro.engine.planner import Plan, Planner
 from repro.lru import LRUCache
-from repro.obs import span
+from repro.obs import Profile, profiled, span
 from repro.transform.query import TransformQuery
 from repro.transform.sax_twopass import transform_sax_events, transform_sax_file
 from repro.xmltree.arena import FrozenDocument, thaw
@@ -55,6 +55,34 @@ def _as_tree(doc_or_path: Input) -> Element:
 #: Per-prepared plan memo size: plans for the most recent distinct
 #: inputs are reused across re-executions.
 _PLAN_MEMO_SIZE = 16
+
+
+def render_profile(snapshot: dict) -> str:
+    """The human-readable "actual" block of an ``explain_analyze``
+    report, from a :meth:`~repro.obs.profile.Profile.snapshot` dict.
+    The same dict rides in slow-query-log entries verbatim."""
+    est = snapshot.get("est_nodes")
+    visited = snapshot.get("nodes_visited", 0)
+    ratio = snapshot.get("visit_ratio")
+    lines = ["actual:"]
+    if est:
+        suffix = f" (ratio {ratio})" if ratio is not None else ""
+        lines.append(f"  {visited} nodes visited / {est} estimated{suffix}")
+    else:
+        lines.append(f"  {visited} nodes visited (no planner estimate)")
+    lines.append(
+        f"  {snapshot.get('subtrees_pruned', 0)} subtrees pruned, "
+        f"{snapshot.get('dfa_transitions', 0)} DFA transitions "
+        f"(+{snapshot.get('table_sets_added', 0)} state sets, "
+        f"+{snapshot.get('table_moves_added', 0)} memoized moves)"
+    )
+    lines.append(
+        f"  cache {snapshot.get('cache', 'warm')}, "
+        f"{snapshot.get('serialize_bytes', 0)} serialize bytes, "
+        f"{snapshot.get('results', 0)} results, "
+        f"{snapshot.get('dur_us', 0) / 1000.0:.3f} ms"
+    )
+    return "\n".join(lines)
 
 
 def describe_arena_memory(arena: FrozenDocument) -> str:
@@ -170,6 +198,26 @@ class PreparedTransform:
                     f"(size {cache_stats['size']}/{cache_stats['maxsize']})"
                 )
         return "\n".join(header) + "\n" + plan.describe()
+
+    def explain_analyze(
+        self, doc_or_path: Input, method: str = "auto"
+    ) -> tuple[str, Element]:
+        """Run the transform under an execution profile and report the
+        planner's estimates next to what the run measured.
+
+        Returns ``(report, transformed_tree)`` — the run is real (and
+        tallied), not simulated, exactly like SQL ``EXPLAIN ANALYZE``.
+        """
+        prof = Profile()
+        with profiled(prof):
+            # Introspective pre-plan: stamps the estimate onto the
+            # profile even when run() serves its plan from the memo.
+            self.plan_for(doc_or_path)
+            result = self.run(doc_or_path, method=method)
+        prof.add_results(1)
+        self.planner.observe_actual(prof)
+        report = self.explain(doc_or_path)
+        return report + "\n" + render_profile(prof.snapshot()), result
 
     # ------------------------------------------------------------------
     # Execution
@@ -541,6 +589,34 @@ class PreparedQuery:
             "Engine.prepare_composed to query a virtual view)"
         )
         return "\n".join(lines)
+
+    def explain_analyze(self, doc_or_path: Input) -> tuple[str, list]:
+        """Run the query under an execution profile and report the
+        planner's estimated rows next to the measured scan.
+
+        Returns ``(report, results)``.  On a frozen arena the run is
+        the zero-thaw ref path plus the columnar serializer, so every
+        counter (nodes visited, prunes, DFA transitions, table growth,
+        serialize bytes) is genuinely measured by the loops that did
+        the work; on a Node tree the visit count is the realized input
+        walk.
+        """
+        prof = Profile()
+        with profiled(prof):
+            if isinstance(doc_or_path, FrozenDocument):
+                refs = self.run_refs(doc_or_path)
+                from repro.automata.arena_run import serialize_arena_items
+
+                results = serialize_arena_items(doc_or_path, refs)
+            else:
+                if self.planner is not None:
+                    self.planner.plan_read(doc_or_path, record=False)
+                results = self.run(doc_or_path)
+                prof.add_results(len(results))
+        if self.planner is not None:
+            self.planner.observe_actual(prof)
+        report = self.explain(doc_or_path)
+        return report + "\n" + render_profile(prof.snapshot()), results
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"PreparedQuery({self.text!r})"

@@ -1,0 +1,176 @@
+"""Per-run execution profiles: what the scan *actually* did.
+
+The planner picks a strategy from **estimates** (node counts scaled by
+cost constants).  A :class:`Profile` rides along with one run and
+collects the measured side — nodes visited, subtrees pruned, DFA
+transitions taken and transition-table growth, whether the prepared
+program was compiled cold or reused warm, and how many bytes the
+serializer produced — so the estimate can be confronted with reality
+(``explain_analyze``, the slow-query log, and the planner's drift
+probe all read the same object).
+
+Like tracing, activation is thread-local and optional: deep engine
+code calls :func:`current_profile` (one thread-local read when no
+profile is active — the overwhelmingly common case) and adds its
+counts only when a profile is attached.  The hot scan loop does not
+touch the profile per node; it counts into locals and deposits once
+per scan (:meth:`Profile.add_scan`).
+
+A profile is **thread-confined by contract**: it is activated, filled
+and read on the thread that runs the query.  No lock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "Profile",
+    "current_profile",
+    "profiled",
+]
+
+_active_profile = threading.local()
+
+
+# hot-path
+def current_profile() -> Optional["Profile"]:
+    """The profile active on the calling thread, or None."""
+    return getattr(_active_profile, "profile", None)  # unguarded: one thread-local read is the documented cost of the off path
+
+
+class profiled:
+    """Context manager that makes *profile* the calling thread's active
+    profile, restoring whatever was active before on exit (and stamping
+    the profile's duration)."""
+
+    __slots__ = ("profile", "_previous")
+
+    def __init__(self, profile: "Profile"):
+        self.profile = profile
+        self._previous: Optional[Profile] = None
+
+    def __enter__(self) -> "Profile":
+        self._previous = getattr(_active_profile, "profile", None)
+        _active_profile.profile = self.profile
+        return self.profile
+
+    def __exit__(self, *exc_info: object) -> bool:
+        _active_profile.profile = self._previous
+        self.profile.finish()
+        return False
+
+
+class Profile:
+    """Measured counters for one query/transform run.
+
+    Thread-confined (see module docstring): no lock, plain int fields.
+    ``cache`` starts ``"warm"`` and flips to ``"cold"`` if a prepared
+    program is compiled while this profile is active — the run paid
+    the compile, every later run with the same key will not.
+    """
+
+    __slots__ = (
+        "nodes_visited", "subtrees_pruned", "dfa_transitions",
+        "table_sets_added", "table_moves_added", "serialize_bytes",
+        "results", "cache", "strategy", "backend", "est_cost",
+        "est_nodes", "_t0", "dur_us",
+    )
+
+    def __init__(self) -> None:
+        self.nodes_visited = 0
+        self.subtrees_pruned = 0
+        self.dfa_transitions = 0
+        self.table_sets_added = 0
+        self.table_moves_added = 0
+        self.serialize_bytes = 0
+        self.results = 0
+        self.cache = "warm"
+        self.strategy: Optional[str] = None
+        self.backend: Optional[str] = None
+        self.est_cost: Optional[float] = None
+        self.est_nodes: Optional[int] = None
+        self._t0 = time.perf_counter()
+        self.dur_us = 0
+
+    # ------------------------------------------------------------------
+    # Deposits (called at most a handful of times per run)
+    # ------------------------------------------------------------------
+
+    def add_scan(self, nodes: int = 0, pruned: int = 0, transitions: int = 0) -> None:
+        """One scan's worth of counts, deposited after the loop."""
+        self.nodes_visited += nodes
+        self.subtrees_pruned += pruned
+        self.dfa_transitions += transitions
+
+    def add_table_growth(self, sets: int = 0, moves: int = 0) -> None:
+        """DFA transition-table growth observed across one scan
+        (``dfa.stats()`` deltas): non-zero means this run paid lazy
+        subset construction that later runs will not."""
+        self.table_sets_added += sets
+        self.table_moves_added += moves
+
+    def add_serialize_bytes(self, count: int) -> None:
+        self.serialize_bytes += count
+
+    def note_compile(self) -> None:
+        """A prepared program was compiled during this run."""
+        self.cache = "cold"
+
+    def set_plan(
+        self,
+        strategy: str,
+        backend: str,
+        est_cost: float,
+        est_nodes: Optional[int] = None,
+    ) -> None:
+        """The planner's chosen strategy and its estimate for this run
+        (called by the planner when a profile is active)."""
+        self.strategy = strategy
+        self.backend = backend
+        self.est_cost = est_cost
+        self.est_nodes = est_nodes
+
+    def set_results(self, count: int) -> None:
+        self.results = count
+
+    def add_results(self, count: int) -> None:
+        self.results += count
+
+    def finish(self) -> None:
+        """Stamp the run duration (idempotent enough: last call wins)."""
+        self.dur_us = int((time.perf_counter() - self._t0) * 1e6)
+
+    # ------------------------------------------------------------------
+
+    def visit_ratio(self) -> Optional[float]:
+        """Actual nodes visited over the planner's estimate (None when
+        either side is missing/zero) — the drift a cost model accrues."""
+        if not self.est_nodes or self.nodes_visited <= 0:
+            return None
+        return self.nodes_visited / float(self.est_nodes)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The profile as one JSON-serializable dict (the shape the
+        slow-query log and ``explain_analyze`` embed)."""
+        out: Dict[str, Any] = {
+            "strategy": self.strategy,
+            "backend": self.backend,
+            "est_cost": self.est_cost,
+            "est_nodes": self.est_nodes,
+            "nodes_visited": self.nodes_visited,
+            "subtrees_pruned": self.subtrees_pruned,
+            "dfa_transitions": self.dfa_transitions,
+            "table_sets_added": self.table_sets_added,
+            "table_moves_added": self.table_moves_added,
+            "serialize_bytes": self.serialize_bytes,
+            "results": self.results,
+            "cache": self.cache,
+            "dur_us": self.dur_us,
+        }
+        ratio = self.visit_ratio()
+        if ratio is not None:
+            out["visit_ratio"] = round(ratio, 4)
+        return out

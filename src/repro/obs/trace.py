@@ -27,10 +27,23 @@ Sampling is deterministic — every *N*-th trace records, the rest are
 the shared :data:`NULL_TRACE` — so overhead scales down without a
 random-number draw on the hot path.
 
+Trace ids are **process-unique strings** ``"<token>-<seq>"`` where the
+token mixes the pid with random bytes drawn at import: two tracers in
+different processes (the service and its multiprocessing workers, a
+client and its server) can never mint the same id, so records from
+every process of one request merge into a single tree.  A trace
+created with an explicit ``trace_id`` (propagated over the wire)
+*adopts* it — the upstream sampling decision travels with the id.
+Every trace also carries a ``span_id`` and optional ``parent_span``,
+which is what :func:`stitch` uses to reassemble the cross-process
+parent/child tree.
+
 Trace record schema (one JSON line each)::
 
-    {"trace": 7, "name": "service.query", "start": 1754650000.123,
-     "dur_us": 1834, "meta": {"target": "xmark"},
+    {"trace": "3f2a1b-7", "name": "service.query",
+     "span_id": "3f2a1b-s9", "parent_span": "91c4e0-s2",
+     "start": 1754650000.123, "dur_us": 1834,
+     "meta": {"target": "xmark"},
      "spans": [{"name": "queue", "start_us": 0, "dur_us": 210, "depth": 0},
                {"name": "scan",  "start_us": 215, "dur_us": 1500, "depth": 0},
                {"name": "plan",  "start_us": 220, "dur_us": 12,  "depth": 1}]}
@@ -42,10 +55,11 @@ timeline, use ``depth`` for nesting.
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 from collections import deque
-from typing import Any, Deque, Dict, List, Optional, Union
+from typing import Any, Deque, Dict, List, Optional, Set, Union
 
 __all__ = [
     "NULL_SPAN",
@@ -53,10 +67,35 @@ __all__ = [
     "Trace",
     "Tracer",
     "current_trace",
+    "new_span_id",
+    "process_token",
     "span",
+    "stitch",
 ]
 
 _active = threading.local()
+
+#: Per-process token prefixed onto every trace/span id.  pid alone is
+#: not enough (pids recycle across respawned pool workers); the random
+#: suffix makes collisions across any two live or dead processes
+#: vanishingly unlikely.
+_PROCESS_TOKEN = f"{os.getpid():x}{os.urandom(3).hex()}"
+
+_span_seq_lock = threading.Lock()
+_span_seq = 0
+
+
+def process_token() -> str:
+    """This process's id-prefix token (stable for the process lifetime)."""
+    return _PROCESS_TOKEN
+
+
+def new_span_id() -> str:
+    """Mint a process-unique span id (``"<token>-s<seq>"``)."""
+    global _span_seq
+    with _span_seq_lock:
+        _span_seq += 1
+        return f"{_PROCESS_TOKEN}-s{_span_seq}"
 
 
 def current_trace() -> Optional["Trace"]:
@@ -100,6 +139,10 @@ class _NullTrace:
     __slots__ = ()
 
     sampled = False
+    trace_id: Optional[str] = None
+    span_id: Optional[str] = None
+    parent_span: Optional[str] = None
+    record: Optional[Dict[str, Any]] = None
 
     def span(self, name: str) -> _NullSpan:  # hot-path
         return NULL_SPAN
@@ -108,6 +151,9 @@ class _NullTrace:
         pass
 
     def note(self, **meta: Any) -> None:  # hot-path
+        pass
+
+    def add_spans(self, records: List[Dict[str, Any]]) -> None:  # hot-path
         pass
 
     def activate(self) -> _NullSpan:  # hot-path
@@ -169,19 +215,29 @@ class Trace:
     """One request's timeline of spans (see the module docstring)."""
 
     __slots__ = (
-        "tracer", "name", "trace_id", "meta", "started_at", "_t0",
-        "_lock", "_spans", "_depth", "_finished", "_activations",
+        "tracer", "name", "trace_id", "span_id", "parent_span", "meta",
+        "started_at", "_t0", "_lock", "_spans", "_depth", "_finished",
+        "_record_out", "_activations",
     )
 
-    # guarded-by[meta, _spans, _depth, _finished]: self._lock
+    # guarded-by[meta, _spans, _depth, _finished, _record_out]: self._lock
     # unguarded[_activations]: only touched by __enter__/__exit__ on the thread using the trace as a context manager (thread-confined by contract)
 
     sampled = True
 
-    def __init__(self, tracer: Optional["Tracer"], name: str, trace_id: int, meta: Dict[str, Any]):
+    def __init__(
+        self,
+        tracer: Optional["Tracer"],
+        name: str,
+        trace_id: str,
+        meta: Dict[str, Any],
+        parent_span: Optional[str] = None,
+    ):
         self.tracer = tracer
         self.name = name
         self.trace_id = trace_id
+        self.span_id = new_span_id()
+        self.parent_span = parent_span
         self.meta = dict(meta)
         self.started_at = time.time()
         self._t0 = time.perf_counter()
@@ -189,6 +245,7 @@ class Trace:
         self._spans: List[Dict[str, Any]] = []
         self._depth = 0
         self._finished = False
+        self._record_out: Optional[Dict[str, Any]] = None
         self._activations: List[_Activation] = []
 
     # ------------------------------------------------------------------
@@ -242,6 +299,25 @@ class Trace:
         with self._lock:
             self.meta.update(meta)
 
+    def add_spans(self, records: List[Dict[str, Any]]) -> None:
+        """Splice in span records minted in *another* process (the
+        worker halves of a cross-process request).  Records are taken
+        as-is — their ``start_us`` offsets are relative to the remote
+        clock, but their ``span_id``/``parent_span`` links are globally
+        unique, which is what stitching keys on."""
+        if not records:
+            return
+        with self._lock:
+            self._spans.extend(records)
+
+    @property
+    def record(self) -> Optional[Dict[str, Any]]:
+        """The finished trace record, or None while still open.  Lets
+        the slow-query log embed the full trace without re-fetching it
+        from the tracer's ring."""
+        with self._lock:
+            return self._record_out
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
@@ -264,11 +340,15 @@ class Trace:
             record: Dict[str, Any] = {
                 "trace": self.trace_id,
                 "name": self.name,
+                "span_id": self.span_id,
                 "start": self.started_at,
                 "dur_us": int((end - self._t0) * 1e6),
                 "meta": dict(self.meta),
                 "spans": list(self._spans),
             }
+            if self.parent_span is not None:
+                record["parent_span"] = self.parent_span
+            self._record_out = record
         if self.tracer is not None:
             self.tracer._record(record)
 
@@ -315,17 +395,32 @@ class Tracer:
 
     # ------------------------------------------------------------------
 
-    def trace(self, name: str, **meta: Any) -> Trace:
+    def trace(
+        self,
+        name: str,
+        trace_id: Optional[str] = None,
+        parent_span: Optional[str] = None,
+        **meta: Any,
+    ) -> Trace:
         """Begin a trace (or hand back :data:`NULL_TRACE` when this one
-        is not sampled)."""
+        is not sampled).
+
+        An explicit *trace_id* is a **propagated** context: some
+        upstream process already decided to sample this request, so the
+        local sampling counter is bypassed and the new trace adopts the
+        id (its record will stitch into the upstream tree through
+        *parent_span*).  Tracing disabled outright still wins.
+        """
         if not self.enabled:
             return NULL_TRACE  # type: ignore[return-value]
+        if trace_id is not None:
+            return Trace(self, name, trace_id, meta, parent_span=parent_span)
         with self._lock:
             self._seq += 1
             seq = self._seq
         if (seq - 1) % self.sample_every:
             return NULL_TRACE  # type: ignore[return-value]
-        return Trace(self, name, seq, meta)
+        return Trace(self, name, f"{_PROCESS_TOKEN}-{seq}", meta)
 
     def _record(self, record: Dict[str, Any]) -> None:
         with self._lock:
@@ -364,3 +459,62 @@ class Tracer:
                 "buffered": len(self._ring),
                 "dropped": self._dropped,
             }
+
+
+def stitch(records: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Reassemble flat trace records (possibly from several processes)
+    into per-trace stitched summaries.
+
+    Records sharing a ``trace`` id — the client's root record, the
+    service's child record, worker span records embedded in either —
+    become one entry::
+
+        {"trace": "<id>",
+         "records": [...],            # finished records, oldest first
+         "root": {...} | None,        # the record with no parent_span
+         "span_count": 17,
+         "orphan_spans": [...],       # parent_span points nowhere
+         "well_formed": True}         # exactly one root, no orphans
+
+    A record in the ring is finished by construction, so ``root is not
+    None`` doubles as "the root finished".  Orphans are spans (or whole
+    records) whose ``parent_span`` names a span id that appears nowhere
+    in the trace — the signature of a parent that died before
+    finishing, e.g. a worker killed mid-group.
+    """
+    by_trace: Dict[str, List[Dict[str, Any]]] = {}
+    for rec in records:
+        tid = str(rec.get("trace"))
+        by_trace.setdefault(tid, []).append(rec)
+    out: List[Dict[str, Any]] = []
+    for tid in sorted(by_trace):
+        recs = sorted(by_trace[tid], key=lambda r: float(r.get("start", 0.0)))
+        known: Set[str] = set()
+        for rec in recs:
+            if rec.get("span_id"):
+                known.add(rec["span_id"])
+            for sp in rec.get("spans", ()):
+                if sp.get("span_id"):
+                    known.add(sp["span_id"])
+        roots = [r for r in recs if not r.get("parent_span")]
+        orphans: List[Dict[str, Any]] = []
+        for rec in recs:
+            parent = rec.get("parent_span")
+            if parent and parent not in known:
+                orphans.append({"name": rec.get("name"), "parent_span": parent})
+            for sp in rec.get("spans", ()):
+                sp_parent = sp.get("parent_span")
+                if sp_parent and sp_parent not in known:
+                    orphans.append(dict(sp))
+        span_count = sum(len(rec.get("spans", ())) for rec in recs)
+        out.append(
+            {
+                "trace": tid,
+                "records": recs,
+                "root": roots[0] if len(roots) == 1 else None,
+                "span_count": span_count,
+                "orphan_spans": orphans,
+                "well_formed": len(roots) == 1 and not orphans,
+            }
+        )
+    return out

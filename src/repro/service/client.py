@@ -43,6 +43,7 @@ import socket
 import time
 from typing import Optional
 
+from repro.obs import Tracer, stitch
 from repro.service.errors import (
     ResponseLostError,
     RetryExhaustedError,
@@ -55,8 +56,12 @@ from repro.service.protocol import decode_line, encode_frame
 __all__ = ["Client", "IDEMPOTENT_OPS", "RetryPolicy"]
 
 #: Ops whose re-execution is observably equivalent to one execution —
-#: the only ops the client will retry on its own.
-IDEMPOTENT_OPS = frozenset({"ping", "query", "stats", "metrics", "traces"})
+#: the only ops the client will retry on its own.  (``slowlog`` with
+#: ``drain`` is destructive server-side, but a retried drain that was
+#: half-delivered loses entries either way — re-reading is safe.)
+IDEMPOTENT_OPS = frozenset(
+    {"ping", "query", "stats", "metrics", "metrics_text", "traces", "slowlog"}
+)
 
 
 class RetryPolicy:
@@ -100,12 +105,24 @@ class Client:
         timeout: Optional[float] = 30.0,
         retry: Optional[RetryPolicy] = None,
         retry_seed: Optional[int] = None,
+        trace_sample: int = 16,
+        trace_ring: int = 64,
     ):
         self.host = host
         self.port = port
         self.timeout = timeout
         self.retry = retry if retry is not None else RetryPolicy()
         self._rng = random.Random(retry_seed)
+        #: The client half of cross-process tracing: every *sampled*
+        #: query opens a **root** trace here and ships its ids in the
+        #: request frame, so the server's span (and its workers') join
+        #: the client's trace instead of minting their own.  The same
+        #: deterministic 1-in-N sampling as the server; ``0`` disables.
+        self.tracer = Tracer(
+            ring=trace_ring,
+            sample_every=trace_sample,
+            enabled=trace_sample > 0,
+        )
         #: Client-local counters (``service.client.*`` when a loadgen
         #: or harness surfaces them): retries attempted, sockets
         #: reconnected, retry budgets exhausted.
@@ -231,13 +248,45 @@ class Client:
         staged: bool = False,
         deadline_ms: Optional[float] = None,
     ) -> list:
-        return self.call(
-            "query",
-            target=target,
-            text=text,
-            staged=staged or None,
-            deadline_ms=deadline_ms,
-        )
+        """One read, with the client half of the end-to-end trace.
+
+        A sampled query opens the **root** span of the whole request:
+        its ``trace_id``/``parent_span`` travel in the frame, the
+        server's ``service.query`` record (with worker spans already
+        spliced in) points back at it, and any transport retries or
+        reconnects the exchange needed are stamped onto the root —
+        :meth:`stitched` reassembles the full tree.
+        """
+        trace = self.tracer.trace("client.query", target=target, query=text)
+        retries = self.retry_stats["retries"]
+        reconnects = self.retry_stats["reconnects"]
+        try:
+            result = self.call(
+                "query",
+                target=target,
+                text=text,
+                staged=staged or None,
+                deadline_ms=deadline_ms,
+                trace_id=trace.trace_id,
+                parent_span=trace.span_id,
+            )
+        except Exception as exc:
+            self._stamp_transport(trace, retries, reconnects)
+            trace.finish(outcome="error", error=str(exc))
+            raise
+        self._stamp_transport(trace, retries, reconnects)
+        trace.finish(outcome="ok")
+        return result
+
+    def _stamp_transport(self, trace, retries_before: int, reconnects_before: int) -> None:
+        """Record how many retries/reconnects one exchange consumed
+        (only when nonzero, so clean records stay small)."""
+        retried = self.retry_stats["retries"] - retries_before
+        reconnected = self.retry_stats["reconnects"] - reconnects_before
+        if retried:
+            trace.note(retries=retried)
+        if reconnected:
+            trace.note(reconnects=reconnected)
 
     def load(
         self,
@@ -274,10 +323,33 @@ class Client:
         ``layer.component.metric`` names → values."""
         return self.call("metrics")
 
-    def traces(self, *, drain: bool = False) -> list:
+    def traces(self, *, drain: bool = False, stitched: bool = False) -> list:
         """The server's buffered trace records (destructively when
-        *drain*)."""
-        return self.call("traces", drain=drain or None)
+        *drain*; per-trace summaries when *stitched*)."""
+        return self.call(
+            "traces", drain=drain or None, stitched=stitched or None
+        )
+
+    def local_traces(self, *, drain: bool = False) -> list:
+        """This client's own buffered root records."""
+        return self.tracer.drain() if drain else self.tracer.records()
+
+    def stitched(self, *, drain: bool = False) -> list:
+        """End-to-end stitched traces: the server's records and this
+        client's roots merged into per-trace trees — each well-formed
+        entry is one request seen from client, service, and (process
+        mode) worker."""
+        return stitch(
+            self.traces(drain=drain) + self.local_traces(drain=drain)
+        )
+
+    def slowlog(self, *, drain: bool = False) -> dict:
+        """The server's slow-query ring (entries + counters)."""
+        return self.call("slowlog", drain=drain or None)
+
+    def metrics_text(self) -> str:
+        """The server's registry snapshot in Prometheus text format."""
+        return self.call("metrics_text")
 
     # ------------------------------------------------------------------
 

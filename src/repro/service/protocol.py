@@ -20,7 +20,9 @@ Ops and their arguments (all strings unless noted):
 ``load``     ``name`` + (``path`` | ``xml``), optional ``replace``
 ``defview``  ``name``, ``base``, ``transform``
 ``query``    ``target``, ``text``, optional ``staged`` (bool),
-             ``deadline_ms`` (number)
+             ``deadline_ms`` (number), ``trace_id``/``parent_span``
+             (strings — propagated client trace context; the service
+             span joins the caller's trace instead of minting its own)
 ``transform````name``, ``text`` — hypothetical, returns serialized XML
 ``stage``    ``name``, ``text``
 ``commit``   ``name``, optional ``text`` (stage-then-commit)
@@ -29,7 +31,14 @@ Ops and their arguments (all strings unless noted):
 ``metrics``  — the registry snapshot: flat ``layer.component.metric``
              names → values (histograms as summary dicts)
 ``traces``   optional ``drain`` (bool) — buffered trace records,
-             oldest first; ``drain`` empties the ring
+             oldest first; ``drain`` empties the ring.  Optional
+             ``stitched`` (bool): per-trace summaries (root, span
+             count, orphans, well-formedness) instead of raw records
+``slowlog``  optional ``drain`` (bool) — the slow-query ring: entries
+             over the latency threshold with their stitched trace and
+             profile, plus the log's counters
+``metrics_text``  — the registry snapshot rendered in Prometheus text
+             exposition format (one string)
 ``ping``     — liveness probe, returns ``"pong"``
 ===========  ==========================================================
 
@@ -62,7 +71,8 @@ __all__ = [
 #: lifecycle — SIGINT/SIGTERM — not a wire op).
 OPS = (
     "load", "defview", "query", "transform", "stage", "commit",
-    "rollback", "stats", "metrics", "traces", "ping",
+    "rollback", "stats", "metrics", "metrics_text", "traces",
+    "slowlog", "ping",
 )
 
 
@@ -110,6 +120,15 @@ def _require(frame: dict, key: str) -> str:
     return value
 
 
+def _optional_str(frame: dict, key: str) -> Optional[str]:
+    value = frame.get(key)
+    if value is None:
+        return None
+    if not isinstance(value, str) or not value:
+        raise BadRequestError(f"{key!r} must be a non-empty string")
+    return value
+
+
 def _deadline_of(frame: dict) -> Optional[float]:
     deadline_ms = frame.get("deadline_ms")
     if deadline_ms is None:
@@ -136,6 +155,8 @@ def handle_request(service, frame: dict):
             _require(frame, "text"),
             deadline=_deadline_of(frame),
             staged=bool(frame.get("staged", False)),
+            trace_id=_optional_str(frame, "trace_id"),
+            parent_span=_optional_str(frame, "parent_span"),
         )
     if op == "ping":
         return "pong"
@@ -143,8 +164,15 @@ def handle_request(service, frame: dict):
         return service.stats()
     if op == "metrics":
         return service.registry.snapshot()
+    if op == "metrics_text":
+        return service.metrics_text()
     if op == "traces":
-        return service.traces(drain=bool(frame.get("drain", False)))
+        return service.traces(
+            drain=bool(frame.get("drain", False)),
+            stitched=bool(frame.get("stitched", False)),
+        )
+    if op == "slowlog":
+        return service.slowlog(drain=bool(frame.get("drain", False)))
     if op == "load":
         name = _require(frame, "name")
         replace = bool(frame.get("replace", False))

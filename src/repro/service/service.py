@@ -45,6 +45,7 @@ itself is skipped.
 
 from __future__ import annotations
 
+import itertools
 import queue
 import threading
 import time
@@ -54,8 +55,19 @@ from typing import Optional
 
 from repro.automata.arena_run import serialize_arena_items
 from repro.engine.engine import Engine
+from repro.engine.planner import READ_COST_ARENA
 from repro.lru import LRUCache
-from repro.obs import NULL_TRACE, MetricsRegistry, Tracer, span
+from repro.obs import (
+    NULL_TRACE,
+    MetricsRegistry,
+    Profile,
+    SlowQueryLog,
+    Tracer,
+    profiled,
+    render_prometheus,
+    span,
+    stitch,
+)
 from repro.obs.registry import COUNT_BUCKETS
 from repro.service.errors import (
     DeadlineError,
@@ -98,11 +110,24 @@ class ServiceConfig:
       stays within the instrumentation-overhead budget).
     * ``trace_ring`` — how many finished trace records are buffered
       (older records fall off; see the ``traces`` wire op).
+    * ``profile_sample`` — collect a plan-vs-actual execution profile
+      on every N-th *sampled* evaluation (``0`` disables profiling).
+      Profiles feed the planner's estimate-vs-actual drift probe and
+      ride along in slow-query entries; they are sampled separately
+      from tracing because the profiled scan twin is markedly slower
+      than the bare hot loop, and coalesced workloads make nearly
+      every evaluation trace-sampled.
+    * ``slow_threshold`` — seconds of submit→finish latency beyond
+      which a request is captured in the slow-query log with its full
+      trace and profile (negative disables the log entirely).
+    * ``slow_ring`` — how many slow-query entries are buffered (older
+      entries fall off; see the ``slowlog`` wire op).
     """
 
     __slots__ = (
         "workers", "mode", "batch_window", "max_queue", "memo_size",
         "default_deadline", "metrics", "trace_sample", "trace_ring",
+        "profile_sample", "slow_threshold", "slow_ring",
     )
 
     def __init__(
@@ -116,6 +141,9 @@ class ServiceConfig:
         metrics: bool = True,
         trace_sample: int = 16,
         trace_ring: int = 256,
+        profile_sample: int = 4,
+        slow_threshold: float = 0.25,
+        slow_ring: int = 128,
     ):
         if workers < 1:
             raise ValueError(f"workers must be positive, got {workers}")
@@ -123,6 +151,12 @@ class ServiceConfig:
             raise ValueError(f"max_queue must be positive, got {max_queue}")
         if trace_sample < 0:
             raise ValueError(f"trace_sample must be >= 0, got {trace_sample}")
+        if profile_sample < 0:
+            raise ValueError(
+                f"profile_sample must be >= 0, got {profile_sample}"
+            )
+        if slow_ring < 1:
+            raise ValueError(f"slow_ring must be positive, got {slow_ring}")
         self.workers = workers
         self.mode = mode
         self.batch_window = batch_window
@@ -132,6 +166,9 @@ class ServiceConfig:
         self.metrics = metrics
         self.trace_sample = trace_sample
         self.trace_ring = trace_ring
+        self.profile_sample = profile_sample
+        self.slow_threshold = slow_threshold
+        self.slow_ring = slow_ring
 
 
 class _Request:
@@ -199,6 +236,7 @@ class QueryService:
         config: Optional[ServiceConfig] = None,
         registry: Optional[MetricsRegistry] = None,
         checkpoint=None,
+        slow_sink=None,
     ):
         self.store = store if store is not None else ViewStore()
         self.config = config if config is not None else ServiceConfig()
@@ -248,6 +286,20 @@ class QueryService:
             "service.workers.restarts",
             lambda: getattr(self._workers, "restarts", 0),
         )
+        #: Any request slower than the threshold is captured here with
+        #: its stitched trace and (when sampled) its execution profile.
+        #: *slow_sink* additionally receives each entry as it is
+        #: recorded — ``repro serve`` passes a JSONL write-through.
+        self._slowlog = SlowQueryLog(
+            threshold=self.config.slow_threshold if self.config.metrics else -1.0,
+            ring=self.config.slow_ring,
+            sink=slow_sink,
+        )
+        self.registry.probe("service.slowlog.ring", self._slowlog.stats)
+        # Which sampled evaluations additionally pay for a profile:
+        # next(self._profile_tick) is atomic under the GIL, so worker
+        # threads can draw from it without a lock.
+        self._profile_tick = itertools.count()
         # Keyed (name, arena uid, query text): the uid is process-
         # unique per arena build, so entries can never alias across a
         # commit OR a drop-and-reload (which restarts versions at 1) —
@@ -279,6 +331,8 @@ class QueryService:
         *,
         deadline: Optional[float] = None,
         staged: bool = False,
+        trace_id: Optional[str] = None,
+        parent_span: Optional[str] = None,
     ) -> list:
         """Answer a query as serialized strings, through the batcher.
 
@@ -286,8 +340,16 @@ class QueryService:
         ``default_deadline``); when it passes before the result is
         ready, :class:`DeadlineError` is raised here — the evaluation
         may still finish in the background and warm the memo.
+
+        *trace_id*/*parent_span* adopt a caller-opened trace context
+        (cross-process propagation from :class:`~repro.service.client.
+        Client`): the service span joins that trace instead of minting
+        its own id, so the client can stitch one end-to-end tree.
         """
-        request = self.submit(target, query_text, deadline=deadline, staged=staged)
+        request = self.submit(
+            target, query_text, deadline=deadline, staged=staged,
+            trace_id=trace_id, parent_span=parent_span,
+        )
         timeout = None
         if request.deadline is not None:
             # Small slack over the dispatcher's own expiry check so a
@@ -330,6 +392,8 @@ class QueryService:
         *,
         deadline: Optional[float] = None,
         staged: bool = False,
+        trace_id: Optional[str] = None,
+        parent_span: Optional[str] = None,
     ) -> _Request:
         """Enqueue a read without waiting; returns the request whose
         ``future`` resolves to the serialized result list."""
@@ -339,7 +403,8 @@ class QueryService:
         request = _Request(
             target, query_text, staged, absolute,
             trace=self.tracer.trace(
-                "service.query", target=target, query=query_text
+                "service.query", trace_id=trace_id, parent_span=parent_span,
+                target=target, query=query_text,
             ),
         )
         with self._admission_lock:
@@ -446,16 +511,26 @@ class QueryService:
                 for request in requests:
                     request.future.set_result(cached)
                     request.trace.finish(outcome="memo")
+                self._maybe_slow(
+                    requests[0], "memo", snapshot.version,
+                    coalesced=len(requests) - 1,
+                    queue_s=dispatched - requests[0].submitted,
+                )
             elif all(request.expired(now) for request in requests):
                 for request in requests:
                     request.future.set_exception(DeadlineError("expired in queue"))
                     request.trace.finish(outcome="deadline")
+                self._maybe_slow(
+                    requests[0], "deadline", snapshot.version,
+                    queue_s=dispatched - requests[0].submitted,
+                )
             else:
                 todo.append(text)
         if todo:
             # Coalesced waiters share one evaluation, so only a single
             # sampled trace per distinct text — the primary — carries
-            # the engine's plan/scan/serialize spans.
+            # the engine's plan/scan/serialize spans (and, in process
+            # mode, the propagated context the worker's spans join).
             primaries = {
                 text: next(
                     (r.trace for r in by_text[text] if r.trace.sampled),
@@ -463,21 +538,65 @@ class QueryService:
                 )
                 for text in todo
             }
+            trace_ctxs = {
+                text: {"trace": t.trace_id, "parent_span": t.span_id}
+                for text, t in primaries.items()
+                if t.sampled
+            }
+            profiles: dict = {}
 
             def evaluate(snapshot: Snapshot, text: str) -> list:
                 begin = time.perf_counter()
-                with primaries[text].activate():
-                    result = self._evaluate_snapshot(snapshot, text)
+                primary = primaries[text]
+                sample = self.config.profile_sample
+                if (
+                    primary.sampled
+                    and sample
+                    and next(self._profile_tick) % sample == 0
+                ):
+                    # Every N-th sampled request pays for a
+                    # plan-vs-actual profile too: the arena scan is the
+                    # "scan" strategy with an exact node estimate, and
+                    # the profiled twin of select_indices fills in the
+                    # actual visit/prune/transition counts.
+                    prof = Profile()
+                    n = len(snapshot.arena)
+                    prof.set_plan("scan", "arena", READ_COST_ARENA * n, n)
+                    with primary.activate(), profiled(prof):
+                        result = self._evaluate_snapshot(snapshot, text)
+                    prof.finish()
+                    self.store.planner.observe_actual(prof)
+                    profiles[text] = prof.snapshot()
+                else:
+                    with primary.activate():
+                        result = self._evaluate_snapshot(snapshot, text)
                 self._eval_latency.observe(time.perf_counter() - begin)
                 return result
 
-            outcomes = self._workers.evaluate_group(snapshot, todo, evaluate)
+            outcomes = self._workers.evaluate_group(
+                snapshot, todo, evaluate, trace_ctxs=trace_ctxs
+            )
+            spans_by_text = getattr(outcomes, "spans_by_text", {})
+            retries = getattr(outcomes, "retries", 0)
             for text, (status, value) in zip(todo, outcomes):
                 requests = by_text[text]
+                primary = primaries[text]
+                # Splice the worker-minted child spans (process mode)
+                # into the primary trace before it finishes, so the
+                # published record is already one stitched subtree.
+                worker_spans = spans_by_text.get(text)
+                if worker_spans:
+                    primary.add_spans(worker_spans)
+                if retries:
+                    primary.note(worker_retries=retries)
                 if status != "ok":
                     for request in requests:
                         request.future.set_exception(value)
                         request.trace.finish(outcome="error", error=str(value))
+                    self._maybe_slow(
+                        requests[0], "error", snapshot.version,
+                        queue_s=dispatched - requests[0].submitted,
+                    )
                     continue
                 self._count("evaluations")
                 self._count("coalesced", len(requests) - 1)
@@ -487,6 +606,12 @@ class QueryService:
                     request.trace.finish(
                         outcome="ok", coalesced=len(requests) - 1
                     )
+                self._maybe_slow(
+                    requests[0], "ok", snapshot.version,
+                    coalesced=len(requests) - 1,
+                    profile=profiles.get(text),
+                    queue_s=dispatched - requests[0].submitted,
+                )
         # Stale-read accounting: did a commit supersede the pinned
         # version while we were answering from it?
         try:
@@ -495,6 +620,38 @@ class QueryService:
             current = snapshot.version
         if current != snapshot.version:
             self._count("stale_reads", total)
+
+    def _maybe_slow(
+        self,
+        request: _Request,
+        outcome: str,
+        snapshot_version=None,
+        *,
+        coalesced: int = 0,
+        profile: Optional[dict] = None,
+        queue_s: Optional[float] = None,
+    ) -> None:
+        """Capture *request* in the slow-query log when its submit→
+        finish latency crossed the threshold.  Called after the trace
+        finished so the entry can embed the full record (None for
+        unsampled requests — the counters still tell the story)."""
+        dur = time.perf_counter() - request.submitted
+        if not self._slowlog.should_record(dur):
+            return
+        self._slowlog.record({
+            "ts": time.time(),
+            "target": request.target,
+            "query": request.text,
+            "outcome": outcome,
+            "dur_ms": round(dur * 1000.0, 3),
+            "queue_ms": (
+                round(queue_s * 1000.0, 3) if queue_s is not None else None
+            ),
+            "snapshot_version": snapshot_version,
+            "coalesced": coalesced,
+            "trace": request.trace.record,
+            "profile": profile,
+        })
 
     def _evaluate_snapshot(self, snapshot: Snapshot, text: str) -> list:
         """One arena read, entirely lock-free: compiled artifacts come
@@ -512,12 +669,12 @@ class QueryService:
         """View targets and staged previews: the store's lock-holding
         serialized read path, one request at a time."""
         self._count("locked_reads")
-        request.trace.record_span(
-            "queue", time.perf_counter() - request.submitted
-        )
+        queue_s = time.perf_counter() - request.submitted
+        request.trace.record_span("queue", queue_s)
         if request.expired(time.monotonic()):
             request.future.set_exception(DeadlineError("expired in queue"))
             request.trace.finish(outcome="deadline")
+            self._maybe_slow(request, "deadline", queue_s=queue_s)
             return
         try:
             with request.trace.activate():
@@ -527,9 +684,11 @@ class QueryService:
         except Exception as exc:  # noqa: BLE001 - forwarded to the waiter
             request.future.set_exception(exc)
             request.trace.finish(outcome="error", error=str(exc))
+            self._maybe_slow(request, "error", queue_s=queue_s)
             return
         request.future.set_result(result)
         request.trace.finish(outcome="locked")
+        self._maybe_slow(request, "locked", queue_s=queue_s)
 
     # ------------------------------------------------------------------
     # Writes (single-writer discipline)
@@ -712,9 +871,30 @@ class QueryService:
         :data:`_METRIC_NAMES`)."""
         return {key: counter.value for key, counter in self._counters.items()}
 
-    def traces(self, drain: bool = False) -> list:
-        """The buffered trace records (destructively when *drain*)."""
-        return self.tracer.drain() if drain else self.tracer.records()
+    def traces(self, drain: bool = False, stitched: bool = False) -> list:
+        """The buffered trace records (destructively when *drain*).
+
+        With *stitched*, records sharing a trace id are reassembled
+        into per-trace summaries (root, span count, orphans, well-
+        formedness) — see :func:`repro.obs.stitch`.  Worker spans are
+        already embedded in the service records they were spliced
+        into, so a service-side stitch covers the whole server half.
+        """
+        records = self.tracer.drain() if drain else self.tracer.records()
+        return stitch(records) if stitched else records
+
+    def slowlog(self, drain: bool = False) -> dict:
+        """The slow-query ring: buffered entries (destructively when
+        *drain*) plus the log's counters."""
+        return {
+            "entries": self._slowlog.entries(drain=drain),
+            "stats": self._slowlog.stats(),
+        }
+
+    def metrics_text(self) -> str:
+        """The registry snapshot in Prometheus text exposition format
+        (what ``repro serve --expose`` serves at ``/metrics``)."""
+        return render_prometheus(self.registry.snapshot())
 
     def stats(self) -> dict:
         return {
@@ -730,4 +910,5 @@ class QueryService:
             "store": self.store.stats(),
             "metrics": self.registry.snapshot(),
             "traces": self.tracer.stats(),
+            "slowlog": self._slowlog.stats(),
         }

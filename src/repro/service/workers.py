@@ -30,6 +30,7 @@ against one pinned arena snapshot and return serialized results:
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from concurrent.futures import BrokenExecutor, ThreadPoolExecutor
 from typing import Optional
@@ -37,7 +38,7 @@ from typing import Optional
 from repro.faults import fault_point
 from repro.service.errors import ServiceError
 
-__all__ = ["ProcessWorkers", "ThreadWorkers"]
+__all__ = ["GroupResult", "ProcessWorkers", "ThreadWorkers"]
 
 #: Per-worker-process arena cache: (name, arena uid) → FrozenDocument.
 #: Bounded — a long-lived pool serving many documents must not pin
@@ -49,16 +50,47 @@ _worker_arenas: "OrderedDict[tuple, object]" = OrderedDict()
 NEED_COLUMNS = "need-columns"
 
 
-def _worker_evaluate(name: str, uid: int, columns: Optional[dict], texts: list):
+class GroupResult(list):
+    """The outcomes of one evaluation group — one ``("ok", result)`` /
+    ``("error", exception)`` pair per text, in order (it *is* that
+    list) — with the cross-process trace extras riding as attributes:
+
+    * ``spans_by_text`` — worker-minted span records per query text
+      (empty in thread mode, where spans land on the activated trace
+      directly).
+    * ``retries`` — pool respawn-and-retry rounds this group survived
+      (stamped onto the request traces as ``worker_retries``).
+    """
+
+    def __init__(self, outcomes, spans_by_text: Optional[dict] = None, retries: int = 0):
+        super().__init__(outcomes)
+        self.spans_by_text = spans_by_text if spans_by_text is not None else {}
+        self.retries = retries
+
+
+def _worker_evaluate(
+    name: str,
+    uid: int,
+    columns: Optional[dict],
+    texts: list,
+    trace_ctxs: Optional[dict] = None,
+):
     """Run in a worker process: evaluate *texts* (distinct FLWR query
     texts) over the arena the parent pinned as (name, uid), serialized
     straight from the columns.
 
-    Returns ``(NEED_COLUMNS, None)`` when the arena is not cached here
-    and *columns* were not shipped; otherwise ``("ok", [list-of-
-    serialized-strings per text])``.  Compiled artifacts come from this
-    process's own default engine, so repeated batches pay zero
-    recompilation exactly like the parent would.
+    Returns ``(NEED_COLUMNS, None, None)`` when the arena is not cached
+    here and *columns* were not shipped; otherwise ``("ok", [list-of-
+    serialized-strings per text], {text: [span records]})``.  Compiled
+    artifacts come from this process's own default engine, so repeated
+    batches pay zero recompilation exactly like the parent would.
+
+    *trace_ctxs* maps a query text to its propagated trace context
+    (``{"trace": id, "parent_span": span id}``) for the texts whose
+    request was sampled: those evaluations are timed here and returned
+    as span records minted with **this worker's** process token, so
+    the parent can splice them into the request trace without any risk
+    of id collision.
     """
     from repro.automata.arena_run import serialize_arena_items
     from repro.engine import default_engine
@@ -73,7 +105,7 @@ def _worker_evaluate(name: str, uid: int, columns: Optional[dict], texts: list):
     arena = _worker_arenas.get(key)
     if arena is None:
         if columns is None:
-            return NEED_COLUMNS, None
+            return NEED_COLUMNS, None, None
         arena = arena_from_columns(columns)
         _worker_arenas[key] = arena
         while len(_worker_arenas) > _WORKER_ARENA_CAP:
@@ -83,7 +115,10 @@ def _worker_evaluate(name: str, uid: int, columns: Optional[dict], texts: list):
     engine = default_engine()
     evaluator = ArenaEvaluator(arena, engine.cache.selecting_nfa_for)
     results = []
+    spans_by_text: dict = {}
     for text in texts:
+        ctx = trace_ctxs.get(text) if trace_ctxs else None
+        begin = time.perf_counter()
         # Per-text outcomes: one malformed query must not poison the
         # good queries batched alongside it.  Exceptions cross the
         # process boundary as their message (custom __init__ signatures
@@ -93,7 +128,28 @@ def _worker_evaluate(name: str, uid: int, columns: Optional[dict], texts: list):
             results.append(("ok", serialize_arena_items(arena, refs)))
         except ValueError as exc:
             results.append(("error", str(exc)))
-    return "ok", results
+        if ctx is not None:
+            spans_by_text[text] = [_worker_span(ctx, begin)]
+    return "ok", results, spans_by_text
+
+
+def _worker_span(ctx: dict, begin: float) -> dict:
+    """One worker-side evaluation span record, minted with this
+    process's token (see :func:`repro.obs.trace.new_span_id`)."""
+    import os
+
+    from repro.obs import new_span_id, process_token
+
+    return {
+        "name": "worker.evaluate",
+        "span_id": new_span_id(),
+        "parent_span": ctx.get("parent_span"),
+        "proc": process_token(),
+        "pid": os.getpid(),
+        "start_us": 0,  # remote clock: offsets are not comparable
+        "dur_us": int((time.perf_counter() - begin) * 1e6),
+        "depth": 1,
+    }
 
 
 class ThreadWorkers:
@@ -109,13 +165,18 @@ class ThreadWorkers:
     def submit(self, fn, *args):
         return self.pool.submit(fn, *args)
 
-    def evaluate_group(self, snapshot, texts: list, evaluate_fn) -> list:
+    def evaluate_group(
+        self, snapshot, texts: list, evaluate_fn, trace_ctxs: Optional[dict] = None
+    ) -> GroupResult:
         """Thread mode evaluates in-process: the caller's own
         *evaluate_fn* (which shares the service's compiled caches)
         runs right here in the worker thread.
 
-        Returns one ``("ok", result)`` / ``("error", exception)`` pair
-        per text, in order.
+        Returns a :class:`GroupResult` — one ``("ok", result)`` /
+        ``("error", exception)`` pair per text, in order.  Trace
+        context needs no shipping in-process (*trace_ctxs* is accepted
+        for signature parity): the service activates the request trace
+        around *evaluate_fn*, so spans land on it directly.
         """
         outcomes = []
         for text in texts:
@@ -123,7 +184,7 @@ class ThreadWorkers:
                 outcomes.append(("ok", evaluate_fn(snapshot, text)))
             except Exception as exc:  # noqa: BLE001 - forwarded per waiter
                 outcomes.append(("error", exc))
-        return outcomes
+        return GroupResult(outcomes)
 
     def shutdown(self) -> None:
         self.pool.shutdown(wait=True)
@@ -213,43 +274,58 @@ class ProcessWorkers(ThreadWorkers):
                     self._columns_cache.popitem(last=False)
         return found
 
-    def _evaluate_group_once(self, pool, snapshot, texts: list) -> list:
+    def _evaluate_group_once(
+        self, pool, snapshot, texts: list, trace_ctxs: Optional[dict]
+    ) -> GroupResult:
         # First try by reference — the worker may already hold this
         # arena (keyed by its process-unique uid); ship the columns
-        # only when it says so.
-        status, results = pool.submit(
-            _worker_evaluate, snapshot.name, snapshot.uid, None, texts
+        # only when it says so.  The trace contexts ride along both
+        # times: they are a few small strings per sampled text.
+        status, results, spans = pool.submit(
+            _worker_evaluate, snapshot.name, snapshot.uid, None, texts, trace_ctxs
         ).result()
         if status == NEED_COLUMNS:
-            status, results = pool.submit(
+            status, results, spans = pool.submit(
                 _worker_evaluate,
                 snapshot.name,
                 snapshot.uid,
                 self._columns_for(snapshot),
                 texts,
+                trace_ctxs,
             ).result()
         if status != "ok":  # pragma: no cover - defensive
             raise ServiceError(f"process worker returned {status!r}")
         # Error outcomes crossed the boundary as message strings;
         # rebuild them as exceptions for the per-waiter forwarding.
-        return [
-            (kind, value if kind == "ok" else ValueError(value))
-            for kind, value in results
-        ]
+        return GroupResult(
+            [
+                (kind, value if kind == "ok" else ValueError(value))
+                for kind, value in results
+            ],
+            spans_by_text=spans,
+        )
 
-    def evaluate_group(self, snapshot, texts: list, evaluate_fn) -> list:
+    def evaluate_group(
+        self, snapshot, texts: list, evaluate_fn, trace_ctxs: Optional[dict] = None
+    ) -> GroupResult:
+        retries = 0
         while True:
             with self._respawn_lock:
                 generation = self._generation
                 pool = self.processes
             try:
-                return self._evaluate_group_once(pool, snapshot, texts)
+                result = self._evaluate_group_once(pool, snapshot, texts, trace_ctxs)
+                result.retries = retries
+                return result
             except BrokenExecutor:
                 # A worker died mid-group (OOM kill, segfault, injected
                 # crash).  Replace the pool — bounded by the restart
                 # budget — and re-run: the group is a pure snapshot
                 # read, so the retry observes exactly the same state.
+                # The spans of the dead attempt die with the worker;
+                # the retry count survives on the stitched trace.
                 self._respawn(generation)
+                retries += 1
 
     def shutdown(self) -> None:
         with self._respawn_lock:

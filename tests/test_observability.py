@@ -1,0 +1,547 @@
+"""End-to-end request observability: cross-process trace propagation,
+plan-vs-actual execution profiles, the slow-query log, and the text
+exposition surface.
+
+Covers the acceptance criteria of the observability tentpole: a
+client-driven request against a process-mode service yields ONE
+stitched trace with client, service, and worker spans under a single
+trace id; ``explain_analyze`` reports estimated vs actual rows for
+every Fig-12 read; the slow-query ring captures over-threshold
+requests with their trace and profile; the Prometheus text rendering
+exposes every histogram's exact min/max; and a worker killed mid-group
+still produces a well-formed stitched trace with the retry stamped.
+"""
+
+import json
+import os
+import sys
+import time
+import urllib.request
+from concurrent.futures import BrokenExecutor
+
+import pytest
+
+from repro.engine.engine import Engine
+from repro.obs import (
+    ExpositionServer,
+    MetricsRegistry,
+    Profile,
+    SlowQueryLog,
+    Tracer,
+    current_profile,
+    new_span_id,
+    process_token,
+    profiled,
+    render_events,
+    render_prometheus,
+    stitch,
+)
+from repro.service import Client, QueryService, ServiceConfig, ServiceServer
+from repro.service.workers import ProcessWorkers
+from repro.store.store import ViewStore
+from repro.xmltree.parser import parse_to_arena
+
+CATALOG = (
+    "<db><part><pname>kb</pname>"
+    "<supplier><sname>HP</sname><price>12</price><country>A</country></supplier>"
+    "<supplier><sname>Dell</sname><price>20</price><country>B</country></supplier>"
+    "</part><part><pname>mouse</pname>"
+    "<supplier><sname>HP</sname><price>8</price><country>A</country></supplier>"
+    "</part></db>"
+)
+
+QUERY = "for $x in part/supplier return $x"
+
+
+def _wait_for(fn, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        value = fn()
+        if value:
+            return value
+        time.sleep(0.01)
+    raise AssertionError("condition not met in time")
+
+
+# ----------------------------------------------------------------------
+# Profiles: plan-vs-actual
+# ----------------------------------------------------------------------
+
+
+class TestProfile:
+    def test_counters_and_snapshot(self):
+        prof = Profile()
+        prof.set_plan("scan", "arena", est_cost=83.0, est_nodes=100)
+        prof.add_scan(nodes=40, pruned=7, transitions=40)
+        prof.add_table_growth(sets=2, moves=5)
+        prof.add_serialize_bytes(123)
+        prof.set_results(9)
+        prof.finish()
+        snap = prof.snapshot()
+        assert snap["strategy"] == "scan"
+        assert snap["backend"] == "arena"
+        assert snap["nodes_visited"] == 40
+        assert snap["subtrees_pruned"] == 7
+        assert snap["dfa_transitions"] == 40
+        assert snap["table_sets_added"] == 2
+        assert snap["table_moves_added"] == 5
+        assert snap["serialize_bytes"] == 123
+        assert snap["results"] == 9
+        assert snap["visit_ratio"] == pytest.approx(0.4)
+        assert snap["dur_us"] >= 0
+
+    def test_profiled_activates_and_restores(self):
+        assert current_profile() is None
+        outer, inner = Profile(), Profile()
+        with profiled(outer):
+            assert current_profile() is outer
+            with profiled(inner):
+                assert current_profile() is inner
+            assert current_profile() is outer
+        assert current_profile() is None
+
+    def test_select_indices_equivalent_with_and_without_profile(self):
+        # The profiled twin of the arena scan loop must select exactly
+        # the same refs as the bare hot path.
+        arena = parse_to_arena(CATALOG)
+        engine = Engine()
+        prepared = engine.prepare_query(QUERY)
+        bare = prepared.run_refs(arena)
+        prof = Profile()
+        with profiled(prof):
+            again = prepared.run_refs(arena)
+        assert again == bare
+        assert prof.nodes_visited > 0
+        assert prof.dfa_transitions > 0
+
+    def test_explain_analyze_covers_fig12_mix(self):
+        sys.path.insert(
+            0, os.path.join(os.path.dirname(__file__), "..", "benchmarks")
+        )
+        try:
+            import loadgen
+        finally:
+            sys.path.pop(0)
+        from repro.xmark.generator import generate
+        from repro.xmltree.serializer import serialize
+
+        arena = parse_to_arena(serialize(generate(0.002, seed=42)))
+        engine = Engine()
+        for text in loadgen.READS:
+            report, results = engine.prepare_query(text).explain_analyze(arena)
+            assert "estimated" in report and "actual:" in report
+            assert "nodes visited" in report
+            prof_line = [l for l in report.splitlines() if "estimated" in l and "visited" in l]
+            assert prof_line, report
+        drift = engine.planner.drift_stats()
+        assert drift, "observe_actual never recorded a run"
+        for row in drift.values():
+            assert row["runs"] >= 1
+            assert row["visit_ratio"] is not None
+
+    def test_transform_explain_analyze_reports_estimate(self):
+        engine = Engine()
+        prepared = engine.prepare_transform(
+            'transform copy $a := doc("db") modify do delete $a//price return $a'
+        )
+        from repro.xmltree.parser import parse
+
+        report, result = prepared.explain_analyze(parse(CATALOG))
+        assert "actual:" in report
+        assert "nodes visited" in report
+        assert result is not None
+
+    def test_drift_probe_reaches_registry(self):
+        registry = MetricsRegistry()
+        engine = Engine()
+        engine.bind_metrics(registry)
+        arena = parse_to_arena(CATALOG)
+        engine.prepare_query(QUERY).explain_analyze(arena)
+        snap = registry.snapshot()
+        drift_keys = [k for k in snap if k.startswith("engine.planner.drift.")]
+        assert drift_keys, sorted(snap)
+
+
+# ----------------------------------------------------------------------
+# Slow-query log
+# ----------------------------------------------------------------------
+
+
+class TestSlowQueryLog:
+    def test_threshold_gates_and_ring_bounds(self):
+        log = SlowQueryLog(threshold=0.5, ring=2)
+        assert log.enabled
+        assert not log.should_record(0.4)
+        assert log.should_record(0.6)
+        for i in range(3):
+            log.record({"i": i})
+        stats = log.stats()
+        assert stats["recorded"] == 3
+        assert stats["buffered"] == 2
+        assert stats["dropped"] == 1
+        assert [e["i"] for e in log.entries()] == [1, 2]
+
+    def test_drain_empties_the_ring(self):
+        log = SlowQueryLog(threshold=0.0, ring=4)
+        log.record({"i": 0})
+        assert [e["i"] for e in log.entries(drain=True)] == [0]
+        assert log.entries() == []
+        assert log.stats()["buffered"] == 0
+
+    def test_negative_threshold_disables(self):
+        log = SlowQueryLog(threshold=-1.0)
+        assert not log.enabled
+        assert not log.should_record(1e9)
+
+    def test_sink_write_through_and_error_isolation(self):
+        seen = []
+        log = SlowQueryLog(threshold=0.0, sink=seen.append)
+        log.record({"i": 1})
+        assert seen == [{"i": 1}]
+
+        def boom(entry):
+            raise OSError("disk full")
+
+        log = SlowQueryLog(threshold=0.0, sink=boom)
+        log.record({"i": 2})  # must not raise
+        assert log.stats()["recorded"] == 1
+
+    def test_service_captures_slow_request_with_trace_and_profile(self):
+        # The batch window injects a deterministic queue wait, so a
+        # tight threshold reliably captures the request.
+        svc = QueryService(
+            config=ServiceConfig(
+                batch_window=0.05, trace_sample=1, profile_sample=1,
+                slow_threshold=0.001,
+            )
+        )
+        try:
+            svc.put("db", CATALOG)
+            svc.query("db", QUERY)
+            out = _wait_for(lambda: svc.slowlog()["entries"])
+            entry = out[0]
+            assert entry["target"] == "db"
+            assert entry["query"] == QUERY
+            assert entry["outcome"] == "ok"
+            assert entry["dur_ms"] >= 1.0
+            assert entry["queue_ms"] is not None and entry["queue_ms"] > 0
+            assert entry["snapshot_version"] == 1
+            trace = entry["trace"]
+            assert trace is not None and trace["name"] == "service.query"
+            assert any(s["name"] == "queue" for s in trace["spans"])
+            profile = entry["profile"]
+            assert profile is not None
+            assert profile["strategy"] == "scan"
+            assert profile["nodes_visited"] > 0
+            assert profile["serialize_bytes"] > 0
+            assert svc.stats()["slowlog"]["recorded"] >= 1
+        finally:
+            svc.close()
+
+    def test_disabled_metrics_disables_slowlog(self):
+        svc = QueryService(
+            config=ServiceConfig(metrics=False, slow_threshold=0.0)
+        )
+        try:
+            svc.put("db", CATALOG)
+            svc.query("db", QUERY)
+            assert svc.slowlog()["entries"] == []
+        finally:
+            svc.close()
+
+
+# ----------------------------------------------------------------------
+# Text exposition: Prometheus rendering + the scrape server
+# ----------------------------------------------------------------------
+
+
+class TestExposition:
+    def test_histogram_renders_summary_with_exact_min_max(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("svc.req.latency")
+        for value in (0.002, 0.9, 0.004):
+            hist.observe(value)
+        text = render_prometheus(registry.snapshot())
+        assert "# TYPE repro_svc_req_latency summary" in text
+        assert 'repro_svc_req_latency{quantile="0.5"}' in text
+        assert "repro_svc_req_latency_count 3" in text
+        # Satellite: exact min/max land in the exposition, not just the
+        # snapshot — interpolated percentiles clamp, the tails do not.
+        assert "repro_svc_req_latency_min 0.002" in text
+        assert "repro_svc_req_latency_max 0.9" in text
+
+    def test_scalars_bools_and_junk(self):
+        text = render_prometheus({
+            "a.b.count": 7,
+            "a.b.ratio": 0.5,
+            "a.b.flag": True,
+            "a.b.name": "not-a-number",
+            "a.b.bad": float("nan"),
+        })
+        assert "repro_a_b_count 7" in text
+        assert "repro_a_b_ratio 0.5" in text
+        assert "# TYPE repro_a_b_flag gauge" in text
+        assert "repro_a_b_flag 1" in text
+        assert "name" not in text.replace("repro_a_b_name", "")  # skipped
+        assert "nan" not in text.lower()
+
+    def test_prometheus_text_parses_line_by_line(self):
+        registry = MetricsRegistry()
+        registry.counter("x.y.hits").inc(3)
+        registry.histogram("x.y.lat").observe(0.25)
+        for line in render_prometheus(registry.snapshot()).splitlines():
+            if not line or line.startswith("#"):
+                continue
+            name, value = line.rsplit(" ", 1)
+            assert name
+            float(value)  # every sample value must parse as a float
+
+    def test_render_events_jsonl(self):
+        out = render_events([{"a": 1}, {"b": [1, 2]}])
+        lines = out.strip().splitlines()
+        assert [json.loads(l) for l in lines] == [{"a": 1}, {"b": [1, 2]}]
+        assert render_events([]) == ""
+
+    def test_exposition_server_serves_metrics_events_healthz(self):
+        registry = MetricsRegistry()
+        registry.counter("a.b.c").inc()
+        server = ExpositionServer(
+            snapshot_fn=registry.snapshot,
+            events_fn=lambda: [{"trace": "t-1"}],
+        ).start()
+        host, port = server.address
+        try:
+            body = urllib.request.urlopen(
+                f"http://{host}:{port}/metrics", timeout=5
+            ).read().decode()
+            assert "repro_a_b_c 1" in body
+            events = urllib.request.urlopen(
+                f"http://{host}:{port}/events", timeout=5
+            ).read().decode()
+            assert json.loads(events.strip()) == {"trace": "t-1"}
+            health = urllib.request.urlopen(
+                f"http://{host}:{port}/healthz", timeout=5
+            ).read().decode()
+            assert health.strip() == "ok"
+            with pytest.raises(urllib.error.HTTPError):
+                urllib.request.urlopen(f"http://{host}:{port}/nope", timeout=5)
+        finally:
+            server.stop()
+
+
+# ----------------------------------------------------------------------
+# Stitching and id uniqueness
+# ----------------------------------------------------------------------
+
+
+class TestStitch:
+    def test_span_ids_are_process_token_prefixed_and_unique(self):
+        token = process_token()
+        ids = {new_span_id() for _ in range(100)}
+        assert len(ids) == 100
+        assert all(i.startswith(token + "-s") for i in ids)
+
+    def test_single_root_tree_is_well_formed(self):
+        tracer = Tracer(sample_every=1)
+        root = tracer.trace("client.query")
+        child = tracer.trace(
+            "service.query", trace_id=root.trace_id, parent_span=root.span_id
+        )
+        child.finish()
+        root.finish()
+        [entry] = stitch(tracer.records())
+        assert entry["well_formed"]
+        assert entry["root"]["name"] == "client.query"
+        assert [r["name"] for r in entry["records"]] == [
+            "client.query", "service.query",
+        ]
+
+    def test_orphan_span_is_flagged(self):
+        tracer = Tracer(sample_every=1)
+        root = tracer.trace("client.query")
+        # A worker span whose parent died before finishing: its parent
+        # id appears nowhere in the stitched set.
+        root.add_spans([{
+            "name": "worker.evaluate",
+            "span_id": "deadbeef-s1",
+            "parent_span": "deadbeef-s0",
+        }])
+        root.finish()
+        [entry] = stitch(tracer.records())
+        assert not entry["well_formed"]
+        assert entry["orphan_spans"][0]["span_id"] == "deadbeef-s1"
+        assert entry["root"] is not None  # the root itself still finished
+
+    def test_two_roots_is_not_well_formed(self):
+        tracer = Tracer(sample_every=1)
+        for _ in range(2):
+            trace = tracer.trace("x", trace_id="shared-1")
+            trace.finish()
+        [entry] = stitch(tracer.records())
+        assert entry["root"] is None
+        assert not entry["well_formed"]
+
+    def test_propagated_trace_bypasses_sampling(self):
+        tracer = Tracer(sample_every=1000)
+        tracer.trace("first")  # deterministic 1-in-N: the first is sampled
+        assert not tracer.trace("unsampled").sampled
+        adopted = tracer.trace("svc", trace_id="upstream-1", parent_span="up-s1")
+        assert adopted.sampled
+        assert adopted.trace_id == "upstream-1"
+        adopted.finish()
+        assert tracer.records()[0]["parent_span"] == "up-s1"
+
+
+# ----------------------------------------------------------------------
+# Cross-process propagation through the full stack
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def wire():
+    svc = QueryService(
+        config=ServiceConfig(
+            batch_window=0.001, trace_sample=1, slow_threshold=0.0
+        )
+    )
+    svc.put("db", CATALOG)
+    server = ServiceServer(svc)
+    host, port = server.start()
+    client = Client(host, port, timeout=10.0, trace_sample=1)
+    yield svc, server, client
+    client.close()
+    server.stop()
+
+
+class TestPropagation:
+    def test_client_root_and_service_record_share_one_trace(self, wire):
+        svc, _, client = wire
+        client.query("db", QUERY)
+        server_records = _wait_for(lambda: client.traces())
+        [local] = client.local_traces()
+        assert local["name"] == "client.query"
+        [server_rec] = [r for r in server_records if r["name"] == "service.query"]
+        assert server_rec["trace"] == local["trace"]
+        assert server_rec["parent_span"] == local["span_id"]
+
+    def test_client_stitched_yields_one_well_formed_tree(self, wire):
+        _, _, client = wire
+        client.query("db", QUERY)
+        _wait_for(lambda: client.traces())
+        entries = client.stitched()
+        assert len(entries) == 1
+        [entry] = entries
+        assert entry["well_formed"]
+        assert entry["root"]["name"] == "client.query"
+        names = sorted(r["name"] for r in entry["records"])
+        assert names == ["client.query", "service.query"]
+
+    def test_traces_op_stitched_flag(self, wire):
+        _, _, client = wire
+        client.query("db", QUERY)
+        _wait_for(lambda: client.traces())
+        [entry] = client.traces(stitched=True)
+        assert entry["span_count"] >= 1
+        assert "well_formed" in entry
+
+    def test_slowlog_and_metrics_text_ops(self, wire):
+        _, _, client = wire
+        client.query("db", QUERY)
+        out = _wait_for(lambda: client.slowlog()["entries"])
+        assert out[0]["query"] == QUERY
+        text = client.metrics_text()
+        assert "# TYPE repro_service_request_latency summary" in text
+        drained = client.slowlog(drain=True)
+        assert drained["entries"]
+        assert client.slowlog()["entries"] == []
+
+    def test_unsampled_client_sends_no_context(self):
+        svc = QueryService(
+            config=ServiceConfig(batch_window=0.001, trace_sample=1)
+        )
+        svc.put("db", CATALOG)
+        server = ServiceServer(svc)
+        host, port = server.start()
+        client = Client(host, port, timeout=10.0, trace_sample=0)
+        try:
+            client.query("db", QUERY)
+            records = _wait_for(lambda: client.traces())
+            # The service still samples its own trace, but as a root
+            # (no propagated parent), and the client buffered nothing.
+            [rec] = [r for r in records if r["name"] == "service.query"]
+            assert "parent_span" not in rec
+            assert client.local_traces() == []
+        finally:
+            client.close()
+            server.stop()
+
+
+DOC = "<a><x>1</x></a>"
+
+
+def _snapshot():
+    store = ViewStore()
+    store.put("db", DOC)
+    return store.pin("db")
+
+
+class TestProcessModePropagation:
+    def test_worker_spans_ride_home_and_carry_foreign_token(self):
+        svc = QueryService(
+            config=ServiceConfig(
+                mode="process", workers=2, batch_window=0.001,
+                trace_sample=1,
+            )
+        )
+        try:
+            svc.put("db", CATALOG)
+            svc.query("db", QUERY)
+            records = _wait_for(lambda: svc.traces())
+            [rec] = [r for r in records if r["name"] == "service.query"]
+            workers = [s for s in rec["spans"] if s["name"] == "worker.evaluate"]
+            assert workers, rec["spans"]
+            span = workers[0]
+            # Minted in the worker process: its token differs from this
+            # process's, so ids can never collide (satellite 1).
+            assert span["proc"] != process_token()
+            assert span["span_id"].startswith(span["proc"])
+            assert span["parent_span"] == rec["span_id"]
+            assert span["pid"] != os.getpid()
+            [entry] = stitch(records)
+            assert entry["well_formed"]
+        finally:
+            svc.close()
+
+    def test_chaos_killed_worker_still_stitches_with_retry_stamped(self):
+        """Kill a worker mid-group: the pool respawns, the retry re-runs
+        the group, and the stitched trace is well-formed with the retry
+        count on the service record (the dead attempt's spans die with
+        the worker — they never become orphans)."""
+        workers = ProcessWorkers(1)
+        tracer = Tracer(sample_every=1)
+        try:
+            kill = workers.processes.submit(os._exit, 1)
+            with pytest.raises(BrokenExecutor):
+                kill.result(timeout=60)
+            trace = tracer.trace("service.query", target="db")
+            text = "for $x in a return $x"
+            outcomes = workers.evaluate_group(
+                _snapshot(), [text], None,
+                trace_ctxs={text: {"trace": trace.trace_id,
+                                   "parent_span": trace.span_id}},
+            )
+            assert outcomes[0][0] == "ok"
+            assert outcomes.retries == 1
+            assert workers.restarts == 1
+            trace.add_spans(outcomes.spans_by_text.get(text, []))
+            trace.note(worker_retries=outcomes.retries)
+            trace.finish(outcome="ok")
+            [entry] = stitch(tracer.records())
+            assert entry["well_formed"]
+            assert entry["root"]["meta"]["worker_retries"] == 1
+            assert any(
+                s["name"] == "worker.evaluate"
+                for s in entry["root"]["spans"]
+            )
+        finally:
+            workers.shutdown()

@@ -12,7 +12,7 @@ class TestSurface:
             assert hasattr(repro, name), f"repro.{name} missing"
 
     def test_version(self):
-        assert repro.__version__ == "1.5.0"
+        assert repro.__version__ == "1.6.0"
 
     def test_readme_quickstart(self):
         doc = repro.parse("<db><part><pname>kb</pname><price>12</price></part></db>")
